@@ -1,0 +1,27 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro figure all --save
+
+report:
+	$(PYTHON) -m repro report --out results/REPORT.md
+
+examples:
+	@for f in examples/*.py; do echo "=== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,65 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every ``test_figXX_*`` module regenerates one table/figure of the
+paper's evaluation: it runs the sweep behind the figure, prints the same
+series the paper plots, persists the rows under ``results/``, and
+asserts the paper's *qualitative* claims (who wins, by roughly what
+factor, where crossovers fall).  Absolute numbers are expected to differ
+— the substrate is a simulator, not the authors' 8-node cluster.
+
+Figs. 6, 7 and 8 plot different metrics of the same runs; the runner
+memoizes per configuration, so the shared sweep executes once per bench
+session regardless of module ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.experiments.runner import save_rows
+from repro.metrics.report import format_table
+
+FIGURE_COLUMNS = ("panel", "algorithm", "m", "w", "theta", "metric", "value")
+
+
+def by(rows: Sequence[Mapping], **criteria) -> list[Mapping]:
+    """Filter result rows by exact column values."""
+    out = []
+    for row in rows:
+        if all(row.get(key) == value for key, value in criteria.items()):
+            out.append(row)
+    return out
+
+
+def one(rows: Sequence[Mapping], **criteria) -> Mapping:
+    """The unique row matching the criteria."""
+    matches = by(rows, **criteria)
+    assert len(matches) == 1, f"expected 1 row for {criteria}, got {len(matches)}"
+    return matches[0]
+
+
+def value_of(rows: Sequence[Mapping], **criteria) -> float:
+    return float(one(rows, **criteria)["value"])
+
+
+def publish(name: str, title: str, rows: Sequence[Mapping], columns=FIGURE_COLUMNS):
+    """Print the figure table and persist the rows under results/."""
+    print(f"\n{title}")
+    print(format_table(list(rows), columns))
+    save_rows(name, list(rows))
+
+
+@pytest.fixture
+def noop_benchmark(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Experiment sweeps take seconds and are deterministic; repeating them
+    for statistical rounds would waste the session.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,126 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* FPTreeJoin fast path on/off — the ubiquitous-attribute shortcut of
+  Algorithm 2 must pay off on data with a Boolean attribute in every
+  document (the scenario Section V-B motivates it with);
+* attribute-ordering tiebreak — ordering by document frequency with the
+  distinct-value tiebreak yields a smaller tree than the reverse order;
+* δ update threshold — higher δ defers partition updates, so replication
+  cannot decrease when δ grows.
+"""
+
+import random
+
+from repro.core.document import Document
+from repro.data.nobench import NoBenchGenerator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.timing import time_join
+from repro.join.fptree import FPTree
+from repro.join.ordering import AttributeOrder
+
+from conftest import publish
+
+
+def _fanout_docs(n: int, seed: int = 3) -> list[Document]:
+    """Two ubiquitous attributes with wide fan-out (30 x 10 subtrees).
+
+    The fast path replaces visiting (and conflict-checking) all 30 + 10
+    siblings per probe with two dict lookups — the regime Algorithm 2 is
+    built for.  A plain Boolean would be pruned almost as cheaply by the
+    DFS, so wide fan-out is where the ablation is informative.
+    """
+    rng = random.Random(seed)
+    docs = []
+    for i in range(n):
+        record: dict = {
+            "grp": rng.randrange(30),
+            "sub": rng.randrange(10),
+            "val": rng.randrange(40),
+        }
+        if rng.random() < 0.5:
+            record["extra"] = rng.randrange(25)
+        docs.append(Document(record, doc_id=i))
+    return docs
+
+
+def test_fast_path_ablation(benchmark):
+    """Ubiquitous wide-fan-out attributes make the fast path pay off."""
+    from repro.join.base import join_window
+    from repro.join.fptree_join import FPTreeJoiner
+
+    docs = _fanout_docs(6000)
+
+    def run(use_fast_path: bool) -> float:
+        import time
+
+        start = time.perf_counter()
+        join_window(FPTreeJoiner(use_fast_path=use_fast_path), docs)
+        return time.perf_counter() - start
+
+    with_fast = min(run(True) for _ in range(3))
+    without = min(run(False) for _ in range(3))
+    benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+
+    rows = [
+        {"variant": "fast path", "seconds": round(with_fast, 4)},
+        {"variant": "plain DFS", "seconds": round(without, 4)},
+    ]
+    publish(
+        "ablation_fastpath", "Ablation — FPTreeJoin fast path", rows,
+        ("variant", "seconds"),
+    )
+    assert with_fast < without, (with_fast, without)
+
+
+def test_attribute_order_ablation(benchmark):
+    """Frequency-descending order shares more prefixes (smaller tree)."""
+    docs = NoBenchGenerator(seed=5).documents(3000)
+    good_order = AttributeOrder.from_documents(docs)
+    bad_order = AttributeOrder(tuple(reversed(good_order.attributes)))
+
+    good_tree = benchmark.pedantic(
+        FPTree.build, args=(docs, good_order), rounds=1, iterations=1
+    )
+    bad_tree = FPTree.build(docs, bad_order)
+
+    rows = [
+        {"variant": "paper order (freq desc)", "nodes": good_tree.node_count,
+         "ubiquitous_prefix": good_tree.ubiquitous_prefix_length()},
+        {"variant": "reversed order", "nodes": bad_tree.node_count,
+         "ubiquitous_prefix": bad_tree.ubiquitous_prefix_length()},
+    ]
+    publish(
+        "ablation_ordering", "Ablation — global attribute order", rows,
+        ("variant", "nodes", "ubiquitous_prefix"),
+    )
+    assert good_tree.node_count < bad_tree.node_count
+    assert good_tree.ubiquitous_prefix_length() >= 1
+    assert bad_tree.ubiquitous_prefix_length() == 0
+
+
+def test_delta_threshold_ablation(benchmark):
+    """Higher δ defers updates: replication is monotonically non-improving."""
+    rows = []
+    replications = []
+    for delta in (1, 3, 8):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(ExperimentConfig(dataset="rwData", algorithm="AG",
+                                   delta=delta, n_windows=6),),
+            kwargs={"use_cache": False},
+            rounds=1, iterations=1,
+        ) if delta == 1 else run_experiment(
+            ExperimentConfig(dataset="rwData", algorithm="AG",
+                             delta=delta, n_windows=6),
+            use_cache=False,
+        )
+        replications.append(result.summary.replication)
+        rows.append({"delta": delta,
+                     "replication": round(result.summary.replication, 3)})
+    publish(
+        "ablation_delta", "Ablation — δ update threshold", rows,
+        ("delta", "replication"),
+    )
+    # eager updates (low δ) absorb unseen pairs fastest
+    assert replications[0] <= replications[-1] + 0.05

@@ -1,0 +1,79 @@
+"""Extension benchmark — exactness vs the approximate alternatives.
+
+The related work offers two escape hatches from exact stream joining:
+ApproxJoin's Bloom-filter + sampling, and D-Stream's mini-batching.  The
+paper's position is that neither is necessary — the FP-tree join is
+exact *and* fast.  This bench quantifies what each approximation trades
+away on the same window the exact join handles comfortably.
+"""
+
+import time
+
+from repro.data.serverlogs import ServerLogGenerator
+from repro.join.approximate import ApproximateJoiner, measure_recall
+from repro.join.base import join_window
+from repro.join.fptree_join import FPTreeJoiner
+from repro.join.minibatch import minibatch_loss
+
+from conftest import publish
+
+
+def test_approximate_join_tradeoff(benchmark):
+    docs = ServerLogGenerator(seed=37).documents(4000)
+
+    start = time.perf_counter()
+    exact_pairs = len(join_window(FPTreeJoiner(), docs))
+    exact_seconds = time.perf_counter() - start
+
+    rows = [
+        {"method": "FPJ (exact)", "recall": 1.0,
+         "pairs": exact_pairs, "seconds": round(exact_seconds, 3)},
+    ]
+    recalls = {}
+    for rate in (0.5, 0.2, 0.1):
+        start = time.perf_counter()
+        recall, approx_pairs, _ = measure_recall(docs, sample_rate=rate, seed=3)
+        seconds = time.perf_counter() - start - exact_seconds  # measure_recall reruns exact
+        recalls[rate] = recall
+        rows.append(
+            {"method": f"ApproxJoin p={rate}", "recall": round(recall, 3),
+             "pairs": approx_pairs, "seconds": round(max(seconds, 0.0), 3)}
+        )
+    benchmark.pedantic(
+        join_window, args=(ApproximateJoiner(0.1, seed=3), docs),
+        rounds=1, iterations=1,
+    )
+    publish(
+        "ext_approx", "Extension — exact vs approximate joining", rows,
+        ("method", "recall", "pairs", "seconds"),
+    )
+
+    # recall follows the sample rate and never reaches exactness
+    assert recalls[0.5] > recalls[0.1]
+    for rate, recall in recalls.items():
+        assert recall < 0.95, (rate, recall)
+        assert abs(recall - rate) < 0.25, (rate, recall)
+
+
+def test_minibatch_loss(benchmark):
+    docs = ServerLogGenerator(seed=41).documents(3000)
+    rows = []
+    losses = {}
+    for batch_size in (100, 300, 1000, 3000):
+        lost, batched, exact = benchmark.pedantic(
+            minibatch_loss, args=(docs, batch_size), rounds=1, iterations=1
+        ) if batch_size == 100 else minibatch_loss(docs, batch_size)
+        losses[batch_size] = lost
+        rows.append(
+            {"batch_size": batch_size, "pairs_found": batched,
+             "pairs_exact": exact, "lost_fraction": round(lost, 3)}
+        )
+    publish(
+        "ext_minibatch", "Extension — D-Stream mini-batch join loss", rows,
+        ("batch_size", "pairs_found", "pairs_exact", "lost_fraction"),
+    )
+    # "candidate tuple pairs may miss each other": substantial loss at
+    # small batches, zero only when the batch spans the whole window
+    assert losses[100] > 0.3
+    assert losses[3000] == 0.0
+    assert losses[100] > losses[1000]

@@ -1,0 +1,74 @@
+"""Extension benchmark — end-to-end topology throughput.
+
+The conclusion claims "the viability of the overall approach to handle
+large volumes of data in a resource-efficient manner".  This bench
+measures the in-process topology's document throughput (including
+partition mining, routing, dynamics, and the FP-tree joins) and how the
+per-machine work shrinks as machines are added.
+"""
+
+import time
+
+from repro.data.serverlogs import ServerLogGenerator
+from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+from conftest import publish
+
+
+def _run(m: int, compute_joins: bool, n_windows: int = 4, window: int = 800):
+    generator = ServerLogGenerator(seed=29)
+    windows = [generator.next_window(window) for _ in range(n_windows)]
+    config = StreamJoinConfig(
+        m=m, algorithm="AG", n_assigners=3, compute_joins=compute_joins
+    )
+    start = time.perf_counter()
+    result = run_stream_join(config, windows)
+    elapsed = time.perf_counter() - start
+    documents = n_windows * window
+    return elapsed, documents, result
+
+
+def test_topology_throughput(benchmark):
+    rows = []
+    per_machine_share = {}
+    for m in (2, 4, 8):
+        elapsed, documents, result = _run(m, compute_joins=True)
+        # average share of the window each machine processes
+        share = sum(w.max_load for w in result.per_window[1:]) / (
+            len(result.per_window) - 1
+        )
+        per_machine_share[m] = share
+        rows.append(
+            {
+                "m": m,
+                "documents": documents,
+                "seconds": round(elapsed, 2),
+                "docs_per_sec": int(documents / elapsed),
+                "max_machine_share": round(share, 3),
+            }
+        )
+    benchmark.pedantic(_run, args=(4, True), rounds=1, iterations=1)
+    publish(
+        "ext_scaling", "Extension — topology throughput vs machines", rows,
+        ("m", "documents", "seconds", "docs_per_sec", "max_machine_share"),
+    )
+    # more machines -> no single machine carries as much of the window
+    assert per_machine_share[8] < per_machine_share[2]
+    # the pipeline sustains a sane in-process rate even with joins on
+    assert all(row["docs_per_sec"] > 200 for row in rows), rows
+
+
+def test_routing_only_throughput(benchmark):
+    """Without joins (Figs. 6-10 mode) the pipeline is much faster."""
+    elapsed_joins, documents, _ = _run(4, compute_joins=True)
+    elapsed_routing, _, _ = _run(4, compute_joins=False)
+    benchmark.pedantic(_run, args=(4, False), rounds=1, iterations=1)
+    publish(
+        "ext_scaling_routing", "Extension — routing-only vs full-join run",
+        [
+            {"mode": "routing+join", "seconds": round(elapsed_joins, 2)},
+            {"mode": "routing only", "seconds": round(elapsed_routing, 2)},
+        ],
+        ("mode", "seconds"),
+    )
+    assert elapsed_routing < elapsed_joins

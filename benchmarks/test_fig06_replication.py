@@ -1,0 +1,53 @@
+"""Fig. 6 — average replication of AG / SC / DS.
+
+Panels: (a) vary m on rwData, (b) vary w on rwData, (c) vary m on
+nbData, (d) vary w on nbData.  Paper claims under test:
+
+* the DS algorithm has the best replication, AG follows closely;
+* SC approaches the worst case (every document to ~every machine) in
+  every setting;
+* AG's replication relative to the worst case *improves* as the number
+  of partitions grows (scalability);
+* replication stays above DS's theoretical 1 because documents with
+  unseen AV-pairs are broadcast (visible in all series).
+"""
+
+from repro.experiments.config import M_VALUES, W_VALUES
+from repro.experiments.figures import fig06_replication
+
+from conftest import publish, value_of
+
+
+def test_fig06_replication(noop_benchmark):
+    rows = noop_benchmark(fig06_replication)
+    publish("fig06_replication", "Fig. 6 — replication (avg)", rows)
+
+    for dataset in ("rwData", "nbData"):
+        panel = f"vary-m ({dataset})"
+        for m in M_VALUES:
+            ag = value_of(rows, panel=panel, algorithm="AG", m=m)
+            sc = value_of(rows, panel=panel, algorithm="SC", m=m)
+            ds = value_of(rows, panel=panel, algorithm="DS", m=m)
+            # ordering: DS best, AG second, SC worst
+            assert ds <= ag <= sc, f"{dataset} m={m}: DS<=AG<=SC violated"
+            # SC approaches the worst possible replication of m
+            assert sc > 0.9 * m, f"{dataset} m={m}: SC should be near worst case"
+            # AG stays meaningfully below the worst case
+            assert ag < 0.95 * m
+            # DS pays more than its theoretical 1 due to broadcasts
+            assert ds > 1.0
+
+    # AG scalability: replication/m falls as m grows (both datasets)
+    for dataset in ("rwData", "nbData"):
+        panel = f"vary-m ({dataset})"
+        ratios = [
+            value_of(rows, panel=panel, algorithm="AG", m=m) / m for m in M_VALUES
+        ]
+        assert ratios[-1] < ratios[0], f"{dataset}: AG worst-case ratio must fall"
+
+    # vary-w panels exist for every algorithm and window size
+    for dataset in ("rwData", "nbData"):
+        panel = f"vary-w ({dataset})"
+        for w in W_VALUES:
+            for algorithm in ("AG", "SC", "DS"):
+                assert value_of(rows, panel=panel, algorithm=algorithm, w=w) >= 1.0

@@ -1,0 +1,44 @@
+"""Fig. 8 — maximal processing load of AG / SC / DS.
+
+The metric that unmasks SC: its low Gini comes from replicating (almost)
+the whole window to every machine, so at least one machine — in fact all
+of them — processes nearly 100% of the documents.  Paper claims under
+test:
+
+* SC has at least one machine with close to the complete document set in
+  every setting;
+* DS, on real-world data, has a single machine receiving almost all
+  documents (giant component);
+* AG's maximal processing load *decreases* as partitions are added —
+  genuine scale-out, not replication-driven balance.
+"""
+
+from repro.experiments.config import M_VALUES
+from repro.experiments.figures import fig08_max_load
+
+from conftest import publish, value_of
+
+
+def test_fig08_max_load(noop_benchmark):
+    rows = noop_benchmark(fig08_max_load)
+    publish("fig08_max_load", "Fig. 8 — maximal processing load", rows)
+
+    for dataset in ("rwData", "nbData"):
+        panel = f"vary-m ({dataset})"
+        for m in M_VALUES:
+            ag = value_of(rows, panel=panel, algorithm="AG", m=m)
+            sc = value_of(rows, panel=panel, algorithm="SC", m=m)
+            ds = value_of(rows, panel=panel, algorithm="DS", m=m)
+            assert sc > 0.9, f"{dataset} m={m}: SC must process ~everything somewhere"
+            assert ag < sc, f"{dataset} m={m}: AG must beat SC on max load"
+            assert ag < ds, f"{dataset} m={m}: AG must beat DS on max load"
+
+    # DS on real-world data: one machine receives almost all documents
+    for m in M_VALUES:
+        assert value_of(rows, panel="vary-m (rwData)", algorithm="DS", m=m) > 0.95
+
+    # AG scalability: max load falls monotonically as m grows
+    for dataset in ("rwData", "nbData"):
+        panel = f"vary-m ({dataset})"
+        series = [value_of(rows, panel=panel, algorithm="AG", m=m) for m in M_VALUES]
+        assert series[-1] < series[0], f"{dataset}: AG max load must fall with m"

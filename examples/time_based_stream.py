@@ -1,0 +1,53 @@
+"""Time-based streaming: the paper's minutes-denominated setup end-to-end.
+
+The evaluation streams "the daily produced amount as the number of
+documents produced every 3 minutes" and evaluates window sizes of
+w = 3 / 6 / 9 minutes.  This example reproduces that setup literally:
+documents arrive on a Poisson process at the paper-derived rate, are
+framed into w-minute tumbling windows, and flow through the scale-out
+topology.
+
+Run:  python examples/time_based_stream.py
+"""
+
+from repro import StreamJoinConfig, run_stream_join
+from repro.data import ServerLogGenerator
+from repro.data.stream import (
+    arrival_rate_from_daily_volume,
+    timestamped_stream,
+    windows_by_time,
+)
+
+
+def main() -> None:
+    # The paper: 46M documents over 105 days.  Scaled down 1000x so the
+    # example runs in seconds; the *shape* of the stream is identical.
+    daily_volume = 46_000_000 // 105 // 1000
+    rate = arrival_rate_from_daily_volume(daily_volume)
+    print(f"daily volume {daily_volume} docs -> arrival rate {rate:.0f} docs/min")
+
+    generator = ServerLogGenerator(seed=99)
+    stream = list(timestamped_stream(generator, rate, n_documents=4000))
+    duration = stream[-1].timestamp
+    print(f"simulated {len(stream)} documents over {duration:.1f} minutes")
+
+    for w in (3, 6, 9):
+        windows = windows_by_time(stream, window_minutes=w)
+        result = run_stream_join(
+            StreamJoinConfig(m=8, algorithm="AG", n_assigners=3), windows
+        )
+        summary = result.summary()
+        print(
+            f"w={w} min: {len(windows)} windows, "
+            f"replication {summary.replication:.2f}, "
+            f"max load {summary.max_load:.2f}, "
+            f"repartitions {summary.repartition_rate:.0%}"
+        )
+    print(
+        "\nlarger windows sample the stream better: replication falls as"
+        " w grows (the paper's Fig. 6b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

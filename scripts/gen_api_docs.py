@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Generate docs/api.md from the package's docstrings.
+
+Walks every public module of :mod:`repro`, collects classes and
+functions with their signatures and first docstring paragraphs, and
+renders a markdown reference.  Run after API changes:
+
+    python scripts/gen_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def first_paragraph(obj: object) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "*(undocumented)*"
+    return doc.split("\n\n")[0].replace("\n", " ")
+
+
+def signature_of(obj: object) -> str:
+    try:
+        return str(inspect.signature(obj))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def iter_modules():
+    yield "repro", repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES or info.name.rsplit(".", 1)[-1].startswith("_"):
+            continue
+        yield info.name, importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name in sorted(vars(module)):
+        if name.startswith("_"):
+            continue
+        member = getattr(module, name)
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home module
+        yield name, member
+
+
+def render() -> str:
+    parts = [
+        "# API reference",
+        "",
+        "*Generated from docstrings by `scripts/gen_api_docs.py`;"
+        " do not edit by hand.*",
+        "",
+    ]
+    for module_name, module in iter_modules():
+        members = list(public_members(module))
+        if not members:
+            continue
+        parts.append(f"## `{module_name}`")
+        parts.append("")
+        parts.append(first_paragraph(module))
+        parts.append("")
+        for name, member in members:
+            kind = "class" if inspect.isclass(member) else "def"
+            parts.append(f"### `{kind} {name}{signature_of(member)}`")
+            parts.append("")
+            parts.append(first_paragraph(member))
+            parts.append("")
+            if inspect.isclass(member):
+                for method_name in sorted(vars(member)):
+                    if method_name.startswith("_"):
+                        continue
+                    method = getattr(member, method_name)
+                    if not callable(method):
+                        continue
+                    parts.append(
+                        f"- `{method_name}{signature_of(method)}` — "
+                        f"{first_paragraph(method)}"
+                    )
+                parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> None:
+    target = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+    target.write_text(render(), encoding="utf-8")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

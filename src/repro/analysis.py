@@ -1,0 +1,127 @@
+"""Analytics over natural-join results.
+
+The paper motivates schema-free stream joins with analysis of
+*complementary* documents: a failed login joined with a severe system
+event reveals more than either record alone (Section I's server-attack
+scenario).  This module provides the post-join layer for that use case:
+
+* :func:`materialize_joins` — turn joinable id pairs back into merged
+  documents;
+* :func:`complement_statistics` — which attributes each side contributes
+  to its join partners (what information the join actually gains);
+* :class:`SuspicionScorer` — the intro's security heuristics over the
+  joined stream: repeated failures per user / location, failures joined
+  to severe events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.document import Document
+from repro.join.base import JoinPair
+
+
+def materialize_joins(
+    pairs: Iterable[JoinPair], documents: Mapping[int, Document]
+) -> Iterator[tuple[JoinPair, Document]]:
+    """Yield each joinable pair together with its merged document.
+
+    Raises ``KeyError`` for ids missing from ``documents`` — the caller
+    owns the id space and a miss indicates a bookkeeping bug.
+    """
+    for pair in pairs:
+        left, right = documents[pair.left], documents[pair.right]
+        yield pair, left.join(right)
+
+
+def complement_statistics(
+    pairs: Iterable[JoinPair], documents: Mapping[int, Document]
+) -> Counter[str]:
+    """Count, per attribute, how often a join *gained* it.
+
+    An attribute counts when exactly one side of a joinable pair carries
+    it: that is the complementary information the natural join surfaces.
+    """
+    gained: Counter[str] = Counter()
+    for pair in pairs:
+        left, right = documents[pair.left], documents[pair.right]
+        gained.update(left.attributes ^ right.attributes)
+    return gained
+
+
+@dataclass
+class Alert:
+    """One suspicious entity surfaced by the scorer."""
+
+    entity: str
+    score: int
+    reasons: list[str] = field(default_factory=list)
+
+
+class SuspicionScorer:
+    """The introduction's security heuristics over merged documents.
+
+    Scoring (one point per joined pair matching a rule):
+
+    * ``failed-access`` — the merged document shows a failure/denial for
+      an identified user;
+    * ``failure-with-severity`` — the failure co-occurs with an Error or
+      Critical severity (the "virus-infected work station" pattern);
+    * ``location-failures`` — failures concentrating on one location
+      (the "attack on one location" pattern), scored per location.
+    """
+
+    FAILURE_STATUSES = ("failure", "denied")
+    SEVERE = ("Error", "Critical")
+
+    def __init__(self) -> None:
+        self._user_scores: Counter[str] = Counter()
+        self._user_reasons: dict[str, Counter[str]] = {}
+        self._location_failures: Counter[str] = Counter()
+
+    def observe(self, merged: Document) -> None:
+        """Feed one merged (joined) document."""
+        status = merged.get("Status")
+        failed = status in self.FAILURE_STATUSES
+        severe = merged.get("Severity") in self.SEVERE
+        user = merged.get("User")
+        location = merged.get("Location")
+        if failed and isinstance(user, str):
+            self._bump(user, "failed-access")
+            if severe:
+                self._bump(user, "failure-with-severity")
+        if failed and isinstance(location, str):
+            self._location_failures[location] += 1
+
+    def _bump(self, user: str, reason: str) -> None:
+        self._user_scores[user] += 1
+        self._user_reasons.setdefault(user, Counter())[reason] += 1
+
+    def observe_joins(
+        self, pairs: Iterable[JoinPair], documents: Mapping[int, Document]
+    ) -> None:
+        """Feed an entire join result."""
+        for _, merged in materialize_joins(pairs, documents):
+            self.observe(merged)
+
+    def user_alerts(self, top: int = 10) -> list[Alert]:
+        """Users ranked by suspicion score, with their triggering rules."""
+        alerts = []
+        for user, score in self._user_scores.most_common(top):
+            reasons = [
+                f"{reason} x{count}"
+                for reason, count in sorted(self._user_reasons[user].items())
+            ]
+            alerts.append(Alert(entity=user, score=score, reasons=reasons))
+        return alerts
+
+    def location_alerts(self, minimum_failures: int = 1) -> list[Alert]:
+        """Locations with concentrated failures, most affected first."""
+        return [
+            Alert(entity=location, score=count, reasons=["location-failures"])
+            for location, count in self._location_failures.most_common()
+            if count >= minimum_failures
+        ]

@@ -1,0 +1,320 @@
+"""Command-line interface: ``repro-join`` / ``python -m repro``.
+
+Subcommands
+-----------
+``quickstart``
+    Two-minute demo: generate documents, join them, print pairs.
+``join``
+    Time a local join algorithm (FPJ / NLJ / HBJ) over generated data.
+``topology``
+    Run the full Fig. 2 topology and print per-window metrics.
+``figure``
+    Regenerate one of the paper's figures (fig6 ... fig11) as a table.
+``analyze``
+    The intro's security scenario: generate, join, score suspicion.
+``report``
+    Render the persisted benchmark results into a markdown report.
+``ingest``
+    Stream a JSONL file through the topology, printing per-window metrics.
+``generate``
+    Write a generated dataset to a JSONL file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.data.loader import write_jsonl
+from repro.experiments import figures as fig
+from repro.experiments.config import ExperimentConfig, make_generator
+from repro.experiments.runner import run_experiment, save_rows
+from repro.experiments.timing import fig11_join_times, time_join
+from repro.metrics.report import format_table
+
+FIGURES = {
+    "fig6": ("Fig. 6 — replication (avg)", fig.fig06_replication),
+    "fig7": ("Fig. 7 — load balance (Gini)", fig.fig07_load_balance),
+    "fig8": ("Fig. 8 — maximal processing load", fig.fig08_max_load),
+    "fig9": ("Fig. 9 — repartitions (%)", fig.fig09_repartitions),
+    "fig10": ("Fig. 10 — ideal execution", fig.fig10_ideal_execution),
+    "fig11": ("Fig. 11 — local join execution time", fig11_join_times),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-join",
+        description="Schema-free stream joins: AG partitioning + FP-tree join",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="run the two-minute demo")
+
+    join = sub.add_parser("join", help="time a local join algorithm")
+    join.add_argument("--algorithm", choices=("FPJ", "NLJ", "HBJ"), default="FPJ")
+    join.add_argument("--dataset", choices=("rwData", "nbData"), default="rwData")
+    join.add_argument("--docs", type=int, default=10_000)
+    join.add_argument("--seed", type=int, default=7)
+
+    topo = sub.add_parser("topology", help="run the full stream-join topology")
+    topo.add_argument("--dataset", choices=("rwData", "nbData", "idealData"), default="rwData")
+    topo.add_argument(
+        "--algorithm", choices=("AG", "SC", "DS", "HASH", "KL"), default="AG"
+    )
+    topo.add_argument("-m", "--machines", type=int, default=8)
+    topo.add_argument("--windows", type=int, default=8)
+    topo.add_argument("-w", "--window-minutes", type=int, default=6)
+    topo.add_argument("--theta", type=float, default=0.2)
+    topo.add_argument("--delta", type=int, default=3)
+    topo.add_argument("--seed", type=int, default=7)
+    topo.add_argument("--joins", action="store_true", help="also compute the joins")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES) + ["all"])
+    figure.add_argument("--save", action="store_true", help="write rows to results/")
+    figure.add_argument("--chart", action="store_true", help="render unicode bar charts")
+
+    analyze = sub.add_parser(
+        "analyze", help="run the security-analysis scenario end-to-end"
+    )
+    analyze.add_argument("--docs", type=int, default=2000)
+    analyze.add_argument("--windows", type=int, default=4)
+    analyze.add_argument("-m", "--machines", type=int, default=4)
+    analyze.add_argument("--seed", type=int, default=7)
+
+    report = sub.add_parser("report", help="render results/ into a markdown report")
+    report.add_argument("--results", default="results")
+    report.add_argument("--out", default=None)
+
+    ingest = sub.add_parser(
+        "ingest", help="stream a JSONL file through the join topology"
+    )
+    ingest.add_argument("path")
+    ingest.add_argument("-m", "--machines", type=int, default=4)
+    ingest.add_argument("--window-size", type=int, default=1000)
+    ingest.add_argument("--algorithm", choices=("AG", "SC", "DS", "HASH", "KL"),
+                        default="AG")
+    ingest.add_argument("--joins", action="store_true", help="also compute joins")
+
+    gen = sub.add_parser("generate", help="write a dataset to JSONL")
+    gen.add_argument("--dataset", choices=("rwData", "nbData"), default="rwData")
+    gen.add_argument("--docs", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+    return parser
+
+
+def _cmd_quickstart() -> int:
+    from repro import Document, FPTreeJoiner, join_window
+
+    docs = [
+        Document({"User": "A", "Severity": "Warning"}, doc_id=1),
+        Document({"User": "A", "Severity": "Warning", "MsgId": 2}, doc_id=2),
+        Document({"User": "A", "Severity": "Error"}, doc_id=3),
+        Document({"IP": "10.2.145.212", "Severity": "Warning"}, doc_id=4),
+        Document({"User": "B", "Severity": "Critical", "MsgId": 1}, doc_id=5),
+        Document({"User": "B", "Severity": "Critical"}, doc_id=6),
+        Document({"User": "B", "Severity": "Warning"}, doc_id=7),
+    ]
+    pairs = join_window(FPTreeJoiner(), docs)
+    print("documents from the paper's Fig. 1; joinable pairs:")
+    for left, right in sorted(pairs):
+        print(f"  d{left} ⋈ d{right}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    generator = make_generator(args.dataset, args.seed, args.docs)
+    documents = generator.documents(args.docs)
+    timing = time_join(args.algorithm, args.dataset, documents)
+    print(format_table([timing.row()], (
+        "algorithm", "dataset", "documents", "creation_s", "join_s",
+        "total_s", "join_pairs",
+    )))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        algorithm=args.algorithm,
+        m=args.machines,
+        w=args.window_minutes,
+        theta=args.theta,
+        delta=args.delta,
+        n_windows=args.windows,
+        seed=args.seed,
+        compute_joins=args.joins,
+    )
+    result = run_experiment(config, use_cache=False)
+    rows = [
+        {
+            "window": w.window,
+            "documents": w.documents,
+            "replication": w.replication,
+            "gini": w.gini,
+            "max_load": w.max_load,
+            "broadcast": w.broadcast_fraction,
+            "repartitioned": w.repartitioned,
+            "join_pairs": w.join_pairs,
+        }
+        for w in result.stream_result.per_window
+    ]
+    print(format_table(rows, (
+        "window", "documents", "replication", "gini", "max_load",
+        "broadcast", "repartitioned", "join_pairs",
+    )))
+    summary = result.summary
+    print(
+        f"\nsummary (bootstrap window excluded): replication={summary.replication:.3f} "
+        f"gini={summary.gini:.3f} max_load={summary.max_load:.3f} "
+        f"repartition_rate={summary.repartition_rate:.0%}"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    chart = getattr(args, "chart", False)
+    if args.name == "all":
+        for name in sorted(FIGURES):
+            _print_one_figure(name, args.save, chart)
+            print()
+        return 0
+    _print_one_figure(args.name, args.save, chart)
+    return 0
+
+
+def _print_one_figure(name: str, save: bool, chart: bool = False) -> None:
+    title, producer = FIGURES[name]
+    rows = producer()
+    if name == "fig11":
+        print(title)
+        print(format_table(rows, (
+            "panel", "algorithm", "documents", "creation_s", "join_s", "total_s",
+        )))
+        if chart:
+            from repro.metrics.charts import bar_chart
+
+            items = [
+                (f"{row['algorithm']}@{row['documents']}", float(row["total_s"]))
+                for row in rows
+            ]
+            print()
+            print(bar_chart(items, title="total seconds"))
+    else:
+        fig.print_figure(rows, title)
+        if chart:
+            from repro.metrics.charts import figure_chart
+
+            print()
+            print(figure_chart(rows))
+    if save:
+        target = save_rows(name, rows)
+        print(f"\nrows written to {target}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import SuspicionScorer, complement_statistics
+    from repro.data.serverlogs import ServerLogGenerator
+    from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+    generator = ServerLogGenerator(seed=args.seed)
+    window_size = max(1, args.docs // args.windows)
+    windows = [generator.next_window(window_size) for _ in range(args.windows)]
+    by_id = {d.doc_id: d for w in windows for d in w}
+    result = run_stream_join(
+        StreamJoinConfig(
+            m=args.machines, algorithm="AG", n_assigners=2,
+            compute_joins=True, collect_pairs=True,
+        ),
+        windows,
+    )
+    scorer = SuspicionScorer()
+    scorer.observe_joins(result.join_pairs, by_id)
+    print(f"{len(by_id)} documents, {len(result.join_pairs)} joined pairs\n")
+    print("suspicious users:")
+    for alert in scorer.user_alerts(top=8):
+        print(f"  {alert.entity}: score {alert.score} ({', '.join(alert.reasons)})")
+    print("\nlocations with concentrated failures:")
+    for alert in scorer.location_alerts(minimum_failures=2)[:5]:
+        print(f"  {alert.entity}: {alert.score}")
+    gained = complement_statistics(result.join_pairs, by_id)
+    top = ", ".join(f"{a} (+{n})" for a, n in gained.most_common(5))
+    print(f"\nattributes gained through joins: {top}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.window import CountWindow
+    from repro.data.loader import read_jsonl
+    from repro.topology.pipeline import StreamJoinConfig
+    from repro.topology.session import StreamJoinSession
+
+    session = StreamJoinSession(
+        StreamJoinConfig(
+            m=args.machines, algorithm=args.algorithm,
+            compute_joins=args.joins,
+        )
+    )
+    window_frame = CountWindow(args.window_size)
+    total = 0
+    for window in window_frame.iter_windows(read_jsonl(args.path)):
+        metrics = session.push_window(window)
+        total += len(window)
+        print(
+            f"window {metrics.window}: {metrics.documents} docs, "
+            f"replication {metrics.replication:.2f}, "
+            f"max load {metrics.max_load:.2f}, "
+            f"join pairs {metrics.join_pairs}"
+        )
+    if total == 0:
+        print("no documents found")
+        return 1
+    summary = session.result().summary()
+    print(
+        f"\n{total} documents total; replication {summary.replication:.3f}, "
+        f"gini {summary.gini:.3f}, max load {summary.max_load:.3f}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = make_generator(args.dataset, args.seed, args.docs)
+    count = write_jsonl(args.out, generator.documents(args.docs))
+    print(f"wrote {count} documents to {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-join`` / ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "quickstart":
+        return _cmd_quickstart()
+    if args.command == "join":
+        return _cmd_join(args)
+    if args.command == "topology":
+        return _cmd_topology(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(results_dir=args.results, out_path=args.out)
+        if args.out:
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Core data model: schema-free documents and window definitions."""
+
+from repro.core.document import AVPair, Document, flatten_json
+from repro.core.window import CountWindow, TimeWindow, tumbling_count_windows
+
+__all__ = [
+    "AVPair",
+    "Document",
+    "flatten_json",
+    "CountWindow",
+    "TimeWindow",
+    "tumbling_count_windows",
+]

@@ -1,0 +1,127 @@
+"""Dataset profiling: the structural statistics the system's behaviour
+hangs on.
+
+Partitioning quality, join-algorithm crossovers and repartitioning
+cadence are all driven by a handful of measurable properties of the
+document stream — attribute coverage, value cardinality, pair skew,
+connectivity, drift.  :func:`profile_documents` computes them in one
+pass (plus a union-find sweep), and the experiment suite uses the result
+both to characterize datasets and to check generator calibration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.document import AVPair, Document
+
+
+@dataclass
+class AttributeProfile:
+    """Statistics for one attribute across the profiled documents."""
+
+    attribute: str
+    document_count: int
+    distinct_values: int
+
+    def coverage(self, total_documents: int) -> float:
+        return self.document_count / total_documents if total_documents else 0.0
+
+
+@dataclass
+class DatasetProfile:
+    """One-pass structural profile of a document collection."""
+
+    documents: int
+    distinct_pairs: int
+    distinct_attributes: int
+    mean_pairs_per_document: float
+    #: fraction of documents containing the single most frequent AV-pair
+    top_pair_share: float
+    #: mean number of documents per distinct AV-pair (HBJ posting length)
+    mean_posting_length: float
+    #: connected components of the pair co-occurrence relation
+    connected_components: int
+    attributes: dict[str, AttributeProfile] = field(default_factory=dict)
+
+    def ubiquitous_attributes(self) -> list[str]:
+        """Attributes present in every profiled document."""
+        return [
+            a
+            for a, profile in self.attributes.items()
+            if profile.document_count == self.documents
+        ]
+
+    def disabling_attributes(self, m: int, coverage: float = 1.0) -> list[str]:
+        """Attributes that would trigger expansion for ``m`` machines."""
+        threshold = coverage * self.documents
+        return [
+            a
+            for a, profile in self.attributes.items()
+            if profile.document_count >= threshold and profile.distinct_values < m
+        ]
+
+
+def profile_documents(documents: Sequence[Document]) -> DatasetProfile:
+    """Compute the :class:`DatasetProfile` of ``documents``."""
+    if not documents:
+        raise ValueError("cannot profile an empty document collection")
+    pair_counts: Counter[AVPair] = Counter()
+    attr_docs: Counter[str] = Counter()
+    attr_values: dict[str, set] = {}
+    total_pairs = 0
+    for doc in documents:
+        total_pairs += len(doc)
+        for attribute, value in doc.pairs.items():
+            pair_counts[AVPair(attribute, value)] += 1
+            attr_docs[attribute] += 1
+            attr_values.setdefault(attribute, set()).add(value)
+
+    # connectivity via union-find over pairs (the DS structure)
+    from repro.partitioning.disjoint import UnionFind
+
+    union_find = UnionFind()
+    for doc in documents:
+        pairs = list(doc.avpairs())
+        union_find.add(pairs[0])
+        for pair in pairs[1:]:
+            union_find.union(pairs[0], pair)
+
+    n = len(documents)
+    return DatasetProfile(
+        documents=n,
+        distinct_pairs=len(pair_counts),
+        distinct_attributes=len(attr_docs),
+        mean_pairs_per_document=total_pairs / n,
+        top_pair_share=pair_counts.most_common(1)[0][1] / n,
+        mean_posting_length=sum(pair_counts.values()) / len(pair_counts),
+        connected_components=len(union_find.components()),
+        attributes={
+            attribute: AttributeProfile(
+                attribute=attribute,
+                document_count=attr_docs[attribute],
+                distinct_values=len(attr_values[attribute]),
+            )
+            for attribute in attr_docs
+        },
+    )
+
+
+def drift_rate(
+    previous_window: Sequence[Document],
+    current_window: Sequence[Document],
+) -> float:
+    """Fraction of the current window's documents carrying an AV-pair
+    absent from the previous window — the quantity that drives the
+    broadcast fallback and the θ-repartitioning cadence (Fig. 9)."""
+    if not current_window:
+        return 0.0
+    seen = {p for doc in previous_window for p in doc.avpairs()}
+    with_unseen = sum(
+        1
+        for doc in current_window
+        if any(p not in seen for p in doc.avpairs())
+    )
+    return with_unseen / len(current_window)

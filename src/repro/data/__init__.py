@@ -1,0 +1,28 @@
+"""Dataset generators and IO for the experiments of Section VII."""
+
+from repro.data.base import DatasetGenerator
+from repro.data.ideal import IdealStreamGenerator
+from repro.data.loader import read_jsonl, write_jsonl
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+from repro.data.stream import (
+    TimestampedDocument,
+    arrival_rate_from_daily_volume,
+    timestamped_stream,
+    windows_by_time,
+)
+from repro.data.tweets import TweetGenerator
+
+__all__ = [
+    "DatasetGenerator",
+    "IdealStreamGenerator",
+    "NoBenchGenerator",
+    "ServerLogGenerator",
+    "TimestampedDocument",
+    "TweetGenerator",
+    "arrival_rate_from_daily_volume",
+    "timestamped_stream",
+    "windows_by_time",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,67 @@
+"""Common scaffolding for deterministic document-stream generators."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+from repro.core.document import Document
+
+
+class DatasetGenerator(ABC):
+    """Deterministic generator of schema-free document streams.
+
+    Subclasses implement :meth:`_make_record` producing one raw JSON-like
+    mapping; the base class handles flattening, sequential ``doc_id``
+    assignment, windowing, and seeding.  A generator instance is a
+    stateful stream: repeated calls continue where the previous ones
+    stopped (the window index advances), and two instances constructed
+    with the same seed produce identical streams.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._next_doc_id = 0
+        self._window_index = 0
+
+    @abstractmethod
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        """Produce one raw (possibly nested) JSON record."""
+
+    def _on_window_start(self, rng: random.Random, window_index: int) -> None:
+        """Hook for per-window drift (new entities, shifted pools)."""
+
+    # ------------------------------------------------------------------
+    # Public stream API
+    # ------------------------------------------------------------------
+    def next_window(self, size: int) -> list[Document]:
+        """Generate the next tumbling window of ``size`` documents."""
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        self._on_window_start(self._rng, self._window_index)
+        window = []
+        for _ in range(size):
+            record = self._make_record(self._rng, self._window_index)
+            window.append(Document.from_dict(record, doc_id=self._next_doc_id))
+            self._next_doc_id += 1
+        self._window_index += 1
+        return window
+
+    def windows(self, n_windows: int, window_size: int) -> Iterator[list[Document]]:
+        """Yield ``n_windows`` consecutive tumbling windows."""
+        for _ in range(n_windows):
+            yield self.next_window(window_size)
+
+    def documents(self, n: int, window_size: int = 1000) -> list[Document]:
+        """Generate ``n`` documents as a flat list (windows concatenated)."""
+        out: list[Document] = []
+        while len(out) < n:
+            out.extend(self.next_window(min(window_size, n - len(out))))
+        return out
+
+    @property
+    def window_index(self) -> int:
+        """Index of the next window to be generated."""
+        return self._window_index

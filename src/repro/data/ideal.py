@@ -1,0 +1,69 @@
+"""The "ideal execution" stream of Section VII-E-4.
+
+To isolate what the partitioning algorithm itself achieves from the
+noise of ever-new AV-pairs, the paper derives a dataset from one
+real-world time window: the window is repeated over and over, and every
+repetition only adds a small, fixed number of previously unseen
+documents.  Replication measured on this stream is a *direct* result of
+the partitioning quality (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.document import Document
+from repro.data.base import DatasetGenerator
+
+
+class IdealStreamGenerator(DatasetGenerator):
+    """Repeats one base window, injecting a few unseen documents per window.
+
+    Parameters
+    ----------
+    base:
+        Generator producing the single base window (consumed once).
+    base_window_size:
+        Size of the window drawn from ``base`` and then repeated.
+    unseen_per_window:
+        Number of brand-new documents (drawn *fresh* from ``base``, which
+        keeps drifting) mixed into every repetition after the first.
+    """
+
+    def __init__(
+        self,
+        base: DatasetGenerator,
+        base_window_size: int = 2000,
+        unseen_per_window: int = 20,
+        seed: int = 0,
+    ):
+        super().__init__(seed)
+        self._base = base
+        self.unseen_per_window = unseen_per_window
+        self._template = [
+            doc.to_dict() for doc in base.next_window(base_window_size)
+        ]
+
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        raise NotImplementedError("IdealStreamGenerator overrides next_window")
+
+    def next_window(self, size: int) -> list[Document]:
+        """One repetition: the base window content plus a few unseen docs.
+
+        ``size`` is ignored beyond validation — every window has
+        ``len(base window) + unseen_per_window`` documents (the paper's
+        construction fixes the window content, not a target size).
+        """
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        window: list[Document] = []
+        for record in self._template:
+            window.append(Document(record, doc_id=self._next_doc_id))
+            self._next_doc_id += 1
+        if self._window_index > 0 and self.unseen_per_window:
+            for doc in self._base.next_window(self.unseen_per_window):
+                window.append(Document(doc.to_dict(), doc_id=self._next_doc_id))
+                self._next_doc_id += 1
+        self._window_index += 1
+        return window

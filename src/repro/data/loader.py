@@ -1,0 +1,51 @@
+"""JSONL document IO.
+
+Real deployments read newline-delimited JSON (one document per line) —
+the format Twitter-style firehoses and log shippers produce.  These
+helpers bridge files and :class:`~repro.core.document.Document` streams.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.document import Document
+from repro.exceptions import DocumentError
+
+PathLike = Union[str, Path]
+
+
+def read_jsonl(path: PathLike, skip_invalid: bool = False) -> Iterator[Document]:
+    """Stream documents from a JSONL file, assigning sequential ids.
+
+    With ``skip_invalid=True`` malformed lines are skipped instead of
+    raising :class:`DocumentError` (useful on noisy log exports).
+    """
+    doc_id = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield Document.from_json(line, doc_id=doc_id)
+            except DocumentError:
+                if skip_invalid:
+                    continue
+                raise DocumentError(
+                    f"{path}:{line_number}: invalid document"
+                ) from None
+            doc_id += 1
+
+
+def write_jsonl(path: PathLike, documents: Iterable[Document]) -> int:
+    """Write documents to a JSONL file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in documents:
+            handle.write(json.dumps(doc.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,93 @@
+"""Twitter-style JSON stream generator.
+
+The paper opens with Twitter's JSON firehose as the canonical
+schema-free stream.  This generator produces tweet-shaped documents —
+nested ``user`` objects, hashtag arrays, optional geo coordinates and
+reply references — exercising the flattening path (dotted and indexed
+attributes) on a third, structurally different workload.
+
+Join semantics on tweets are naturally interesting: tweets sharing a
+hashtag pair, replies sharing the referenced tweet, tweets from the same
+place — all without declaring a key.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.data.base import DatasetGenerator
+
+_LANGS = ("en", "de", "fr", "es", "ja")
+_LANG_WEIGHTS = (0.55, 0.15, 0.12, 0.1, 0.08)
+_PLACES = (
+    "Kaiserslautern", "Berlin", "Paris", "Madrid", "Tokyo",
+    "New York", "London", "Toronto",
+)
+
+
+class TweetGenerator(DatasetGenerator):
+    """Stream of tweet-like documents with trending-topic drift."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_users: int = 300,
+        n_hashtags: int = 150,
+        trending_pool: int = 12,
+        trend_shift_per_window: int = 2,
+    ):
+        super().__init__(seed)
+        self._users = [f"@user{u:04d}" for u in range(n_users)]
+        self._hashtags = [f"#tag{h:03d}" for h in range(n_hashtags)]
+        self.trending_pool = trending_pool
+        self.trend_shift_per_window = trend_shift_per_window
+        self._trend_base = 0
+        self._user_lang = {
+            user: self._rng.choices(_LANGS, weights=_LANG_WEIGHTS, k=1)[0]
+            for user in self._users
+        }
+        self._user_place = {
+            user: self._rng.choice(_PLACES) for user in self._users
+        }
+        self._recent_tweet_ids: list[int] = []
+
+    def _on_window_start(self, rng: random.Random, window_index: int) -> None:
+        # trending topics rotate: the drift source for this dataset
+        self._trend_base = window_index * self.trend_shift_per_window
+
+    def _pick_hashtags(self, rng: random.Random) -> list[str]:
+        count = rng.choices((0, 1, 2, 3), weights=(0.2, 0.45, 0.25, 0.1), k=1)[0]
+        tags = []
+        for _ in range(count):
+            if rng.random() < 0.7:  # trending topics dominate
+                index = (self._trend_base + rng.randrange(self.trending_pool)) % len(
+                    self._hashtags
+                )
+            else:
+                index = rng.randrange(len(self._hashtags))
+            tags.append(self._hashtags[index])
+        return tags
+
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        user = rng.choice(self._users)
+        record: dict[str, Any] = {
+            "user": {
+                "screen_name": user,
+                "lang": self._user_lang[user],
+            },
+            "lang": self._user_lang[user],
+        }
+        hashtags = self._pick_hashtags(rng)
+        if hashtags:
+            record["hashtags"] = hashtags
+        if rng.random() < 0.3:
+            record["place"] = self._user_place[user]
+        if rng.random() < 0.25 and self._recent_tweet_ids:
+            record["in_reply_to"] = rng.choice(self._recent_tweet_ids)
+        if rng.random() < 0.15:
+            record["verified"] = True
+        self._recent_tweet_ids.append(self._next_doc_id)
+        if len(self._recent_tweet_ids) > 200:
+            self._recent_tweet_ids = self._recent_tweet_ids[-200:]
+        return record

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause
+while still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DocumentError(ReproError):
+    """A document is malformed (bad JSON, non-flat content, empty, ...)."""
+
+
+class JoinConflictError(ReproError):
+    """Raised when merging two documents that conflict on a shared attribute."""
+
+    def __init__(self, attribute: str, left_value: object, right_value: object):
+        self.attribute = attribute
+        self.left_value = left_value
+        self.right_value = right_value
+        super().__init__(
+            f"conflicting values for attribute {attribute!r}: "
+            f"{left_value!r} vs {right_value!r}"
+        )
+
+
+class PartitioningError(ReproError):
+    """A partitioner was mis-configured or received unusable input."""
+
+
+class TopologyError(ReproError):
+    """The streaming topology is mis-wired (unknown component, bad grouping...)."""
+
+
+class WindowError(ReproError):
+    """Invalid window specification (non-positive size, bad bounds, ...)."""
+
+
+class TupleProcessingError(TopologyError):
+    """A bolt kept failing on a tuple after exhausting its retry budget."""
+
+    def __init__(self, component: str, task_index: int, retries: int, cause: Exception):
+        self.component = component
+        self.task_index = task_index
+        self.retries = retries
+        self.cause = cause
+        super().__init__(
+            f"{component}[{task_index}] failed after {retries} retries: {cause!r}"
+        )

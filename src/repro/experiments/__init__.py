@@ -1,0 +1,39 @@
+"""Experiment harness regenerating every figure of Section VII."""
+
+from repro.experiments.config import (
+    DEFAULT_DELTA,
+    DEFAULT_M,
+    DEFAULT_THETA,
+    DEFAULT_W,
+    ExperimentConfig,
+    expansion_coverage_for,
+    make_generator,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.figures import (
+    fig06_replication,
+    fig07_load_balance,
+    fig08_max_load,
+    fig09_repartitions,
+    fig10_ideal_execution,
+)
+from repro.experiments.timing import fig11_join_times, time_join
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DEFAULT_M",
+    "DEFAULT_THETA",
+    "DEFAULT_W",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "expansion_coverage_for",
+    "fig06_replication",
+    "fig07_load_balance",
+    "fig08_max_load",
+    "fig09_repartitions",
+    "fig10_ideal_execution",
+    "fig11_join_times",
+    "make_generator",
+    "run_experiment",
+    "time_join",
+]

@@ -1,0 +1,103 @@
+"""Markdown reporting over persisted benchmark results.
+
+Every benchmark writes its result rows to ``results/<name>.json``; this
+module renders those files into a single markdown report — the
+regenerable core of EXPERIMENTS.md.  Useful after a full
+``pytest benchmarks/ --benchmark-only`` run:
+
+    python -m repro report --results results --out results/REPORT.md
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+#: figure files in presentation order, with their section headings
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("fig06_replication", "Fig. 6 — replication (avg)"),
+    ("fig07_load_balance", "Fig. 7 — load balance (Gini)"),
+    ("fig08_max_load", "Fig. 8 — maximal processing load"),
+    ("fig09_repartitions", "Fig. 9 — repartitions (fraction of windows)"),
+    ("fig10_ideal", "Fig. 10 — ideal execution"),
+    ("fig11_fpj_rwData", "Fig. 11a — FPJ execution time (rwData)"),
+    ("fig11_fpj_nbData", "Fig. 11b — FPJ execution time (nbData)"),
+    ("fig11_baselines_rwData", "Fig. 11c — NLJ vs HBJ (rwData)"),
+    ("fig11_baselines_nbData", "Fig. 11d — NLJ vs HBJ (nbData)"),
+    ("sec6b_expansion", "Section VI-B — expansion ablation"),
+    ("sec6b_pna_estimate", "Section VI-B — pna*m estimate"),
+    ("ablation_fastpath", "Ablation — FPTreeJoin fast path"),
+    ("ablation_ordering", "Ablation — attribute order"),
+    ("ablation_delta", "Ablation — δ update threshold"),
+    ("ext_sliding", "Extension — sliding windows"),
+    ("ext_joinmatrix", "Extension — join-matrix vs AG"),
+    ("ext_kernighan_lin", "Extension — KL graph partitioning vs AG"),
+    ("ext_memory", "Extension — FP-tree compaction"),
+    ("ext_scaling", "Extension — topology throughput"),
+    ("data_characteristics", "Dataset profiles"),
+)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def rows_to_markdown_table(rows: Sequence[dict[str, Any]]) -> str:
+    """Render result rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    header = "| " + " | ".join(columns) + " |"
+    separator = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_format_value(row.get(col, "")) for col in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def generate_report(
+    results_dir: str | Path = "results",
+    out_path: Optional[str | Path] = None,
+    title: str = "Benchmark report — Scaling Out Schema-free Stream Joins",
+) -> str:
+    """Assemble the markdown report from whatever result files exist.
+
+    Missing sections are skipped silently (a partial bench run produces a
+    partial report).  Returns the markdown text; writes it to
+    ``out_path`` when given.
+    """
+    directory = Path(results_dir)
+    parts = [f"# {title}", ""]
+    found = 0
+    for name, heading in SECTIONS:
+        path = directory / f"{name}.json"
+        if not path.exists():
+            continue
+        try:
+            rows = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(rows, list):
+            continue
+        found += 1
+        parts.append(f"## {heading}")
+        parts.append("")
+        parts.append(rows_to_markdown_table(rows))
+        parts.append("")
+    if not found:
+        parts.append(
+            "*(no result files found — run "
+            "`pytest benchmarks/ --benchmark-only` first)*"
+        )
+    text = "\n".join(parts)
+    if out_path is not None:
+        Path(out_path).write_text(text, encoding="utf-8")
+    return text

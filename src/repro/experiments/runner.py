@@ -1,0 +1,128 @@
+"""Executes experiment configurations through the full topology.
+
+Results are memoized per configuration: Figs. 6, 7 and 8 plot different
+metrics of the *same* runs, so a full bench session touches each
+configuration only once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.experiments.config import ExperimentConfig, make_generator
+from repro.metrics.report import ExperimentSummary
+from repro.topology.pipeline import StreamJoinConfig, StreamJoinResult, run_stream_join
+
+_CACHE: dict[ExperimentConfig, "ExperimentResult"] = {}
+
+
+@dataclass
+class ExperimentResult:
+    """A finished run: the raw topology result plus its summary."""
+
+    config: ExperimentConfig
+    stream_result: StreamJoinResult
+    summary: ExperimentSummary
+
+    def row(self, **extra: object) -> dict[str, object]:
+        """A flat result row for tables / JSON output."""
+        row: dict[str, object] = {
+            "dataset": self.config.dataset,
+            "algorithm": self.config.algorithm,
+            "m": self.config.m,
+            "w": self.config.w,
+            "theta": self.config.theta,
+            "replication": self.summary.replication,
+            "gini": self.summary.gini,
+            "max_load": self.summary.max_load,
+            "repartition_rate": self.summary.repartition_rate,
+        }
+        row.update(extra)
+        return row
+
+
+def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> ExperimentResult:
+    """Run (or fetch from cache) one experiment configuration."""
+    if use_cache and config in _CACHE:
+        return _CACHE[config]
+    generator = make_generator(config.dataset, config.seed, config.window_size)
+    windows = [generator.next_window(config.window_size) for _ in range(config.n_windows)]
+    stream_config = StreamJoinConfig(
+        m=config.m,
+        algorithm=config.algorithm,
+        theta=config.theta,
+        delta=config.delta,
+        n_creators=config.n_creators,
+        n_assigners=config.n_assigners,
+        expansion_coverage=config.coverage(),
+        compute_joins=config.compute_joins,
+    )
+    stream_result = run_stream_join(stream_config, windows)
+    result = ExperimentResult(
+        config=config,
+        stream_result=stream_result,
+        summary=stream_result.summary(),
+    )
+    if use_cache:
+        _CACHE[config] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Forget all memoized runs (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+@dataclass
+class SeedSweepResult:
+    """Mean and spread of a metric over repeated seeded runs."""
+
+    metric: str
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        return (sum((v - mu) ** 2 for v in self.values) / len(self.values)) ** 0.5
+
+
+def run_with_seeds(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    metrics: Sequence[str] = ("replication", "gini", "max_load"),
+) -> dict[str, SeedSweepResult]:
+    """Repeat an experiment across seeds and report mean/std per metric.
+
+    The generators and the executor are fully deterministic per seed, so
+    the spread here measures sensitivity to *data realizations*, not
+    run-to-run noise — the error bars a careful reproduction reports.
+    """
+    if not seeds:
+        raise ValueError("run_with_seeds needs at least one seed")
+    collected: dict[str, list[float]] = {metric: [] for metric in metrics}
+    for seed in seeds:
+        result = run_experiment(replace(config, seed=seed))
+        summary = result.summary.as_dict()
+        for metric in metrics:
+            collected[metric].append(float(summary[metric]))
+    return {
+        metric: SeedSweepResult(metric=metric, values=values)
+        for metric, values in collected.items()
+    }
+
+
+def save_rows(name: str, rows: list[Mapping[str, object]], directory: str = "results") -> Path:
+    """Persist result rows as JSON under ``results/`` for later inspection."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{name}.json"
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, default=str)
+    return target

@@ -1,0 +1,132 @@
+"""Local join execution time (Fig. 11).
+
+The paper measures, on a single compute node, (a) FP-tree creation plus
+FPTreeJoin time at 100k/300k/500k documents and (b) NLJ vs HBJ total
+time at 10k/30k/50k documents, on both datasets.  A pure-Python
+reproduction scales the absolute document counts down by default (the
+ratios 1:3:5 and the 10x size advantage of the FPJ runs are preserved);
+set ``REPRO_FIG11_FULL=1`` to run the paper's original sizes.
+
+The qualitative claims under test:
+
+* FPJ is orders of magnitude faster and nearly flat in input size;
+* on rwData (interconnected, long posting lists) NLJ beats HBJ;
+* on nbData (diverse, short posting lists) HBJ beats NLJ.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.document import Document
+from repro.experiments.config import make_generator
+from repro.join.base import LocalJoiner
+from repro.join.fptree_join import FPTreeJoiner
+from repro.join.hash_join import HashJoiner
+from repro.join.nested_loop import NestedLoopJoiner
+from repro.join.ordering import AttributeOrder
+
+FPJ_SIZES_SCALED = (10_000, 30_000, 50_000)
+BASELINE_SIZES_SCALED = (1_000, 3_000, 5_000)
+FPJ_SIZES_FULL = (100_000, 300_000, 500_000)
+BASELINE_SIZES_FULL = (10_000, 30_000, 50_000)
+
+
+def fig11_sizes() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(FPJ sizes, baseline sizes) honoring ``REPRO_FIG11_FULL``."""
+    if os.environ.get("REPRO_FIG11_FULL", "") not in ("", "0"):
+        return FPJ_SIZES_FULL, BASELINE_SIZES_FULL
+    return FPJ_SIZES_SCALED, BASELINE_SIZES_SCALED
+
+
+@dataclass
+class JoinTiming:
+    """Wall-clock measurement of one joiner over one document batch."""
+
+    algorithm: str
+    dataset: str
+    documents: int
+    creation_seconds: float
+    join_seconds: float
+    join_pairs: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.creation_seconds + self.join_seconds
+
+    def row(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "documents": self.documents,
+            "creation_s": round(self.creation_seconds, 4),
+            "join_s": round(self.join_seconds, 4),
+            "total_s": round(self.total_seconds, 4),
+            "join_pairs": self.join_pairs,
+        }
+
+
+def _make_joiner(algorithm: str, sample: Sequence[Document]) -> LocalJoiner:
+    if algorithm == "FPJ":
+        return FPTreeJoiner(AttributeOrder.from_documents(sample))
+    if algorithm == "NLJ":
+        return NestedLoopJoiner()
+    if algorithm == "HBJ":
+        return HashJoiner()
+    raise ValueError(f"unknown join algorithm {algorithm!r}")
+
+
+def time_join(
+    algorithm: str, dataset: str, documents: Sequence[Document]
+) -> JoinTiming:
+    """Measure the probe-then-insert join of one window.
+
+    For FPJ, "creation" covers tree insertions and "join" the probes,
+    matching the paper's split of Fig. 11a/11b; the baselines report all
+    time under "join" (their insert step is negligible bookkeeping).
+    """
+    joiner = _make_joiner(algorithm, documents)
+    creation = 0.0
+    joining = 0.0
+    pair_count = 0
+    for doc in documents:
+        start = time.perf_counter()
+        partners = joiner.probe(doc)
+        joining += time.perf_counter() - start
+        pair_count += len(partners)
+        start = time.perf_counter()
+        joiner.add(doc)
+        creation += time.perf_counter() - start
+    return JoinTiming(
+        algorithm=algorithm,
+        dataset=dataset,
+        documents=len(documents),
+        creation_seconds=creation,
+        join_seconds=joining,
+        join_pairs=pair_count,
+    )
+
+
+def fig11_join_times(
+    datasets: Sequence[str] = ("rwData", "nbData"),
+    seed: int = 7,
+) -> list[dict[str, object]]:
+    """All four Fig. 11 panels as result rows."""
+    fpj_sizes, baseline_sizes = fig11_sizes()
+    rows: list[dict[str, object]] = []
+    for dataset in datasets:
+        generator = make_generator(dataset, seed, max(fpj_sizes))
+        corpus = generator.documents(max(fpj_sizes))
+        for size in fpj_sizes:
+            timing = time_join("FPJ", dataset, corpus[:size])
+            rows.append({**timing.row(), "panel": f"fig11 FPJ ({dataset})"})
+        for size in baseline_sizes:
+            for algorithm in ("NLJ", "HBJ"):
+                timing = time_join(algorithm, dataset, corpus[:size])
+                rows.append(
+                    {**timing.row(), "panel": f"fig11 baselines ({dataset})"}
+                )
+    return rows

@@ -1,0 +1,85 @@
+"""Common interface for local (single-node) join algorithms.
+
+Every joiner supports a *probe-then-insert* streaming discipline inside a
+tumbling window: ``probe(doc)`` returns the ids of previously added
+documents joinable with ``doc``, after which ``add(doc)`` stores it for
+subsequent probes.  :func:`join_window` runs this discipline over a full
+window and returns the exact set of joinable pairs — the paper's exact
+natural join result.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.core.document import Document
+
+
+class JoinPair(NamedTuple):
+    """An unordered joinable pair, normalized so ``left < right``."""
+
+    left: int
+    right: int
+
+    @classmethod
+    def of(cls, a: int, b: int) -> "JoinPair":
+        return cls(a, b) if a <= b else cls(b, a)
+
+
+class LocalJoiner(ABC):
+    """Abstract windowed join operator over schema-free documents."""
+
+    #: short name used in benchmark output ("FPJ", "NLJ", "HBJ")
+    name: str = "joiner"
+
+    @abstractmethod
+    def add(self, document: Document) -> None:
+        """Store ``document`` (must carry a ``doc_id``) for future probes."""
+
+    @abstractmethod
+    def probe(self, document: Document) -> list[int]:
+        """Ids of stored documents joinable with ``document``."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Evict all state (the tumbling window closed)."""
+
+    def __len__(self) -> int:  # pragma: no cover - overridden where cheap
+        raise NotImplementedError
+
+
+def join_window(joiner: LocalJoiner, documents: Sequence[Document]) -> list[JoinPair]:
+    """Compute the exact join result of one window with ``joiner``.
+
+    Documents are processed in order; each is probed against all earlier
+    documents and then inserted, so every joinable pair is reported exactly
+    once.  All documents must carry distinct ``doc_id`` values.
+    """
+    pairs: list[JoinPair] = []
+    for doc in documents:
+        if doc.doc_id is None:
+            raise ValueError("join_window requires documents with doc_id set")
+        for partner in joiner.probe(doc):
+            pairs.append(JoinPair.of(partner, doc.doc_id))
+        joiner.add(doc)
+    return pairs
+
+
+def join_result_set(
+    joiner: LocalJoiner, documents: Sequence[Document]
+) -> frozenset[JoinPair]:
+    """The window's join result as a set — convenient for equality tests."""
+    return frozenset(join_window(joiner, documents))
+
+
+def brute_force_pairs(documents: Iterable[Document]) -> frozenset[JoinPair]:
+    """Reference O(n^2) join used as ground truth in tests."""
+    docs = list(documents)
+    out = set()
+    for i, a in enumerate(docs):
+        for b in docs[i + 1 :]:
+            if a.joinable(b):
+                assert a.doc_id is not None and b.doc_id is not None
+                out.add(JoinPair.of(a.doc_id, b.doc_id))
+    return frozenset(out)

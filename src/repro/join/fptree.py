@@ -1,0 +1,243 @@
+"""FP-tree storage for schema-free documents (paper, Section V-A).
+
+The FP-tree (Han et al.) is re-purposed from frequent pattern mining to
+*compactly store documents*: every document is inserted as a root-to-node
+path of AV-pair labelled nodes (ordered by the global
+:class:`~repro.join.ordering.AttributeOrder`), and the document's id is
+recorded at the terminal node of its path.  Documents with a shared pair
+prefix share tree nodes, which is what makes probing cheap.
+
+As in the original FP-tree, a header table links all nodes carrying the
+same label.  Every branch (terminal node) receives a unique ``branch_id``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import count
+from typing import Iterable, Iterator, Optional
+
+from repro.core.document import AVPair, Document
+from repro.join.ordering import AttributeOrder
+
+
+class FPNode:
+    """One node of the FP-tree.
+
+    ``label`` is the AV-pair the node represents (``None`` only for the
+    root).  ``doc_ids`` holds the ids of documents whose ordered pair list
+    ends exactly at this node.  ``node_link`` chains nodes with equal
+    labels, mirroring the header-table links of the original FP-tree.
+    """
+
+    __slots__ = ("label", "parent", "children", "doc_ids", "node_link", "branch_id")
+
+    def __init__(self, label: Optional[AVPair], parent: Optional["FPNode"]):
+        self.label = label
+        self.parent = parent
+        self.children: dict[AVPair, FPNode] = {}
+        self.doc_ids: list[int] = []
+        self.node_link: Optional[FPNode] = None
+        self.branch_id: Optional[int] = None
+
+    def path_pairs(self) -> list[AVPair]:
+        """AV-pairs along the root-to-this-node path (root excluded)."""
+        pairs: list[AVPair] = []
+        node: Optional[FPNode] = self
+        while node is not None and node.label is not None:
+            pairs.append(node.label)
+            node = node.parent
+        pairs.reverse()
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        label = "root" if self.label is None else str(self.label)
+        return f"<FPNode {label} docs={self.doc_ids} children={len(self.children)}>"
+
+
+class FPTree:
+    """An FP-tree over a window of documents.
+
+    The tree is built incrementally: the Joiner probes each arriving
+    document against the current tree and then inserts it, so it can be
+    matched with forthcoming documents.  The entire tree is evicted when
+    the tumbling window closes.
+    """
+
+    def __init__(self, order: AttributeOrder):
+        self.order = order
+        self.root = FPNode(None, None)
+        #: header table: label -> first node of the equal-label chain
+        self.header: dict[AVPair, FPNode] = {}
+        self._header_tail: dict[AVPair, FPNode] = {}
+        self.doc_count = 0
+        self.node_count = 0
+        self._attr_doc_count: Counter[str] = Counter()
+        self._branch_ids = count()
+        #: doc_id -> terminal node, enabling O(depth) removal for
+        #: sliding-window eviction
+        self._terminals: dict[int, FPNode] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, documents: Iterable[Document], order: Optional[AttributeOrder] = None
+    ) -> "FPTree":
+        """Build a tree over ``documents``, deriving the order if absent."""
+        docs = list(documents)
+        if order is None:
+            order = AttributeOrder.from_documents(docs)
+        tree = cls(order)
+        for doc in docs:
+            tree.insert(doc)
+        return tree
+
+    def insert(self, document: Document) -> FPNode:
+        """Insert ``document`` and return the terminal node of its path.
+
+        The document must carry a ``doc_id``; the Joiner assigns ids on
+        ingest.
+        """
+        if document.doc_id is None:
+            raise ValueError("documents stored in the FP-tree need a doc_id")
+        node = self.root
+        # Plain (attribute, value) tuples hash and compare equal to AVPair
+        # (a NamedTuple), so the hot path skips AVPair construction.
+        sort_key = self.order.sort_key
+        items = sorted(document.pairs.items(), key=lambda kv: sort_key(kv[0]))
+        for pair in items:
+            child = node.children.get(pair)
+            if child is None:
+                child = FPNode(AVPair(*pair), node)
+                node.children[child.label] = child
+                self.node_count += 1
+                self._link_header(child)
+            node = child
+        if node.branch_id is None:
+            node.branch_id = next(self._branch_ids)
+        if document.doc_id in self._terminals:
+            raise ValueError(f"doc_id {document.doc_id} already stored")
+        node.doc_ids.append(document.doc_id)
+        self._terminals[document.doc_id] = node
+        self.doc_count += 1
+        self._attr_doc_count.update(document.pairs.keys())
+        return node
+
+    def remove(self, doc_id: int) -> bool:
+        """Evict one stored document (sliding-window support, Section V-A).
+
+        The document's id is dropped from its terminal node and now-empty
+        nodes are pruned bottom-up; attribute statistics (and with them
+        the ubiquitous prefix of the fast path) are kept consistent.
+        Returns False if ``doc_id`` is not stored.  O(path depth) plus
+        the header-chain unlink of pruned nodes.
+        """
+        node = self._terminals.pop(doc_id, None)
+        if node is None:
+            return False
+        node.doc_ids.remove(doc_id)
+        self.doc_count -= 1
+        for pair in node.path_pairs():
+            remaining = self._attr_doc_count[pair.attribute] - 1
+            if remaining:
+                self._attr_doc_count[pair.attribute] = remaining
+            else:
+                del self._attr_doc_count[pair.attribute]
+        while (
+            node is not self.root
+            and not node.doc_ids
+            and not node.children
+        ):
+            parent = node.parent
+            assert parent is not None and node.label is not None
+            del parent.children[node.label]
+            self._unlink_header(node)
+            self.node_count -= 1
+            node = parent
+        return True
+
+    def _link_header(self, node: FPNode) -> None:
+        assert node.label is not None
+        tail = self._header_tail.get(node.label)
+        if tail is None:
+            self.header[node.label] = node
+        else:
+            tail.node_link = node
+        self._header_tail[node.label] = node
+
+    def _unlink_header(self, node: FPNode) -> None:
+        assert node.label is not None
+        label = node.label
+        head = self.header[label]
+        if head is node:
+            if node.node_link is None:
+                del self.header[label]
+                del self._header_tail[label]
+            else:
+                self.header[label] = node.node_link
+        else:
+            previous = head
+            while previous.node_link is not node:
+                previous = previous.node_link  # type: ignore[assignment]
+            previous.node_link = node.node_link
+            if self._header_tail[label] is node:
+                self._header_tail[label] = previous
+        node.node_link = None
+
+    # ------------------------------------------------------------------
+    # Introspection used by FPTreeJoin
+    # ------------------------------------------------------------------
+    def attribute_document_count(self, attribute: str) -> int:
+        """Number of stored documents that contain ``attribute``."""
+        return self._attr_doc_count.get(attribute, 0)
+
+    def ubiquitous_prefix_length(self) -> int:
+        """Number of leading order positions whose attribute appears in
+        *every* stored document.
+
+        These attributes are guaranteed to occupy the first levels of the
+        tree, enabling the FPTreeJoin fast path (Algorithm 2).  Returns 0
+        for an empty tree.
+        """
+        if self.doc_count == 0:
+            return 0
+        length = 0
+        for attribute in self.order.attributes:
+            if self._attr_doc_count.get(attribute, 0) == self.doc_count:
+                length += 1
+            else:
+                break
+        return length
+
+    def ubiquitous_attributes(self) -> tuple[str, ...]:
+        """The attributes covered by :meth:`ubiquitous_prefix_length`."""
+        return self.order.attributes[: self.ubiquitous_prefix_length()]
+
+    def iter_nodes(self) -> Iterator[FPNode]:
+        """Depth-first iteration over all non-root nodes."""
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def header_chain(self, label: AVPair) -> list[FPNode]:
+        """All nodes carrying ``label``, in insertion order."""
+        nodes = []
+        node = self.header.get(label)
+        while node is not None:
+            nodes.append(node)
+            node = node.node_link
+        return nodes
+
+    def stored_doc_ids(self) -> list[int]:
+        """All document ids currently stored, in depth-first order."""
+        return [doc_id for node in self.iter_nodes() for doc_id in node.doc_ids]
+
+    def __len__(self) -> int:
+        return self.doc_count
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"<FPTree docs={self.doc_count} nodes={self.node_count}>"

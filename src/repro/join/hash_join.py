@@ -1,0 +1,63 @@
+"""Hash-Based Join (HBJ) baseline (paper, Section VII-A).
+
+HBJ maintains an inverted index from each AV-pair to the ids of stored
+documents containing it.  A probe gathers candidates from the posting
+lists of its own pairs — any join partner must share at least one pair —
+and verifies the full natural-join condition per candidate.
+
+On highly interconnected data (the paper's rwData) the posting lists of
+popular pairs grow long, each probe touches a large candidate set, and
+HBJ degrades below even NLJ; on diverse data (nbData) the lists stay
+short and HBJ wins.  Both effects are visible in Fig. 11c/11d.
+"""
+
+from __future__ import annotations
+
+from repro.core.document import AVPair, Document
+from repro.join.base import LocalJoiner
+
+
+class HashJoiner(LocalJoiner):
+    """Inverted-index joiner over AV-pairs."""
+
+    name = "HBJ"
+
+    def __init__(self) -> None:
+        self._index: dict[AVPair, list[int]] = {}
+        self._docs: dict[int, Document] = {}
+
+    def add(self, document: Document) -> None:
+        if document.doc_id is None:
+            raise ValueError("stored documents need a doc_id")
+        self._docs[document.doc_id] = document
+        for pair in document.avpairs():
+            self._index.setdefault(pair, []).append(document.doc_id)
+
+    def probe(self, document: Document) -> list[int]:
+        # Candidates are verified per posting occurrence (a stored
+        # document sharing k pairs with the probe is encountered k times)
+        # with only the accepted ids deduplicated.  This is the
+        # straightforward inverted-index join of the paper: its cost is
+        # proportional to the *total posting length* touched, which is
+        # exactly why long bucket lists sink HBJ on interconnected data.
+        accepted: set[int] = set()
+        docs = self._docs
+        for pair in document.avpairs():
+            posting = self._index.get(pair)
+            if not posting:
+                continue
+            for doc_id in posting:
+                if doc_id not in accepted and docs[doc_id].joinable(document):
+                    accepted.add(doc_id)
+        return list(accepted)
+
+    def reset(self) -> None:
+        self._index.clear()
+        self._docs.clear()
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def posting_list_lengths(self) -> list[int]:
+        """Lengths of all posting lists — used to characterize datasets."""
+        return [len(ids) for ids in self._index.values()]

@@ -1,0 +1,106 @@
+"""Multi-stream natural joins (N-ary generalization of R ⋈ S).
+
+The related work's PSP system processes "generic multi-way joins with
+window constraints"; this module provides the pairwise layer of that
+setting for schema-free documents: ``k`` named streams, each arriving
+document is matched against the stores of *all other* streams, and every
+reported pair names the two streams it bridges.  (Full multi-way output
+tuples are compositions of these pairwise matches; producing them is a
+join-ordering problem beyond the paper's pairwise model.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple, Sequence
+
+from repro.core.document import Document
+from repro.join.base import LocalJoiner
+from repro.join.fptree_join import FPTreeJoiner
+
+
+class StreamPair(NamedTuple):
+    """A cross-stream match, tagged with both stream names."""
+
+    left_stream: str
+    left: int
+    right_stream: str
+    right: int
+
+    @classmethod
+    def of(cls, stream_a: str, id_a: int, stream_b: str, id_b: int) -> "StreamPair":
+        if (stream_a, id_a) <= (stream_b, id_b):
+            return cls(stream_a, id_a, stream_b, id_b)
+        return cls(stream_b, id_b, stream_a, id_a)
+
+
+class MultiStreamJoiner:
+    """Windowed natural join across ``k`` named streams.
+
+    Every arriving document probes the stores of all *other* streams —
+    intra-stream pairs are never produced.  With two streams this is
+    exactly :class:`repro.join.binary.BinaryStreamJoiner`.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[str],
+        store_factory: Callable[[], LocalJoiner] = FPTreeJoiner,
+    ):
+        if len(streams) < 2:
+            raise ValueError("a multi-stream join needs at least two streams")
+        if len(set(streams)) != len(streams):
+            raise ValueError("stream names must be unique")
+        self.streams = tuple(streams)
+        self._stores: dict[str, LocalJoiner] = {
+            name: store_factory() for name in streams
+        }
+
+    def _check_stream(self, stream: str) -> None:
+        if stream not in self._stores:
+            raise ValueError(
+                f"unknown stream {stream!r}; declared: {self.streams}"
+            )
+
+    def process(self, document: Document, stream: str) -> list[StreamPair]:
+        """Probe-then-insert one arrival; returns its cross-stream pairs."""
+        self._check_stream(stream)
+        if document.doc_id is None:
+            raise ValueError("stream documents need a doc_id")
+        pairs = []
+        for other, store in self._stores.items():
+            if other == stream:
+                continue
+            for partner in store.probe(document):
+                pairs.append(
+                    StreamPair.of(stream, document.doc_id, other, partner)
+                )
+        self._stores[stream].add(document)
+        return pairs
+
+    def reset(self) -> None:
+        for store in self._stores.values():
+            store.reset()
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores.values())
+
+
+def brute_force_stream_pairs(
+    streams: dict[str, Sequence[Document]],
+) -> frozenset[StreamPair]:
+    """Reference result: all joinable cross-stream pairs."""
+    names = list(streams)
+    out = set()
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1 :]:
+            for doc_a in streams[name_a]:
+                for doc_b in streams[name_b]:
+                    if doc_a.joinable(doc_b):
+                        assert doc_a.doc_id is not None
+                        assert doc_b.doc_id is not None
+                        out.add(
+                            StreamPair.of(
+                                name_a, doc_a.doc_id, name_b, doc_b.doc_id
+                            )
+                        )
+    return frozenset(out)

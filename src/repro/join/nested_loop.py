@@ -1,0 +1,38 @@
+"""Nested Loop Join (NLJ) baseline (paper, Section VII-A).
+
+The probe document is compared against every stored document with the
+full natural-join test.  O(n) per probe, O(n^2) per window — the
+textbook baseline the FP-tree join is measured against in Fig. 11.
+"""
+
+from __future__ import annotations
+
+from repro.core.document import Document
+from repro.join.base import LocalJoiner
+
+
+class NestedLoopJoiner(LocalJoiner):
+    """Exhaustive pairwise comparison joiner."""
+
+    name = "NLJ"
+
+    def __init__(self) -> None:
+        self._stored: list[Document] = []
+
+    def add(self, document: Document) -> None:
+        if document.doc_id is None:
+            raise ValueError("stored documents need a doc_id")
+        self._stored.append(document)
+
+    def probe(self, document: Document) -> list[int]:
+        return [
+            stored.doc_id  # type: ignore[misc]  # checked in add()
+            for stored in self._stored
+            if stored.joinable(document)
+        ]
+
+    def reset(self) -> None:
+        self._stored.clear()
+
+    def __len__(self) -> int:
+        return len(self._stored)

@@ -1,0 +1,82 @@
+"""Global attribute ordering for FP-tree construction.
+
+Building an FP-tree requires a strict ordering on the inserted elements
+(paper, Section V-A).  Attributes are sorted in **descending order of
+document frequency**; ties are broken by giving the attribute with the
+**smaller number of distinct values** higher priority, and finally by
+attribute name so the order is total and deterministic.
+
+This ordering is what makes the FPTreeJoin fast path possible: an
+attribute contained in *every* document necessarily has maximal document
+frequency, so it (and its peers) occupy the first levels of the tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+from repro.core.document import AVPair, Document
+
+
+class AttributeOrder:
+    """A fixed total order over attribute names.
+
+    Instances are built from a document sample via :meth:`from_documents`
+    (the paper computes the order right after partitions are created) or
+    from an explicit sequence for testing.  Attributes not present when
+    the order was computed sort *after* all known attributes, ordered by
+    name, so the order stays total as new attributes stream in.
+    """
+
+    __slots__ = ("_rank", "_attributes")
+
+    def __init__(self, attributes: Sequence[str]):
+        self._attributes: tuple[str, ...] = tuple(attributes)
+        self._rank: dict[str, int] = {a: i for i, a in enumerate(self._attributes)}
+        if len(self._rank) != len(self._attributes):
+            raise ValueError("attribute order contains duplicates")
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Document]) -> "AttributeOrder":
+        """Derive the order from document frequency and value variety."""
+        doc_frequency: Counter[str] = Counter()
+        values: dict[str, set] = {}
+        for doc in documents:
+            for attribute, value in doc.pairs.items():
+                doc_frequency[attribute] += 1
+                values.setdefault(attribute, set()).add(value)
+        ordered = sorted(
+            doc_frequency,
+            key=lambda a: (-doc_frequency[a], len(values[a]), a),
+        )
+        return cls(ordered)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Known attributes, highest priority first."""
+        return self._attributes
+
+    def rank(self, attribute: str) -> int:
+        """Position of ``attribute``; unknown attributes rank last."""
+        return self._rank.get(attribute, len(self._attributes))
+
+    def sort_key(self, attribute: str) -> tuple[int, str]:
+        # Unknown attributes share the sentinel rank; the name keeps the
+        # order total and deterministic among them.
+        return (self._rank.get(attribute, len(self._attributes)), attribute)
+
+    def sort_document(self, document: Document) -> list[AVPair]:
+        """The document's AV-pairs in global order (Table I, right column)."""
+        return sorted(document.avpairs(), key=lambda p: self.sort_key(p.attribute))
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._rank
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        shown = " -> ".join(self._attributes[:8])
+        more = "..." if len(self._attributes) > 8 else ""
+        return f"<AttributeOrder {shown}{more}>"

@@ -1,0 +1,16 @@
+"""Performance metrics of Section VII-C: replication, Gini, max load."""
+
+from repro.metrics.gini import gini_coefficient
+from repro.metrics.load import max_processing_load, processing_loads
+from repro.metrics.replication import average_replication
+from repro.metrics.report import WindowMetrics, aggregate_metrics, format_table
+
+__all__ = [
+    "WindowMetrics",
+    "aggregate_metrics",
+    "average_replication",
+    "format_table",
+    "gini_coefficient",
+    "max_processing_load",
+    "processing_loads",
+]

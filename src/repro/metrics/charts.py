@@ -1,0 +1,65 @@
+"""Terminal bar charts for experiment output.
+
+The paper's figures are grouped bar charts; these helpers render the
+same series as unicode bars so ``repro-join figure fig6 --chart`` gives
+a visual impression directly in the terminal, no plotting stack needed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``(label, value)`` pairs as horizontal bars."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not items:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label, _ in items)
+    maximum = max(value for _, value in items)
+    for label, value in items:
+        bar = _bar(value, maximum, width)
+        lines.append(f"  {label.ljust(label_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def figure_chart(
+    rows: Sequence[Mapping[str, object]],
+    group_key: str = "panel",
+    width: int = 40,
+) -> str:
+    """Render figure result rows as one bar chart per panel.
+
+    Labels combine the algorithm with whichever parameter the panel
+    varies (m / w / theta), mirroring the paper's bar groups.
+    """
+    panels: dict[str, list[tuple[str, float]]] = {}
+    for row in rows:
+        panel = str(row.get(group_key, ""))
+        varied = str(row.get("varied", "m"))
+        label = f"{row.get('algorithm', '?')} {varied}={row.get(varied, '?')}"
+        panels.setdefault(panel, []).append((label, float(row["value"])))  # type: ignore[arg-type]
+    charts = [
+        bar_chart(items, width=width, title=panel)
+        for panel, items in panels.items()
+    ]
+    return "\n\n".join(charts)

@@ -1,0 +1,85 @@
+"""Sample-based estimation of partitioning quality.
+
+When the Merger finishes a partitioning it must predict how the new
+partitions will behave — "the Merger computes the load balance and
+replication of documents that are a direct result of the computed
+partitions" (Section VI-A).  The prediction routes the *sample* the
+partitions were built from through them, with the same semantics the
+Assigners will apply live (including the broadcast fallback), and these
+baselines are what the θ-repartitioning threshold compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NamedTuple, Sequence
+
+from repro.core.document import AVPair
+from repro.partitioning.base import Partition
+
+
+class SampleEstimate(NamedTuple):
+    """Predicted routing behaviour of a partitioning on its sample."""
+
+    replication: float
+    max_load: float
+    machine_counts: tuple[int, ...]
+    broadcast_fraction: float
+
+
+def estimate_on_sample(
+    partitions: Sequence[Partition],
+    sample_sets: Mapping[frozenset, int],
+    broadcast_count: int,
+    sample_size: int,
+) -> SampleEstimate:
+    """Route a sample (as distinct pair-sets with counts) through partitions.
+
+    ``broadcast_count`` covers documents already known to broadcast
+    (e.g. dropped by the expansion transform); pair-sets containing any
+    unowned pair broadcast as well, mirroring
+    :meth:`repro.partitioning.router.DocumentRouter.route`.
+    """
+    m = len(partitions)
+    if m == 0:
+        raise ValueError("estimate needs at least one partition")
+    if sample_size <= 0:
+        return SampleEstimate(
+            replication=1.0,
+            max_load=1.0 / m,
+            machine_counts=(0,) * m,
+            broadcast_fraction=0.0,
+        )
+
+    owner: dict[AVPair, set[int]] = {}
+    for partition in partitions:
+        for pair in partition.pairs:
+            owner.setdefault(pair, set()).add(partition.index)
+
+    assignments = broadcast_count * m
+    broadcasts = broadcast_count
+    machine_counts = [broadcast_count] * m
+    for pair_set, count in sample_sets.items():
+        targets: set[int] = set()
+        broadcast = False
+        for pair in pair_set:
+            owners = owner.get(pair)
+            if owners is None:
+                broadcast = True
+                break
+            targets.update(owners)
+        if broadcast or not targets:
+            assignments += count * m
+            broadcasts += count
+            for machine in range(m):
+                machine_counts[machine] += count
+        else:
+            assignments += count * len(targets)
+            for machine in targets:
+                machine_counts[machine] += count
+
+    return SampleEstimate(
+        replication=assignments / sample_size,
+        max_load=max(machine_counts) / sample_size,
+        machine_counts=tuple(machine_counts),
+        broadcast_fraction=broadcasts / sample_size,
+    )

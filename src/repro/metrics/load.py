@@ -1,0 +1,37 @@
+"""Processing-load metrics (Section VII-C).
+
+The processing load of a Joiner is the share of the window's emitted
+documents that were assigned to it; with replication the per-machine
+shares can sum to more than 1.  The *maximal processing load* is the
+highest share over all machines — near 1.0 means one machine processes
+(almost) the whole window, whether through skewed partitioning (DS) or
+through replicating everything (SC).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.partitioning.router import RoutingDecision
+
+
+def assigned_counts(decisions: Sequence[RoutingDecision], m: int) -> list[int]:
+    """Documents assigned to each of the ``m`` machines."""
+    counts = [0] * m
+    for decision in decisions:
+        for target in decision.targets:
+            counts[target] += 1
+    return counts
+
+
+def processing_loads(decisions: Sequence[RoutingDecision], m: int) -> list[float]:
+    """Per-machine share of the window's emitted documents."""
+    if not decisions:
+        raise ValueError("cannot compute loads of an empty window")
+    total = len(decisions)
+    return [count / total for count in assigned_counts(decisions, m)]
+
+
+def max_processing_load(decisions: Sequence[RoutingDecision], m: int) -> float:
+    """The paper's maximal processing load for one window."""
+    return max(processing_loads(decisions, m))

@@ -1,0 +1,38 @@
+"""Replication metric (Section VII-C).
+
+Replication for a window is the *average number of machines each emitted
+document was sent to*.  The minimum of 1 means every document lives on
+exactly one machine; the worst case equals the machine count ``m``
+(every document broadcast everywhere).  Replication is the proxy for
+network traffic in the scale-out architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.partitioning.router import RoutingDecision
+
+
+def average_replication(decisions: Sequence[RoutingDecision]) -> float:
+    """Mean target count over a window of routing decisions."""
+    if not decisions:
+        raise ValueError("cannot compute replication of an empty window")
+    return sum(d.replication for d in decisions) / len(decisions)
+
+
+def replication_from_counts(target_counts: Iterable[int]) -> float:
+    """Same metric from raw per-document machine counts."""
+    counts = list(target_counts)
+    if not counts:
+        raise ValueError("cannot compute replication of an empty window")
+    if any(c < 1 for c in counts):
+        raise ValueError("every document must be sent to at least one machine")
+    return sum(counts) / len(counts)
+
+
+def broadcast_fraction(decisions: Sequence[RoutingDecision]) -> float:
+    """Share of documents that hit the emit-to-all fallback."""
+    if not decisions:
+        raise ValueError("cannot compute broadcast fraction of an empty window")
+    return sum(1 for d in decisions if d.broadcast) / len(decisions)

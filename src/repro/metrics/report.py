@@ -1,0 +1,89 @@
+"""Per-window metric records and experiment reporting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass
+class WindowMetrics:
+    """All Section VII-C measurements for one tumbling window."""
+
+    window: int
+    replication: float
+    gini: float
+    max_load: float
+    documents: int
+    repartitioned: bool = False
+    broadcast_fraction: float = 0.0
+    join_pairs: int = 0
+    loads: list[float] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentSummary:
+    """Averages over all measured windows (what the paper's bars show)."""
+
+    replication: float
+    gini: float
+    max_load: float
+    repartition_rate: float
+    windows: int
+    join_pairs: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "replication": self.replication,
+            "gini": self.gini,
+            "max_load": self.max_load,
+            "repartition_rate": self.repartition_rate,
+            "windows": float(self.windows),
+            "join_pairs": float(self.join_pairs),
+        }
+
+
+def aggregate_metrics(per_window: Sequence[WindowMetrics]) -> ExperimentSummary:
+    """Average the per-window metrics, matching the paper's reporting.
+
+    Replication / Gini / max load are averaged over windows; the
+    repartition rate is the fraction of windows in which a repartitioning
+    was performed (Fig. 9's y-axis).
+    """
+    if not per_window:
+        raise ValueError("no windows were measured")
+    n = len(per_window)
+    return ExperimentSummary(
+        replication=sum(w.replication for w in per_window) / n,
+        gini=sum(w.gini for w in per_window) / n,
+        max_load=sum(w.max_load for w in per_window) / n,
+        repartition_rate=sum(1 for w in per_window if w.repartitioned) / n,
+        windows=n,
+        join_pairs=sum(w.join_pairs for w in per_window),
+    )
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]], columns: Sequence[str]
+) -> str:
+    """Render result rows as a fixed-width text table for bench output."""
+    materialized = [
+        [_format_cell(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in materialized)) if materialized else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in materialized
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,45 @@
+"""Partitioning algorithms: AG (the paper's contribution), SC, DS, hashing."""
+
+from repro.partitioning.association import (
+    AssociationGroup,
+    AssociationGroupPartitioner,
+    EquivalenceGroup,
+    build_association_groups,
+    consolidate_association_groups,
+    find_equivalence_groups,
+)
+from repro.partitioning.base import (
+    Partition,
+    Partitioner,
+    PartitioningResult,
+    assign_groups_to_partitions,
+)
+from repro.partitioning.disjoint import DisjointSetPartitioner
+from repro.partitioning.expansion import ExpansionPlan, plan_expansion
+from repro.partitioning.graph import KernighanLinPartitioner
+from repro.partitioning.joinmatrix import JoinMatrixRouter
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.router import DocumentRouter, RoutingDecision
+from repro.partitioning.setcover import SetCoverPartitioner
+
+__all__ = [
+    "AssociationGroup",
+    "AssociationGroupPartitioner",
+    "DisjointSetPartitioner",
+    "DocumentRouter",
+    "EquivalenceGroup",
+    "ExpansionPlan",
+    "HashPartitioner",
+    "JoinMatrixRouter",
+    "KernighanLinPartitioner",
+    "Partition",
+    "Partitioner",
+    "PartitioningResult",
+    "RoutingDecision",
+    "SetCoverPartitioner",
+    "assign_groups_to_partitions",
+    "build_association_groups",
+    "consolidate_association_groups",
+    "find_equivalence_groups",
+    "plan_expansion",
+]

@@ -1,0 +1,136 @@
+"""Partitioning interfaces and shared assignment machinery.
+
+A *partition* is a set of AV-pairs assigned to one machine (paper,
+Section I-A).  A document matches a partition if the two share at least
+one AV-pair; matching documents are forwarded to the machine owning the
+partition.  Partitioners differ only in how they group AV-pairs; the
+greedy load-balanced group-to-partition assignment (introduced for the
+disjoint-sets algorithm of Alvanaki & Michel and reused by AG) is shared
+here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence
+
+from repro.core.document import AVPair, Document
+from repro.exceptions import PartitioningError
+
+
+@dataclass
+class Partition:
+    """One machine's share of the AV-pair space."""
+
+    index: int
+    pairs: set[AVPair] = field(default_factory=set)
+    #: estimated number of documents this partition will attract, as
+    #: computed by the partitioner from its sample (not live counts).
+    estimated_load: int = 0
+
+    def matches(self, document: Document) -> bool:
+        """A document matches iff it shares at least one AV-pair."""
+        return any(pair in self.pairs for pair in document.avpairs())
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class PairGroup(Protocol):
+    """Anything assignable to partitions: a set of pairs plus a load."""
+
+    @property
+    def pairs(self) -> Iterable[AVPair]: ...
+
+    @property
+    def load(self) -> int: ...
+
+
+@dataclass
+class PartitioningResult:
+    """Output of a partitioner run over one sample window."""
+
+    partitions: list[Partition]
+    algorithm: str
+    #: number of pair groups (association groups / disjoint sets / cover
+    #: sets) the partitions were assembled from — fewer groups than
+    #: machines signals the scalability limit of Section VI-B.
+    group_count: int = 0
+
+    @property
+    def m(self) -> int:
+        return len(self.partitions)
+
+    def non_empty(self) -> int:
+        """Number of partitions that own at least one pair."""
+        return sum(1 for p in self.partitions if p.pairs)
+
+    def pair_owner_index(self) -> dict[AVPair, list[int]]:
+        """Inverted index pair -> owning partition indices."""
+        index: dict[AVPair, list[int]] = {}
+        for partition in self.partitions:
+            for pair in partition.pairs:
+                index.setdefault(pair, []).append(partition.index)
+        return index
+
+
+class Partitioner(ABC):
+    """Strategy that turns a sample of documents into ``m`` partitions."""
+
+    #: short name used in experiment output ("AG", "SC", "DS", "HASH")
+    name: str = "partitioner"
+
+    @abstractmethod
+    def create_partitions(
+        self, documents: Sequence[Document], m: int
+    ) -> PartitioningResult:
+        """Compute ``m`` partitions from the sample ``documents``."""
+
+    def _check_args(self, documents: Sequence[Document], m: int) -> None:
+        if m <= 0:
+            raise PartitioningError(f"number of partitions must be positive, got {m}")
+        if not documents:
+            raise PartitioningError("cannot partition an empty document sample")
+
+
+def assign_groups_to_partitions(
+    groups: Sequence[PairGroup],
+    m: int,
+    capacities: Optional[Sequence[float]] = None,
+) -> list[Partition]:
+    """Greedy load-balanced assignment of pair groups to ``m`` partitions.
+
+    Groups are taken in descending load order and each is placed on the
+    currently least-loaded partition (the longest-processing-time greedy:
+    the first ``m`` groups seed the empty partitions, exactly as described
+    in Section IV-A).  Produces partitions with approximately equal
+    estimated load; if there are fewer groups than machines some
+    partitions stay empty, surfacing the scalability limit countered by
+    attribute expansion.
+
+    ``capacities`` extends the paper's homogeneous-cluster assumption to
+    heterogeneous machines: relative weights (e.g. ``[2, 1, 1]`` for one
+    double-capacity node) under which "least loaded" means least
+    *normalized* load, so target loads become proportional to capacity.
+    """
+    if capacities is not None:
+        if len(capacities) != m:
+            raise PartitioningError(
+                f"capacities must have length m={m}, got {len(capacities)}"
+            )
+        if any(c <= 0 for c in capacities):
+            raise PartitioningError("capacities must be positive")
+    partitions = [Partition(index=i) for i in range(m)]
+    # heap of (normalized_load, partition_index) — ties resolved by index
+    heap: list[tuple[float, int]] = [(0.0, i) for i in range(m)]
+    heapq.heapify(heap)
+    for group in sorted(groups, key=lambda g: -g.load):
+        _, index = heapq.heappop(heap)
+        target = partitions[index]
+        target.pairs.update(group.pairs)
+        target.estimated_load += group.load
+        weight = capacities[index] if capacities is not None else 1.0
+        heapq.heappush(heap, (target.estimated_load / weight, index))
+    return partitions

@@ -1,0 +1,99 @@
+"""Disjoint-sets (DS) partitioning baseline (Alvanaki & Michel [26]).
+
+DS merges all AV-pair sets that share at least one pair into connected
+components ("disjoint sets"); every pair belongs to exactly one
+component, and every component is assigned to exactly one partition.
+Because no pair is replicated, a document matching the partitioning is
+sent to exactly one machine — perfect replication of 1 — but highly
+interconnected data collapses into a few giant components, producing the
+poor load balance and limited scalability seen in Figs. 7, 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.base import (
+    Partitioner,
+    PartitioningResult,
+    assign_groups_to_partitions,
+)
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: dict[AVPair, AVPair] = {}
+        self._size: dict[AVPair, int] = {}
+
+    def add(self, item: AVPair) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: AVPair) -> AVPair:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: AVPair, b: AVPair) -> None:
+        self.add(a)
+        self.add(b)
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+    def components(self) -> dict[AVPair, set[AVPair]]:
+        """Map from component root to the component's members."""
+        out: dict[AVPair, set[AVPair]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), set()).add(item)
+        return out
+
+
+@dataclass
+class _Component:
+    pairs: set[AVPair]
+    load: int
+
+
+class DisjointSetPartitioner(Partitioner):
+    """Connected-component partitioner with zero pair replication."""
+
+    name = "DS"
+
+    def create_partitions(
+        self, documents: Sequence[Document], m: int
+    ) -> PartitioningResult:
+        self._check_args(documents, m)
+        uf = UnionFind()
+        for doc in documents:
+            pairs = list(doc.avpairs())
+            first = pairs[0]
+            uf.add(first)
+            for pair in pairs[1:]:
+                uf.union(first, pair)
+        components = uf.components()
+        # Each document lies entirely inside one component; count loads.
+        load: dict[AVPair, int] = {root: 0 for root in components}
+        for doc in documents:
+            root = uf.find(next(doc.avpairs()))
+            load[root] += 1
+        groups = [
+            _Component(pairs=members, load=load[root])
+            for root, members in components.items()
+        ]
+        partitions = assign_groups_to_partitions(groups, m)
+        return PartitioningResult(
+            partitions=partitions, algorithm=self.name, group_count=len(groups)
+        )

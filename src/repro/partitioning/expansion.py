@@ -1,0 +1,177 @@
+"""Attribute-value expansion for low value variety (paper, Section VI-B).
+
+An attribute present in (nearly) all documents whose value domain is
+smaller than the required number of partitions — a **disabling
+attribute**, e.g. a Boolean — caps the number of partitions any
+partitioner can create.  Expansion concatenates the disabling attribute's
+value with the value of a **combining attribute** (the next attribute by
+document frequency and smallest value domain), repeating until the
+synthetic attribute has at least ``m`` distinct values.
+
+Documents missing one of the chosen attributes cannot form the synthetic
+value and must be broadcast to all machines to preserve join exactness;
+the expected replication this causes is ``pna * m`` where ``pna`` is the
+fraction of such documents.
+
+Correctness: two joinable documents agree on every shared attribute, so
+if both contain all chosen attributes they produce the *same* synthetic
+pair and stay co-located; if either lacks one, it is broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.document import Document
+
+#: separator between concatenated values; chosen to be unlikely in data
+#: and irrelevant for correctness (only equality of synthetic values matters).
+_VALUE_SEP = "\x1f"
+_ATTR_SEP = "+"
+
+
+def _canonical(value) -> str:
+    """A string form consistent with the join's value equality.
+
+    Join semantics compare values with ``==``, under which ``True == 1``
+    and ``1 == 1.0``; the canonical form must therefore map all
+    ``==``-equal values to the same string, or joinable documents could
+    receive different synthetic values and be separated.  (Accidental
+    collisions the other way only add harmless co-location.)
+    """
+    if isinstance(value, (bool, int, float)):
+        try:
+            if value == int(value):
+                return repr(int(value))
+        except (OverflowError, ValueError):  # inf / nan
+            pass
+        return repr(value)
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ExpansionPlan:
+    """A concrete expansion: which attributes to concatenate.
+
+    ``attributes[0]`` is the disabling attribute; the rest are combining
+    attributes in the order they were added.
+    """
+
+    attributes: tuple[str, ...]
+
+    @property
+    def synthetic_attribute(self) -> str:
+        return _ATTR_SEP.join(self.attributes)
+
+    def synthetic_value(self, document: Document) -> Optional[str]:
+        """The concatenated value, or ``None`` if an attribute is missing."""
+        parts = []
+        for attribute in self.attributes:
+            if attribute not in document:
+                return None
+            parts.append(_canonical(document[attribute]))
+        return _VALUE_SEP.join(parts)
+
+    def transform(self, document: Document) -> tuple[Document, bool]:
+        """Rewrite a document for routing/partitioning purposes.
+
+        Returns ``(document', broadcast)``.  Fully transformable documents
+        get the chosen attributes replaced by the synthetic pair; the rest
+        are returned unchanged with ``broadcast=True``.
+        """
+        value = self.synthetic_value(document)
+        if value is None:
+            return document, True
+        pairs = {
+            attribute: v
+            for attribute, v in document.pairs.items()
+            if attribute not in self.attributes
+        }
+        pairs[self.synthetic_attribute] = value
+        return Document(pairs, doc_id=document.doc_id), False
+
+    def transform_sample(self, documents: Sequence[Document]) -> list[Document]:
+        """Transform a partitioning sample, dropping broadcast documents.
+
+        Broadcast documents are excluded so their low-variety pairs do not
+        re-enter the partitions and reconnect the pair space.
+        """
+        out = []
+        for doc in documents:
+            transformed, broadcast = self.transform(doc)
+            if not broadcast:
+                out.append(transformed)
+        return out
+
+    def missing_fraction(self, documents: Sequence[Document]) -> float:
+        """``pna``: share of documents that cannot form the synthetic value."""
+        if not documents:
+            return 0.0
+        missing = sum(1 for d in documents if self.synthetic_value(d) is None)
+        return missing / len(documents)
+
+    def expected_replication(self, documents: Sequence[Document], m: int) -> float:
+        """The paper's ``pna * m`` estimate of expansion-induced replication."""
+        return self.missing_fraction(documents) * m
+
+
+def _attribute_stats(
+    documents: Sequence[Document],
+) -> tuple[dict[str, int], dict[str, set]]:
+    doc_count: dict[str, int] = {}
+    values: dict[str, set] = {}
+    for doc in documents:
+        for attribute, value in doc.pairs.items():
+            doc_count[attribute] = doc_count.get(attribute, 0) + 1
+            values.setdefault(attribute, set()).add(value)
+    return doc_count, values
+
+
+def plan_expansion(
+    documents: Sequence[Document], m: int, coverage: float = 1.0
+) -> Optional[ExpansionPlan]:
+    """Derive an expansion plan from a sample, or ``None`` if unneeded.
+
+    A disabling attribute must appear in at least ``coverage`` of the
+    sample (1.0 = all documents, the paper's criterion; the DS baseline
+    on real-world-like data uses a slightly relaxed threshold) and have
+    fewer than ``m`` distinct values.  Combining attributes are appended
+    until the synthetic value domain reaches ``m`` distinct values or no
+    attributes remain.
+    """
+    if not documents:
+        return None
+    doc_count, values = _attribute_stats(documents)
+    n = len(documents)
+    threshold = coverage * n
+    disabling_candidates = [
+        a
+        for a in doc_count
+        if doc_count[a] >= threshold and len(values[a]) < m
+    ]
+    if not disabling_candidates:
+        return None
+    disabling = min(
+        disabling_candidates, key=lambda a: (-doc_count[a], len(values[a]), a)
+    )
+    chosen = [disabling]
+    while _synthetic_distinct(documents, chosen) < m:
+        remaining = [a for a in doc_count if a not in chosen]
+        if not remaining:
+            break
+        combining = min(remaining, key=lambda a: (-doc_count[a], len(values[a]), a))
+        chosen.append(combining)
+    return ExpansionPlan(tuple(chosen))
+
+
+def _synthetic_distinct(documents: Sequence[Document], attributes: list[str]) -> int:
+    seen = set()
+    for doc in documents:
+        combo = tuple(doc.get(a, _MISSING_VALUE) for a in attributes)
+        if _MISSING_VALUE not in combo:
+            seen.add(combo)
+    return len(seen)
+
+
+_MISSING_VALUE = object()

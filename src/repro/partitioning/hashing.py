@@ -1,0 +1,57 @@
+"""Hash partitioning reference baseline (paper, Section II).
+
+Hash partitioning spreads the *observed* AV-pair space over machines by
+a stable hash of each pair.  It is a correct partitioning (joinable
+documents share a pair, and every pair has exactly one owner) but, as
+the related-work discussion notes, it ignores co-occurrence entirely: a
+document's pairs scatter across machines, so the document is replicated
+to every machine owning one of its pairs, and skewed values produce poor
+load balance.  Included as the classical reference point the AG
+partitioner is motivated against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.base import Partition, Partitioner, PartitioningResult
+
+
+def stable_pair_hash(pair: AVPair) -> int:
+    """A process-independent hash of an AV-pair.
+
+    Python's builtin ``hash`` of strings is randomized per process;
+    experiments must be replayable, so pairs are hashed through blake2b.
+    """
+    digest = hashlib.blake2b(
+        repr((pair.attribute, pair.value)).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashPartitioner(Partitioner):
+    """Assign every observed AV-pair to machine ``hash(pair) % m``."""
+
+    name = "HASH"
+
+    def create_partitions(
+        self, documents: Sequence[Document], m: int
+    ) -> PartitioningResult:
+        self._check_args(documents, m)
+        partitions = [Partition(index=i) for i in range(m)]
+        seen: set[AVPair] = set()
+        for doc in documents:
+            for pair in doc.avpairs():
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                partitions[stable_pair_hash(pair) % m].pairs.add(pair)
+        for doc in documents:
+            for partition in partitions:
+                if partition.matches(doc):
+                    partition.estimated_load += 1
+        return PartitioningResult(
+            partitions=partitions, algorithm=self.name, group_count=len(seen)
+        )

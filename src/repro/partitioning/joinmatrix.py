@@ -1,0 +1,69 @@
+"""Join-matrix (fragment-and-replicate) routing baseline.
+
+The join-matrix model (Stamos & Young; revisited for streams by Elseidy
+et al., both discussed in the paper's related work) arranges the ``m``
+machines as an ``r x c`` grid.  Every document is replicated across one
+row (its "R side") and one column (its "S side"): any two documents then
+meet in the intersection cell of one's row with the other's column, so
+the join is exact **without looking at document content at all**.
+
+The price is constant replication of ``r + c - 1`` (≈ ``2 * sqrt(m)``)
+for every document — the "does not scale well and suffers from a high
+memory consumption" verdict of Section II, which the benchmarks contrast
+against AG's content-aware routing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.document import Document
+from repro.partitioning.router import RoutingDecision
+
+
+def _grid_dimensions(m: int) -> tuple[int, int]:
+    """The most square ``r x c = m`` factorization (minimizes r + c)."""
+    best = (1, m)
+    for r in range(1, int(m**0.5) + 1):
+        if m % r == 0:
+            best = (r, m // r)
+    return best
+
+
+class JoinMatrixRouter:
+    """Content-oblivious exact-join router over an ``r x c`` machine grid.
+
+    Documents are placed deterministically (stable content hash) so runs
+    are replayable; a uniform random placement has identical expected
+    behaviour.
+    """
+
+    name = "MATRIX"
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.m = m
+        self.rows, self.columns = _grid_dimensions(m)
+
+    def _cell_of(self, document: Document) -> tuple[int, int]:
+        digest = hashlib.blake2b(
+            document.to_json().encode("utf-8"), digest_size=8
+        ).digest()
+        value = int.from_bytes(digest, "big")
+        return value % self.rows, (value // self.rows) % self.columns
+
+    def _machine(self, row: int, column: int) -> int:
+        return row * self.columns + column
+
+    def route(self, document: Document) -> RoutingDecision:
+        """Replicate the document across its row and its column."""
+        row, column = self._cell_of(document)
+        targets = {self._machine(row, c) for c in range(self.columns)}
+        targets.update(self._machine(r, column) for r in range(self.rows))
+        return RoutingDecision(tuple(sorted(targets)), broadcast=False)
+
+    @property
+    def replication(self) -> int:
+        """The constant per-document replication: ``r + c - 1``."""
+        return self.rows + self.columns - 1

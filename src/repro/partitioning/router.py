@@ -1,0 +1,98 @@
+"""Routing documents to machines according to a partitioning.
+
+The :class:`DocumentRouter` is the algorithmic core of the Assigner
+component: a document is forwarded to every partition it shares an
+AV-pair with; documents matching no partition (unseen AV-pairs, or
+broadcast-flagged by an expansion plan) are emitted to *all* machines so
+the join result stays exact (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.base import Partition
+from repro.partitioning.expansion import ExpansionPlan
+
+
+class RoutingDecision(NamedTuple):
+    """Where a document goes and why."""
+
+    targets: tuple[int, ...]
+    #: the document was sent to *all* machines as the exactness fallback
+    #: (it carried an AV-pair not owned by any partition, or could not be
+    #: expanded)
+    broadcast: bool
+    #: the document's pairs not owned by any partition — what the
+    #: Assigner counts toward the δ update threshold (Section VI-A)
+    unseen_pairs: tuple[AVPair, ...] = ()
+
+    @property
+    def replication(self) -> int:
+        return len(self.targets)
+
+
+class DocumentRouter:
+    """Routes documents against a fixed set of partitions.
+
+    Parameters
+    ----------
+    partitions:
+        The current partitioning (one entry per machine).
+    expansion:
+        Optional expansion plan; incoming documents are transformed
+        before matching, exactly as the partition sample was.
+    """
+
+    def __init__(
+        self,
+        partitions: Sequence[Partition],
+        expansion: Optional[ExpansionPlan] = None,
+    ):
+        if not partitions:
+            raise ValueError("router needs at least one partition")
+        self.partitions = list(partitions)
+        self.expansion = expansion
+        self.m = len(partitions)
+        self._all = tuple(range(self.m))
+        self._pair_index: dict[AVPair, set[int]] = {}
+        for partition in partitions:
+            for pair in partition.pairs:
+                self._pair_index.setdefault(pair, set()).add(partition.index)
+
+    def route(self, document: Document) -> RoutingDecision:
+        """Decide the target machines for ``document``.
+
+        A document *all* of whose (expanded) pairs are owned by partitions
+        is forwarded to the union of the owning machines.  A document
+        carrying **any** pair unknown to the partitioning is emitted to
+        all machines: this is the Section VI-A fallback that keeps the
+        join exact — another document sharing that unseen pair may match
+        a completely different set of partitions.
+        """
+        if self.expansion is not None:
+            document, broadcast = self.expansion.transform(document)
+            if broadcast:
+                return RoutingDecision(self._all, broadcast=True)
+        targets: set[int] = set()
+        unseen: list[AVPair] = []
+        for pair in document.avpairs():
+            owners = self._pair_index.get(pair)
+            if owners:
+                targets.update(owners)
+            else:
+                unseen.append(pair)
+        if unseen or not targets:
+            return RoutingDecision(
+                self._all, broadcast=True, unseen_pairs=tuple(unseen)
+            )
+        return RoutingDecision(tuple(sorted(targets)), broadcast=False)
+
+    def add_pair(self, pair: AVPair, partition_index: int) -> None:
+        """Apply a partition *update*: graft one pair onto a partition."""
+        self.partitions[partition_index].pairs.add(pair)
+        self._pair_index.setdefault(pair, set()).add(partition_index)
+
+    def owns(self, pair: AVPair) -> bool:
+        return pair in self._pair_index

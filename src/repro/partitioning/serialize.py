@@ -1,0 +1,111 @@
+"""JSON (de)serialization of partitioning state.
+
+In a long-running deployment the Merger's partitions are operational
+state: they must survive restarts and be shippable to newly joining
+Assigners.  This module round-trips partitions, expansion plans and
+whole partition sets through plain JSON.
+
+Values keep their JSON types (strings, numbers, booleans, null) so a
+round-tripped partition matches exactly the same documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.core.document import AVPair, Document
+from repro.exceptions import PartitioningError
+from repro.partitioning.base import Partition
+from repro.partitioning.expansion import ExpansionPlan
+
+FORMAT_VERSION = 1
+
+
+def pair_to_json(pair: AVPair) -> list[Any]:
+    """An AV-pair as a 2-element JSON array, value type preserved."""
+    return [pair.attribute, pair.value]
+
+
+def pair_from_json(raw: Any) -> AVPair:
+    """Parse :func:`pair_to_json` output; rejects malformed input."""
+    if not isinstance(raw, list) or len(raw) != 2 or not isinstance(raw[0], str):
+        raise PartitioningError(f"malformed AV-pair {raw!r}")
+    return AVPair(raw[0], raw[1])
+
+
+def partition_to_dict(partition: Partition) -> dict[str, Any]:
+    """One partition as a JSON-ready dict with deterministically sorted pairs."""
+    return {
+        "index": partition.index,
+        "estimated_load": partition.estimated_load,
+        "pairs": sorted(
+            (pair_to_json(p) for p in partition.pairs),
+            key=lambda kv: (kv[0], repr(kv[1])),
+        ),
+    }
+
+
+def partition_from_dict(raw: dict[str, Any]) -> Partition:
+    """Parse :func:`partition_to_dict` output; rejects malformed input."""
+    try:
+        return Partition(
+            index=int(raw["index"]),
+            pairs={pair_from_json(p) for p in raw["pairs"]},
+            estimated_load=int(raw.get("estimated_load", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PartitioningError(f"malformed partition: {exc}") from exc
+
+
+def expansion_to_dict(plan: Optional[ExpansionPlan]) -> Optional[dict[str, Any]]:
+    """An expansion plan as a JSON-ready dict (or None)."""
+    if plan is None:
+        return None
+    return {"attributes": list(plan.attributes)}
+
+
+def expansion_from_dict(raw: Optional[dict[str, Any]]) -> Optional[ExpansionPlan]:
+    """Parse :func:`expansion_to_dict` output; rejects malformed input."""
+    if raw is None:
+        return None
+    attributes = raw.get("attributes")
+    if not isinstance(attributes, list) or not all(
+        isinstance(a, str) for a in attributes
+    ):
+        raise PartitioningError(f"malformed expansion plan {raw!r}")
+    return ExpansionPlan(tuple(attributes))
+
+
+def dump_partitions(
+    partitions: list[Partition],
+    expansion: Optional[ExpansionPlan] = None,
+    version: int = 0,
+) -> str:
+    """Serialize a partitioning (plus its expansion plan) to a JSON string."""
+    return json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "version": version,
+            "expansion": expansion_to_dict(expansion),
+            "partitions": [partition_to_dict(p) for p in partitions],
+        },
+        sort_keys=True,
+    )
+
+
+def load_partitions(
+    text: str,
+) -> tuple[list[Partition], Optional[ExpansionPlan], int]:
+    """Parse :func:`dump_partitions` output back into live objects."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PartitioningError(f"invalid partition JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("format") != FORMAT_VERSION:
+        raise PartitioningError(
+            f"unsupported partition format {raw.get('format') if isinstance(raw, dict) else raw!r}"
+        )
+    partitions = [partition_from_dict(p) for p in raw.get("partitions", [])]
+    expansion = expansion_from_dict(raw.get("expansion"))
+    return partitions, expansion, int(raw.get("version", 0))

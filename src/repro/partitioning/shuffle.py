@@ -1,0 +1,36 @@
+"""Shuffle routing — the negative control (paper, Section II).
+
+Shuffle partitioning "blindly assigns tuples to machines, thus, it is
+inadequate for this approach since it will not place the same keys on
+the same machines".  The router below exists to *demonstrate* that
+inadequacy: it balances load perfectly, but joinable documents land on
+different machines and the join result silently loses pairs.  Tests use
+it as the counterexample that motivates content-aware partitioning;
+nothing in the topology ever should.
+"""
+
+from __future__ import annotations
+
+from repro.core.document import Document
+from repro.partitioning.router import RoutingDecision
+
+
+class ShuffleRouter:
+    """Round-robin document placement.  Perfect balance, broken joins."""
+
+    name = "SHUFFLE"
+
+    #: shuffle routing loses join results by design; this flag lets test
+    #: harnesses and documentation tools flag it mechanically
+    exact = False
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.m = m
+        self._next = 0
+
+    def route(self, document: Document) -> RoutingDecision:
+        target = self._next % self.m
+        self._next += 1
+        return RoutingDecision((target,), broadcast=False)

@@ -1,0 +1,40 @@
+"""A Storm-like stream processing substrate.
+
+The paper realizes its topology on Apache Storm (Section III).  This
+package provides an in-process, deterministic equivalent: spouts and
+bolts wired by a :class:`TopologyBuilder` through the same four stream
+groupings Fig. 2 uses (shuffle, fields, all, direct), executed by a
+single-threaded FIFO :class:`LocalCluster`.  Determinism (round-robin
+shuffle, stable hashing, FIFO tuple delivery) makes every experiment
+replayable — the routing semantics are Storm's, without the cluster.
+"""
+
+from repro.streaming.component import Bolt, Collector, ComponentContext, Spout
+from repro.streaming.grouping import (
+    AllGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    ShuffleGrouping,
+)
+from repro.streaming.executor import LocalCluster
+from repro.streaming.topology import Topology, TopologyBuilder
+from repro.streaming.tuples import StreamTuple
+
+__all__ = [
+    "AllGrouping",
+    "Bolt",
+    "Collector",
+    "ComponentContext",
+    "DirectGrouping",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "Grouping",
+    "LocalCluster",
+    "ShuffleGrouping",
+    "Spout",
+    "StreamTuple",
+    "Topology",
+    "TopologyBuilder",
+]

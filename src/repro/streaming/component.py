@@ -1,0 +1,75 @@
+"""Spout and Bolt base classes and the emit interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Protocol
+
+
+class Collector(Protocol):
+    """Interface components use to emit tuples downstream."""
+
+    def emit(
+        self,
+        stream: str,
+        values: tuple[Any, ...],
+        direct_task: Optional[int] = None,
+    ) -> None: ...
+
+
+class ComponentContext:
+    """Execution context handed to a task at preparation time."""
+
+    def __init__(
+        self,
+        component: str,
+        task_index: int,
+        parallelism: int,
+        component_parallelism: dict[str, int],
+    ):
+        self.component = component
+        self.task_index = task_index
+        self.parallelism = parallelism
+        self._component_parallelism = dict(component_parallelism)
+
+    def parallelism_of(self, component: str) -> int:
+        """Number of tasks of another component (e.g. count of Joiners)."""
+        return self._component_parallelism[component]
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"<Context {self.component}[{self.task_index}/{self.parallelism}]>"
+
+
+class Spout(ABC):
+    """A stream source.
+
+    ``next_tuple`` emits zero or more tuples through the collector and
+    returns ``True`` while the source has more data; returning ``False``
+    marks the spout exhausted (the local cluster stops once all spouts
+    are exhausted and all queues drained — a simplification of Storm's
+    unbounded sources that suits finite experiments).
+    """
+
+    def open(self, context: ComponentContext) -> None:
+        """Called once before the first ``next_tuple``."""
+
+    @abstractmethod
+    def next_tuple(self, collector: Collector) -> bool:
+        """Emit the next tuple(s); return False when exhausted."""
+
+
+class Bolt(ABC):
+    """A stream processor: consumes tuples, optionally emits new ones."""
+
+    def prepare(self, context: ComponentContext) -> None:
+        """Called once before the first ``process``."""
+
+    @abstractmethod
+    def process(self, tup: "StreamTuple", collector: Collector) -> None:  # noqa: F821
+        """Handle one incoming tuple."""
+
+
+# imported late to avoid a cycle in type checking tools
+from repro.streaming.tuples import StreamTuple  # noqa: E402  (re-export for typing)
+
+__all__ = ["Bolt", "Collector", "ComponentContext", "Spout", "StreamTuple"]

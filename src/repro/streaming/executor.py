@@ -1,0 +1,212 @@
+"""Deterministic single-process topology executor.
+
+The :class:`LocalCluster` plays the role of a Storm cluster for the
+experiments: it instantiates every component's tasks, routes emitted
+tuples through the declared groupings, and processes them in strict FIFO
+order.  Between two spout emissions the work queue is fully drained, so
+downstream effects of a tuple (including punctuation such as
+window-end markers) complete before the next source tuple enters the
+topology — which gives the windowed components exact, replayable
+semantics without distributed coordination.
+
+Simplifications versus Storm, by design: no threads (determinism), no
+acking protocol (an in-process call cannot lose a tuple, so the
+exactly-once guarantee is trivial), and spouts are finite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.exceptions import TopologyError, TupleProcessingError
+from repro.streaming.component import Bolt, ComponentContext, Spout
+from repro.streaming.topology import Topology
+from repro.streaming.tuples import StreamTuple
+
+
+class _TaskCollector:
+    """Collector bound to one producing task; routes straight to the queue."""
+
+    def __init__(self, cluster: "LocalCluster", component: str, task_index: int):
+        self._cluster = cluster
+        self._component = component
+        self._task_index = task_index
+
+    def emit(
+        self,
+        stream: str,
+        values: tuple[Any, ...],
+        direct_task: Optional[int] = None,
+    ) -> None:
+        tup = StreamTuple(
+            stream=stream,
+            values=values,
+            source=self._component,
+            source_task=self._task_index,
+            direct_task=direct_task,
+        )
+        self._cluster._route(tup)
+
+
+class LocalCluster:
+    """Executes a :class:`~repro.streaming.topology.Topology` to completion."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        max_tuples: int = 200_000_000,
+        max_retries: int = 0,
+    ):
+        """``max_retries`` > 0 enables Storm-style guaranteed delivery: a
+        tuple whose processing raises is redelivered to the same task up
+        to that many times (at-least-once semantics — bolts observing a
+        redelivered tuple must tolerate their own partial effects).
+        Exceeding the budget raises :class:`TupleProcessingError`."""
+        self.topology = topology
+        self.max_tuples = max_tuples
+        self.max_retries = max_retries
+        self.failures = 0
+        #: deepest the work queue ever got — a backpressure indicator
+        self.max_queue_depth = 0
+        self._queue: deque[tuple[str, int, StreamTuple]] = deque()
+        self._tasks: dict[str, list[Spout | Bolt]] = {}
+        self._collectors: dict[tuple[str, int], _TaskCollector] = {}
+        self.emitted = 0
+        self.processed = 0
+        self._component_emitted: dict[str, int] = {}
+        self._component_processed: dict[str, int] = {}
+        # (source, stream) -> [(bolt_name, parallelism, grouping), ...]
+        self._routes: dict[tuple[str, str], list[tuple[str, int, Any]]] = {}
+        for bolt in topology.bolts():
+            for sub in bolt.subscriptions:
+                self._routes.setdefault((sub.source, sub.stream), []).append(
+                    (bolt.name, bolt.parallelism, sub.grouping)
+                )
+        self._build_tasks()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_tasks(self) -> None:
+        parallelism = {
+            name: spec.parallelism for name, spec in self.topology.components.items()
+        }
+        for name, spec in self.topology.components.items():
+            instances = []
+            for task_index in range(spec.parallelism):
+                instance = spec.factory()
+                context = ComponentContext(
+                    component=name,
+                    task_index=task_index,
+                    parallelism=spec.parallelism,
+                    component_parallelism=parallelism,
+                )
+                if spec.is_spout:
+                    if not isinstance(instance, Spout):
+                        raise TopologyError(f"{name!r} factory did not return a Spout")
+                    instance.open(context)
+                else:
+                    if not isinstance(instance, Bolt):
+                        raise TopologyError(f"{name!r} factory did not return a Bolt")
+                    instance.prepare(context)
+                instances.append(instance)
+                self._collectors[(name, task_index)] = _TaskCollector(
+                    self, name, task_index
+                )
+            self._tasks[name] = instances
+            self._component_emitted[name] = 0
+            self._component_processed[name] = 0
+
+    # ------------------------------------------------------------------
+    # Routing and execution
+    # ------------------------------------------------------------------
+    def _route(self, tup: StreamTuple) -> None:
+        self.emitted += 1
+        self._component_emitted[tup.source] += 1
+        if self.emitted > self.max_tuples:
+            raise TopologyError(
+                f"tuple budget of {self.max_tuples} exceeded — "
+                "likely a control-message loop in the topology"
+            )
+        for bolt_name, parallelism, grouping in self._routes.get(
+            (tup.source, tup.stream), ()
+        ):
+            for task_index in grouping.targets(tup, parallelism):
+                self._queue.append((bolt_name, task_index, tup))
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
+
+    def _drain(self) -> None:
+        retry_counts: dict[int, int] = {}
+        while self._queue:
+            component, task_index, tup = self._queue.popleft()
+            task = self._tasks[component][task_index]
+            assert isinstance(task, Bolt)
+            try:
+                task.process(tup, self._collectors[(component, task_index)])
+            except Exception as exc:
+                self.failures += 1
+                attempts = retry_counts.get(id(tup), 0)
+                if attempts >= self.max_retries:
+                    raise TupleProcessingError(
+                        component, task_index, attempts, exc
+                    ) from exc
+                retry_counts[id(tup)] = attempts + 1
+                # redeliver immediately to the same task (replay)
+                self._queue.appendleft((component, task_index, tup))
+                continue
+            self.processed += 1
+            self._component_processed[component] += 1
+
+    def pump(self) -> None:
+        """Advance every spout until it reports no data, then return.
+
+        Unlike :meth:`run`, a spout returning False is treated as "no
+        data *right now*" rather than exhausted — the building block for
+        interactive sessions that feed a buffer-backed spout
+        incrementally.
+        """
+        for spec in self.topology.spouts():
+            for task_index in range(spec.parallelism):
+                spout = self._tasks[spec.name][task_index]
+                assert isinstance(spout, Spout)
+                collector = self._collectors[(spec.name, task_index)]
+                while spout.next_tuple(collector):
+                    self._drain()
+                self._drain()
+
+    def run(self) -> None:
+        """Pump all spouts to exhaustion, draining between emissions."""
+        spouts = [
+            (spec.name, task_index, self._tasks[spec.name][task_index])
+            for spec in self.topology.spouts()
+            for task_index in range(spec.parallelism)
+        ]
+        active = {(name, idx) for name, idx, _ in spouts}
+        while active:
+            for name, task_index, spout in spouts:
+                if (name, task_index) not in active:
+                    continue
+                assert isinstance(spout, Spout)
+                has_more = spout.next_tuple(self._collectors[(name, task_index)])
+                self._drain()
+                if not has_more:
+                    active.discard((name, task_index))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def tasks(self, component: str) -> list[Spout | Bolt]:
+        """The live task instances of a component (for post-run inspection)."""
+        return self._tasks[component]
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-component emitted/processed tuple counters."""
+        return {
+            name: {
+                "emitted": self._component_emitted[name],
+                "processed": self._component_processed[name],
+            }
+            for name in self.topology.components
+        }

@@ -1,0 +1,96 @@
+"""Stream groupings: how tuples distribute over a bolt's task instances.
+
+These mirror the Apache Storm groupings the paper's topology uses
+(Section III-B):
+
+* **shuffle** — even distribution; realized as per-edge round-robin so
+  runs are deterministic while matching Storm's "every instance receives
+  an equal number of tuples";
+* **fields** — tuples with equal key values go to the same task;
+* **all** — every task receives a copy;
+* **direct** — the producer names the receiving task;
+* **global** — a degenerate fields grouping sending everything to task 0
+  (used for single-instance consumers such as the Merger).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import TopologyError
+from repro.streaming.tuples import StreamTuple
+
+
+class Grouping(ABC):
+    """Strategy mapping one tuple to target task indices."""
+
+    @abstractmethod
+    def targets(self, tup: StreamTuple, n_tasks: int) -> Sequence[int]:
+        """Task indices (within the subscribing bolt) that receive ``tup``."""
+
+
+class ShuffleGrouping(Grouping):
+    """Deterministic round-robin across tasks."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> Sequence[int]:
+        target = self._next % n_tasks
+        self._next += 1
+        return (target,)
+
+
+class FieldsGrouping(Grouping):
+    """Partition the stream by a key extracted from the tuple values.
+
+    ``key`` may be an index into ``tup.values`` or a callable over the
+    values tuple.  Hashing is stable across processes (blake2b), keeping
+    experiments replayable.
+    """
+
+    def __init__(self, key: int | Callable[[tuple[Any, ...]], Any] = 0):
+        self._key = key
+
+    def _extract(self, tup: StreamTuple) -> Any:
+        if callable(self._key):
+            return self._key(tup.values)
+        return tup.values[self._key]
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> Sequence[int]:
+        digest = hashlib.blake2b(
+            repr(self._extract(tup)).encode("utf-8"), digest_size=8
+        ).digest()
+        return (int.from_bytes(digest, "big") % n_tasks,)
+
+
+class AllGrouping(Grouping):
+    """Replicate every tuple to every task."""
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> Sequence[int]:
+        return tuple(range(n_tasks))
+
+
+class DirectGrouping(Grouping):
+    """The producer chooses the receiving task via ``emit(..., direct_task=)``."""
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> Sequence[int]:
+        if tup.direct_task is None:
+            raise TopologyError(
+                f"tuple on stream {tup.stream!r} lacks direct_task but the "
+                "subscriber uses direct grouping"
+            )
+        if not 0 <= tup.direct_task < n_tasks:
+            raise TopologyError(
+                f"direct_task {tup.direct_task} out of range for {n_tasks} tasks"
+            )
+        return (tup.direct_task,)
+
+
+class GlobalGrouping(Grouping):
+    """Send every tuple to task 0."""
+
+    def targets(self, tup: StreamTuple, n_tasks: int) -> Sequence[int]:
+        return (0,)

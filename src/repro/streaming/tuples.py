@@ -1,0 +1,21 @@
+"""The unit of data exchanged between topology components."""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional
+
+
+class StreamTuple(NamedTuple):
+    """One tuple flowing on a named stream.
+
+    Storm tuples are lists of named values; here ``values`` is an
+    arbitrary payload tuple and the stream name identifies its schema.
+    ``direct_task`` is set by the producer when the subscriber uses
+    direct grouping.
+    """
+
+    stream: str
+    values: tuple[Any, ...]
+    source: str
+    source_task: int
+    direct_task: Optional[int] = None

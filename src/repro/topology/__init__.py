@@ -1,0 +1,19 @@
+"""The paper's Fig. 2 topology realized on the streaming substrate."""
+
+from repro.topology.pipeline import (
+    StreamJoinConfig,
+    StreamJoinResult,
+    build_topology,
+    run_binary_stream_join,
+    run_stream_join,
+)
+from repro.topology.session import StreamJoinSession
+
+__all__ = [
+    "StreamJoinConfig",
+    "StreamJoinResult",
+    "StreamJoinSession",
+    "build_topology",
+    "run_binary_stream_join",
+    "run_stream_join",
+]

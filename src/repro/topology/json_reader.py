@@ -1,0 +1,82 @@
+"""The JsonReader spout: source of the document stream (Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.document import Document
+from repro.streaming.component import Collector, Spout
+from repro.topology import messages as msg
+
+
+class DocumentSpout(Spout):
+    """Feeds pre-windowed documents into the topology.
+
+    Emits every document of a window on the ``docs`` stream (tagged with
+    its window id and a ``None`` stream side) followed by one
+    ``window_end`` punctuation tuple.  The FIFO drain of the local
+    cluster guarantees all downstream effects of the punctuation finish
+    before the next window starts — the stand-in for Storm's time-based
+    window boundaries.
+    """
+
+    def __init__(self, windows: Sequence[Sequence[Document]]):
+        self._windows = [list(w) for w in windows]
+        self._window_id = 0
+        self._position = 0
+
+    def next_tuple(self, collector: Collector) -> bool:
+        if self._window_id >= len(self._windows):
+            return False
+        window = self._windows[self._window_id]
+        if self._position < len(window):
+            doc = window[self._position]
+            self._position += 1
+            collector.emit(msg.DOCS, (doc, self._window_id, None))
+        else:
+            collector.emit(msg.WINDOW_END, (self._window_id,))
+            self._window_id += 1
+            self._position = 0
+        return self._window_id < len(self._windows)
+
+
+class TwoStreamSpout(Spout):
+    """Feeds two document streams (R and S) with aligned windows.
+
+    Documents of the two streams are interleaved within each window and
+    tagged with their side (:data:`repro.join.binary.LEFT` /
+    :data:`repro.join.binary.RIGHT`), so downstream Joiners can run the
+    cross-stream join.  Document ids must be unique across *both*
+    streams.
+    """
+
+    def __init__(self, left_windows, right_windows):
+        if len(left_windows) != len(right_windows):
+            raise ValueError("both streams need the same number of windows")
+        from repro.join.binary import LEFT, RIGHT
+
+        self._windows: list[list[tuple]] = []
+        for left, right in zip(left_windows, right_windows):
+            window = []
+            for i in range(max(len(left), len(right))):
+                if i < len(left):
+                    window.append((left[i], LEFT))
+                if i < len(right):
+                    window.append((right[i], RIGHT))
+            self._windows.append(window)
+        self._window_id = 0
+        self._position = 0
+
+    def next_tuple(self, collector: Collector) -> bool:
+        if self._window_id >= len(self._windows):
+            return False
+        window = self._windows[self._window_id]
+        if self._position < len(window):
+            doc, side = window[self._position]
+            self._position += 1
+            collector.emit(msg.DOCS, (doc, self._window_id, side))
+        else:
+            collector.emit(msg.WINDOW_END, (self._window_id,))
+            self._window_id += 1
+            self._position = 0
+        return self._window_id < len(self._windows)

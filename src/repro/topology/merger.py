@@ -1,0 +1,298 @@
+"""The Merger bolt (Fig. 2): the single, globally consistent partitioner.
+
+The Merger is the only component allowed to create or modify partitions
+(the paper requires exactly one instance for consistency).  It:
+
+* merges per-creator sample statistics and derives the attribute
+  expansion plan (Section VI-B) when the sample exhibits a disabling
+  attribute;
+* consolidates the creators' local association groups and fills the
+  ``m`` partitions (Section IV-A) — or, for the centralized baselines,
+  reconstructs the sample and runs the full algorithm;
+* ships the versioned :class:`~repro.topology.messages.PartitionSet`
+  (including its own replication / max-load estimates, the baselines for
+  θ-repartitioning) to every Assigner;
+* applies δ-threshold partition *updates*: a newly frequent AV-pair is
+  grafted onto the partition sharing the most pairs with the update's
+  co-occurring pairs, with the least-loaded partition as tiebreak.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.association import (
+    AssociationGroup,
+    AssociationGroupPartitioner,
+    consolidate_association_groups,
+)
+from repro.partitioning.base import (
+    Partition,
+    Partitioner,
+    assign_groups_to_partitions,
+)
+from repro.join.ordering import AttributeOrder
+from repro.metrics.estimation import estimate_on_sample
+from repro.partitioning.expansion import ExpansionPlan, plan_expansion
+from repro.streaming.component import Bolt, Collector, ComponentContext
+from repro.streaming.tuples import StreamTuple
+from repro.topology import messages as msg
+
+
+class MergerBolt(Bolt):
+    """Single-instance partition authority."""
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        expansion: str = "auto",
+        expansion_coverage: float = 1.0,
+    ):
+        if expansion not in ("auto", "off"):
+            raise ValueError(f"expansion must be 'auto' or 'off', got {expansion!r}")
+        self.partitioner = partitioner
+        self.expansion = expansion
+        self.expansion_coverage = expansion_coverage
+        self._m = 0
+        self._n_creators = 0
+        self._version = 0
+        self._partitions: list[Partition] = []
+        self._owned_pairs: set[AVPair] = set()
+        self._current_expansion: Optional[ExpansionPlan] = None
+        # per-window protocol state
+        self._stats: dict[int, msg.AttributeStats] = {}
+        self._stats_received: dict[int, int] = {}
+        self._plans: dict[int, Optional[ExpansionPlan]] = {}
+        self._groups: dict[int, list[AssociationGroup]] = {}
+        self._groups_received: dict[int, int] = {}
+        self._sample_sets: dict[int, dict[frozenset, int]] = {}
+        self._broadcasts: dict[int, int] = {}
+        self._sample_sizes: dict[int, int] = {}
+        self._orders: dict[int, AttributeOrder] = {}
+
+    def prepare(self, context: ComponentContext) -> None:
+        if context.parallelism != 1:
+            raise ValueError("the Merger must run as a single instance")
+        self._m = context.parallelism_of(msg.JOINER)
+        self._n_creators = context.parallelism_of(msg.CREATOR)
+
+    # ------------------------------------------------------------------
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        if tup.stream == msg.SAMPLE_STATS:
+            self._on_sample_stats(tup, collector)
+        elif tup.stream == msg.LOCAL_GROUPS:
+            self._on_local_groups(tup, collector)
+        elif tup.stream == msg.CONTROL:
+            control: msg.ControlMessage = tup.values[0]
+            if control.kind == "update":
+                self._on_update(control, collector)
+            # "repartition" requests are acted upon by the creators, which
+            # start sampling; the Merger just waits for their stats.
+
+    # ------------------------------------------------------------------
+    # Two-round (re)partitioning protocol
+    # ------------------------------------------------------------------
+    def _on_sample_stats(self, tup: StreamTuple, collector: Collector) -> None:
+        window_id, stats, _sample_size = tup.values
+        merged = self._stats.setdefault(window_id, msg.AttributeStats())
+        merged.merge(stats)
+        received = self._stats_received.get(window_id, 0) + 1
+        self._stats_received[window_id] = received
+        if received < self._n_creators:
+            return
+        plan = None
+        if self.expansion == "auto" and merged.sample_size:
+            plan = _plan_from_stats(merged, self._m, self.expansion_coverage)
+        self._plans[window_id] = plan
+        self._orders[window_id] = _order_from_stats(merged)
+        del self._stats[window_id]
+        del self._stats_received[window_id]
+        collector.emit(msg.MINING_REQUEST, (window_id, plan))
+
+    def _on_local_groups(self, tup: StreamTuple, collector: Collector) -> None:
+        window_id, groups, sample_sets, broadcast_count, sample_size = tup.values
+        self._groups.setdefault(window_id, []).extend(groups)
+        bucket = self._sample_sets.setdefault(window_id, {})
+        for pair_set, count in sample_sets:
+            bucket[pair_set] = bucket.get(pair_set, 0) + count
+        self._broadcasts[window_id] = (
+            self._broadcasts.get(window_id, 0) + broadcast_count
+        )
+        self._sample_sizes[window_id] = (
+            self._sample_sizes.get(window_id, 0) + sample_size
+        )
+        received = self._groups_received.get(window_id, 0) + 1
+        self._groups_received[window_id] = received
+        if received < self._n_creators:
+            return
+        self._build_partitions(window_id, collector)
+
+    def _build_partitions(self, window_id: int, collector: Collector) -> None:
+        groups = self._groups.pop(window_id)
+        sample_sets = self._sample_sets.pop(window_id)
+        broadcast_count = self._broadcasts.pop(window_id)
+        sample_size = self._sample_sizes.pop(window_id)
+        plan = self._plans.pop(window_id, None)
+        del self._groups_received[window_id]
+
+        if isinstance(self.partitioner, AssociationGroupPartitioner):
+            consolidated = consolidate_association_groups([groups])
+            partitions = assign_groups_to_partitions(consolidated, self._m)
+        else:
+            sample = [
+                Document({p.attribute: p.value for p in pair_set})
+                for pair_set, count in sample_sets.items()
+                for _ in range(count)
+            ]
+            if sample:
+                partitions = self.partitioner.create_partitions(sample, self._m).partitions
+            else:
+                partitions = [Partition(index=i) for i in range(self._m)]
+
+        baseline_replication, baseline_max_load = self._measure_baseline(
+            partitions, sample_sets, broadcast_count, sample_size
+        )
+
+        self._version += 1
+        self._partitions = partitions
+        self._current_expansion = plan
+        self._owned_pairs = {p for part in partitions for p in part.pairs}
+        partition_set = msg.PartitionSet(
+            version=self._version,
+            partitions=partitions,
+            expansion=plan,
+            baseline_replication=baseline_replication,
+            baseline_max_load=baseline_max_load,
+            created_at_window=window_id,
+            attribute_order=self._orders.pop(window_id, None),
+        )
+        collector.emit(msg.PARTITIONS, (partition_set,))
+        collector.emit(msg.REPARTITION_EVENT, (window_id, self._version == 1))
+
+    def _measure_baseline(
+        self,
+        partitions: list[Partition],
+        sample_sets: dict[frozenset, int],
+        broadcast_count: int,
+        sample_size: int,
+    ) -> tuple[float, float]:
+        """Replication and max load the new partitions achieve on the sample.
+
+        Delegates to :func:`repro.metrics.estimation.estimate_on_sample` —
+        the paper's "the Merger computes the load balance and replication
+        ... that are a direct result of the computed partitions".
+        """
+        estimate = estimate_on_sample(
+            partitions, sample_sets, broadcast_count, sample_size
+        )
+        return estimate.replication, estimate.max_load
+
+    # ------------------------------------------------------------------
+    # Operational persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> str:
+        """Serialize the current partitions to JSON (restart survival).
+
+        The single-instance Merger is the only holder of the partition
+        state; a deployment checkpoints this after every (re)computation
+        and restores it before processing resumes.
+        """
+        from repro.partitioning.serialize import dump_partitions
+
+        return dump_partitions(
+            self._partitions, self._current_expansion, version=self._version
+        )
+
+    def restore(self, text: str, collector: Collector) -> None:
+        """Restore a :meth:`snapshot` and rebroadcast it to the Assigners."""
+        from repro.partitioning.serialize import load_partitions
+
+        partitions, expansion, version = load_partitions(text)
+        self._partitions = partitions
+        self._current_expansion = expansion
+        self._version = version
+        self._owned_pairs = {p for part in partitions for p in part.pairs}
+        partition_set = msg.PartitionSet(
+            version=version,
+            partitions=partitions,
+            expansion=expansion,
+            baseline_replication=1.0,
+            baseline_max_load=1.0,
+            created_at_window=-1,
+        )
+        collector.emit(msg.PARTITIONS, (partition_set,))
+
+    # ------------------------------------------------------------------
+    # δ-threshold partition updates (Section VI-A)
+    # ------------------------------------------------------------------
+    def _on_update(self, control: msg.ControlMessage, collector: Collector) -> None:
+        pair = control.pair
+        if pair is None or not self._partitions or pair in self._owned_pairs:
+            return
+        co_pairs = set(control.co_pairs)
+        target = min(
+            self._partitions,
+            key=lambda p: (-len(co_pairs & p.pairs), p.estimated_load, p.index),
+        )
+        target.pairs.add(pair)
+        self._owned_pairs.add(pair)
+        collector.emit(msg.PARTITION_UPDATE, (pair, target.index))
+
+
+def _order_from_stats(stats: msg.AttributeStats) -> AttributeOrder:
+    """The Section V-A global order from the merged sample statistics.
+
+    Document frequency descending, (capped) distinct-value count
+    ascending, attribute name as the final deterministic tiebreak —
+    computed "right after the partitions are created", exactly as the
+    paper prescribes.
+    """
+    ordered = sorted(
+        stats.doc_count,
+        key=lambda a: (
+            -stats.doc_count[a],
+            len(stats.values.get(a, ())),
+            a,
+        ),
+    )
+    return AttributeOrder(ordered)
+
+
+def _plan_from_stats(
+    stats: msg.AttributeStats, m: int, coverage: float
+) -> Optional[ExpansionPlan]:
+    """Derive an expansion plan from merged attribute statistics.
+
+    Mirrors :func:`repro.partitioning.expansion.plan_expansion` but works
+    on the creators' aggregated statistics instead of raw documents.  The
+    synthetic value domain cannot be measured without the documents, so
+    combining attributes are added until the *product* of the chosen
+    attributes' (capped) domain sizes reaches ``m`` — an upper bound on
+    the true synthetic domain that errs toward adding one more combining
+    attribute, never toward too few partitions.
+    """
+    n = stats.sample_size
+    threshold = coverage * n
+    candidates = [
+        a
+        for a, count in stats.doc_count.items()
+        if count >= threshold and len(stats.values[a]) < m
+    ]
+    if not candidates:
+        return None
+    disabling = min(
+        candidates, key=lambda a: (-stats.doc_count[a], len(stats.values[a]), a)
+    )
+    chosen = [disabling]
+    domain = len(stats.values[disabling])
+    while domain < m:
+        remaining = [a for a in stats.doc_count if a not in chosen]
+        if not remaining:
+            break
+        combining = min(
+            remaining, key=lambda a: (-stats.doc_count[a], len(stats.values[a]), a)
+        )
+        chosen.append(combining)
+        domain *= max(1, len(stats.values[combining]))
+    return ExpansionPlan(tuple(chosen))

@@ -1,0 +1,148 @@
+"""Stream names and message payloads exchanged between components.
+
+The topology's streams (cf. Fig. 2, extended with the control channels
+Section VI-A describes):
+
+========================  =======================  =========================
+stream                    producer -> consumer      payload
+========================  =======================  =========================
+``docs``                  Reader -> Creator,        ``(Document, window_id)``
+                          Assigner (shuffle)
+``window_end``            Reader -> Creator,        ``(window_id,)``
+                          Merger, Assigner (all)
+``sample_stats``          Creator -> Merger          ``(window_id, AttributeStats,
+                          (global)                   sample_size)``
+``mining_request``        Merger -> Creator (all)    ``(window_id, plan | None)``
+``local_groups``          Creator -> Merger          ``(window_id, [AssociationGroup],
+                          (global)                    sample_size)``
+``partitions``            Merger -> Assigner (all)   ``(PartitionSet,)``
+``partition_update``      Merger -> Assigner (all)   ``(AVPair, partition_index)``
+``control``               Assigner -> Merger          ``ControlMessage``
+                          (global), Creator (all)
+``assigned``              Assigner -> Joiner          ``(Document, window_id)``
+                          (direct)
+``window_done``           Assigner -> Joiner (all)    ``(window_id,)``
+``assigner_stats``        Assigner -> Sink (global)   ``AssignerWindowStats``
+``join_stats``            Joiner -> Sink (global)     ``JoinerWindowStats``
+``repartition_event``     Merger -> Sink (global)     ``(window_id, initial)``
+========================  =======================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.document import AVPair
+from repro.join.ordering import AttributeOrder
+from repro.partitioning.base import Partition
+from repro.partitioning.expansion import ExpansionPlan
+
+# Stream names -------------------------------------------------------------
+DOCS = "docs"
+WINDOW_END = "window_end"
+SAMPLE_STATS = "sample_stats"
+MINING_REQUEST = "mining_request"
+LOCAL_GROUPS = "local_groups"
+PARTITIONS = "partitions"
+PARTITION_UPDATE = "partition_update"
+CONTROL = "control"
+ASSIGNED = "assigned"
+WINDOW_DONE = "window_done"
+ASSIGNER_STATS = "assigner_stats"
+JOIN_STATS = "join_stats"
+REPARTITION_EVENT = "repartition_event"
+
+# Component names ----------------------------------------------------------
+READER = "reader"
+CREATOR = "partition_creator"
+MERGER = "merger"
+ASSIGNER = "assigner"
+JOINER = "joiner"
+SINK = "metrics_sink"
+
+
+@dataclass
+class AttributeStats:
+    """Per-attribute sample statistics a PartitionCreator ships upstream.
+
+    Value sets are capped at ``VALUE_CAP`` entries — the Merger only needs
+    to decide whether an attribute's domain is *smaller than m*, so a
+    bounded sample of distinct values suffices and keeps messages small.
+    """
+
+    VALUE_CAP = 256
+
+    doc_count: dict[str, int] = field(default_factory=dict)
+    values: dict[str, set] = field(default_factory=dict)
+    sample_size: int = 0
+
+    def observe(self, pairs) -> None:
+        self.sample_size += 1
+        for attribute, value in pairs:
+            self.doc_count[attribute] = self.doc_count.get(attribute, 0) + 1
+            bucket = self.values.setdefault(attribute, set())
+            if len(bucket) < self.VALUE_CAP:
+                bucket.add(value)
+
+    def merge(self, other: "AttributeStats") -> None:
+        self.sample_size += other.sample_size
+        for attribute, count in other.doc_count.items():
+            self.doc_count[attribute] = self.doc_count.get(attribute, 0) + count
+        for attribute, values in other.values.items():
+            bucket = self.values.setdefault(attribute, set())
+            for value in values:
+                if len(bucket) >= self.VALUE_CAP:
+                    break
+                bucket.add(value)
+
+
+@dataclass
+class PartitionSet:
+    """A versioned partitioning broadcast by the Merger to all Assigners."""
+
+    version: int
+    partitions: list[Partition]
+    expansion: Optional[ExpansionPlan]
+    #: Merger-side estimates from the sample; Assigners compare observed
+    #: values against these to decide θ-repartitioning (Section VI-A).
+    baseline_replication: float
+    baseline_max_load: float
+    created_at_window: int
+    #: the global attribute order, computed from the same sample "right
+    #: after the partitions are created" (Section V-A) and used by the
+    #: Joiners for their FP-trees from the next window on
+    attribute_order: Optional[AttributeOrder] = None
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Assigner-originated control traffic."""
+
+    kind: str  # "repartition" | "update"
+    window_id: int
+    pair: Optional[AVPair] = None
+    co_pairs: tuple[AVPair, ...] = ()
+
+
+@dataclass
+class AssignerWindowStats:
+    """One Assigner's contribution to a window's routing metrics."""
+
+    window_id: int
+    task_index: int
+    documents: int
+    assignments: int
+    machine_counts: tuple[int, ...]
+    broadcasts: int
+    triggered_repartition: bool
+
+
+@dataclass
+class JoinerWindowStats:
+    """One Joiner's per-window join outcome."""
+
+    window_id: int
+    task_index: int
+    documents: int
+    join_pairs: int

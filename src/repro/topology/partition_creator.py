@@ -1,0 +1,111 @@
+"""The PartitionCreator bolt (Fig. 2): samples the stream and mines groups.
+
+Multiple creators share the message load: each buffers its shuffle-slice
+of the current window *only while a (re)computation is scheduled*.  At
+the window boundary a two-round protocol with the Merger runs entirely
+inside the punctuation drain:
+
+1. the creator ships per-attribute sample statistics (``sample_stats``);
+2. the Merger derives the expansion plan from the merged statistics and
+   answers with a ``mining_request`` carrying the plan;
+3. the creator transforms its buffered sample accordingly, runs phase one
+   of the partitioning algorithm on it, and ships the resulting local
+   groups plus the sample's distinct pair-sets (``local_groups``).
+
+For the AG algorithm phase one is association-group mining; the SC / DS /
+HASH baselines have no distributed phase in the paper, so the creator
+ships only the sample pair-sets and the Merger runs the whole baseline.
+The pair-sets also let the Merger measure the replication / max load its
+new partitions achieve *on the sample* — the baselines the Assigners
+compare against for θ-repartitioning.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.core.document import Document
+from repro.partitioning.association import mine_association_groups
+from repro.partitioning.expansion import ExpansionPlan
+from repro.streaming.component import Bolt, Collector, ComponentContext
+from repro.streaming.tuples import StreamTuple
+from repro.topology import messages as msg
+
+
+class PartitionCreatorBolt(Bolt):
+    """Window-sampling, group-mining component.
+
+    Parameters
+    ----------
+    distributed_mining:
+        True for algorithms whose phase one can run per-creator (AG).
+        False ships the raw sample documents to the Merger, which then
+        runs the full centralized algorithm (SC, DS, HASH baselines).
+    """
+
+    def __init__(self, distributed_mining: bool = True):
+        self.distributed_mining = distributed_mining
+        self._buffer: list[Document] = []
+        self._sampling = True  # bootstrap: the first window always samples
+        self._task_index = 0
+
+    def prepare(self, context: ComponentContext) -> None:
+        self._task_index = context.task_index
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        if tup.stream == msg.DOCS:
+            if self._sampling:
+                document, _window_id, _side = tup.values
+                self._buffer.append(document)
+        elif tup.stream == msg.WINDOW_END:
+            if self._sampling:
+                (window_id,) = tup.values
+                self._emit_stats(window_id, collector)
+        elif tup.stream == msg.MINING_REQUEST:
+            window_id, plan = tup.values
+            self._mine_and_emit(window_id, plan, collector)
+        elif tup.stream == msg.CONTROL:
+            control: msg.ControlMessage = tup.values[0]
+            if control.kind == "repartition":
+                self._sampling = True
+
+    # ------------------------------------------------------------------
+    def _emit_stats(self, window_id: int, collector: Collector) -> None:
+        stats = msg.AttributeStats()
+        for document in self._buffer:
+            stats.observe(document.pairs.items())
+        collector.emit(msg.SAMPLE_STATS, (window_id, stats, len(self._buffer)))
+
+    def _mine_and_emit(
+        self, window_id: int, plan: Optional[ExpansionPlan], collector: Collector
+    ) -> None:
+        sample = self._buffer
+        if plan is not None:
+            sample = plan.transform_sample(sample)
+        if self.distributed_mining and sample:
+            groups = mine_association_groups(sample)
+        else:
+            # Centralized baselines ship no mined groups; the Merger runs
+            # the full algorithm on the sample pair-sets below.
+            groups = []
+        # The (transformed) sample itself, as distinct pair-sets with
+        # multiplicities: the Merger both feeds centralized partitioners
+        # with it and computes the θ-baseline replication / max load by
+        # routing it through the freshly built partitions (Section VI-A).
+        sample_sets: Counter[frozenset] = Counter(
+            doc.avpair_set() for doc in sample
+        )
+        broadcast_count = len(self._buffer) - len(sample)
+        collector.emit(
+            msg.LOCAL_GROUPS,
+            (
+                window_id,
+                groups,
+                tuple(sample_sets.items()),
+                broadcast_count,
+                len(self._buffer),
+            ),
+        )
+        self._buffer = []
+        self._sampling = False

@@ -1,0 +1,215 @@
+"""Wiring of the Fig. 2 topology and the high-level run facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.core.document import Document
+from repro.exceptions import PartitioningError
+from repro.join.base import JoinPair
+from repro.metrics.report import ExperimentSummary, WindowMetrics, aggregate_metrics
+from repro.partitioning.association import AssociationGroupPartitioner
+from repro.partitioning.base import Partitioner
+from repro.partitioning.disjoint import DisjointSetPartitioner
+from repro.partitioning.graph import KernighanLinPartitioner
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.setcover import SetCoverPartitioner
+from repro.streaming.executor import LocalCluster
+from repro.streaming.grouping import (
+    AllGrouping,
+    DirectGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.streaming.topology import Topology, TopologyBuilder
+from repro.topology import messages as msg
+from repro.topology.assigner import AssignerBolt
+from repro.topology.joiner import JoinerBolt
+from repro.topology.json_reader import DocumentSpout, TwoStreamSpout
+from repro.topology.merger import MergerBolt
+from repro.topology.partition_creator import PartitionCreatorBolt
+from repro.topology.sink import MetricsSinkBolt
+
+#: algorithm name -> partitioner factory
+PARTITIONERS: dict[str, Callable[[], Partitioner]] = {
+    "AG": AssociationGroupPartitioner,
+    "SC": SetCoverPartitioner,
+    "DS": DisjointSetPartitioner,
+    "HASH": HashPartitioner,
+    "KL": KernighanLinPartitioner,
+}
+
+
+@dataclass(frozen=True)
+class StreamJoinConfig:
+    """Configuration of one stream-join topology run.
+
+    Mirrors the paper's configuration parameters (Section VII-D):
+    ``m`` partitions/Joiners, repartitioning threshold ``theta``, update
+    threshold ``delta``, plus the component parallelism of Fig. 2.
+    """
+
+    m: int = 8
+    algorithm: str = "AG"
+    theta: float = 0.2
+    delta: int = 3
+    n_creators: int = 2
+    n_assigners: int = 6
+    expansion: str = "auto"
+    expansion_coverage: float = 1.0
+    compute_joins: bool = False
+    collect_pairs: bool = False
+    #: None -> tumbling windows (the paper); an int N -> sliding extent of
+    #: the N most recent documents per Joiner (the Section V-A extension)
+    sliding_size: Optional[int] = None
+    #: True -> two-stream (R x S) join: documents arrive tagged with a
+    #: stream side and only cross-stream pairs are produced
+    binary: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in PARTITIONERS:
+            raise PartitioningError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {sorted(PARTITIONERS)}"
+            )
+        if self.m < 1:
+            raise PartitioningError(f"m must be >= 1, got {self.m}")
+
+
+@dataclass
+class StreamJoinResult:
+    """Everything a topology run produced."""
+
+    config: StreamJoinConfig
+    per_window: list[WindowMetrics]
+    repartition_windows: list[int]
+    join_pairs: frozenset[JoinPair] = field(default_factory=frozenset)
+    tuple_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def summary(self, include_bootstrap: bool = False) -> ExperimentSummary:
+        """Average metrics, excluding the bootstrap window by default.
+
+        During the bootstrap window no partitions exist yet and every
+        document is broadcast; including it would measure the cold start
+        instead of the partitioning algorithm.
+        """
+        windows = self.per_window
+        if not include_bootstrap and len(windows) > 1:
+            windows = windows[1:]
+        return aggregate_metrics(windows)
+
+
+def build_topology(
+    config: StreamJoinConfig, windows: Sequence[Sequence[Document]]
+) -> Topology:
+    """Declare the Fig. 2 topology for ``windows`` under ``config``."""
+    distributed_mining = config.algorithm == "AG"
+    builder = TopologyBuilder()
+    builder.set_spout(msg.READER, lambda: DocumentSpout(windows), parallelism=1)
+
+    creator = builder.set_bolt(
+        msg.CREATOR,
+        lambda: PartitionCreatorBolt(distributed_mining=distributed_mining),
+        parallelism=config.n_creators,
+    )
+    creator.subscribe(msg.READER, msg.DOCS, ShuffleGrouping())
+    creator.subscribe(msg.READER, msg.WINDOW_END, AllGrouping())
+    creator.subscribe(msg.MERGER, msg.MINING_REQUEST, AllGrouping())
+    creator.subscribe(msg.ASSIGNER, msg.CONTROL, AllGrouping())
+
+    merger = builder.set_bolt(
+        msg.MERGER,
+        lambda: MergerBolt(
+            partitioner=PARTITIONERS[config.algorithm](),
+            expansion=config.expansion,
+            expansion_coverage=config.expansion_coverage,
+        ),
+        parallelism=1,
+    )
+    merger.subscribe(msg.CREATOR, msg.SAMPLE_STATS, GlobalGrouping())
+    merger.subscribe(msg.CREATOR, msg.LOCAL_GROUPS, GlobalGrouping())
+    merger.subscribe(msg.ASSIGNER, msg.CONTROL, GlobalGrouping())
+
+    assigner = builder.set_bolt(
+        msg.ASSIGNER,
+        lambda: AssignerBolt(theta=config.theta, delta=config.delta),
+        parallelism=config.n_assigners,
+    )
+    assigner.subscribe(msg.READER, msg.DOCS, ShuffleGrouping())
+    assigner.subscribe(msg.READER, msg.WINDOW_END, AllGrouping())
+    assigner.subscribe(msg.MERGER, msg.PARTITIONS, AllGrouping())
+    assigner.subscribe(msg.MERGER, msg.PARTITION_UPDATE, AllGrouping())
+
+    joiner = builder.set_bolt(
+        msg.JOINER,
+        lambda: JoinerBolt(
+            compute_joins=config.compute_joins,
+            collect_pairs=config.collect_pairs,
+            sliding_size=config.sliding_size,
+            binary=config.binary,
+        ),
+        parallelism=config.m,
+    )
+    joiner.subscribe(msg.ASSIGNER, msg.ASSIGNED, DirectGrouping())
+    joiner.subscribe(msg.ASSIGNER, msg.WINDOW_DONE, AllGrouping())
+    joiner.subscribe(msg.MERGER, msg.PARTITIONS, AllGrouping())
+
+    sink = builder.set_bolt(msg.SINK, MetricsSinkBolt, parallelism=1)
+    sink.subscribe(msg.ASSIGNER, msg.ASSIGNER_STATS, GlobalGrouping())
+    sink.subscribe(msg.JOINER, msg.JOIN_STATS, GlobalGrouping())
+    sink.subscribe(msg.MERGER, msg.REPARTITION_EVENT, GlobalGrouping())
+
+    return builder.build()
+
+
+def run_binary_stream_join(
+    config: StreamJoinConfig,
+    left_windows: Sequence[Sequence[Document]],
+    right_windows: Sequence[Sequence[Document]],
+) -> StreamJoinResult:
+    """Run the two-stream (R x S) topology over aligned windows.
+
+    Both streams are partitioned and routed with the same content-aware
+    machinery — any R document and S document sharing an AV-pair without
+    conflicts are co-located — but Joiners only report *cross-stream*
+    pairs.  Document ids must be unique across the two streams.
+    """
+    if not config.binary:
+        config = replace(config, binary=True)
+    topology = build_topology(config, [])
+    topology.components[msg.READER].factory = (
+        lambda: TwoStreamSpout(left_windows, right_windows)
+    )
+    return _execute(config, topology)
+
+
+def run_stream_join(
+    config: StreamJoinConfig, windows: Sequence[Sequence[Document]]
+) -> StreamJoinResult:
+    """Run the full topology over pre-windowed documents."""
+    topology = build_topology(config, windows)
+    return _execute(config, topology)
+
+
+def _execute(config: StreamJoinConfig, topology: Topology) -> StreamJoinResult:
+    cluster = LocalCluster(topology)
+    cluster.run()
+    sink = cluster.tasks(msg.SINK)[0]
+    assert isinstance(sink, MetricsSinkBolt)
+    # The merger's repartition event for window w is emitted after the
+    # sink has already finalized w's metrics (the partition protocol runs
+    # later in the punctuation drain), so the flags are stamped here.
+    recomputed = {
+        w for w, initial in sink.repartition_events.items() if not initial
+    }
+    for window in sink.windows:
+        if window.window in recomputed:
+            window.repartitioned = True
+    return StreamJoinResult(
+        config=config,
+        per_window=list(sink.windows),
+        repartition_windows=sink.repartition_windows(),
+        join_pairs=frozenset(sink.join_pairs),
+        tuple_stats=cluster.stats(),
+    )

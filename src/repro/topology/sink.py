@@ -1,0 +1,102 @@
+"""Metrics sink: aggregates per-window statistics from all components."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.join.base import JoinPair
+from repro.metrics.gini import gini_coefficient
+from repro.metrics.report import WindowMetrics
+from repro.streaming.component import Bolt, Collector, ComponentContext
+from repro.streaming.tuples import StreamTuple
+from repro.topology import messages as msg
+
+
+class MetricsSinkBolt(Bolt):
+    """Single-instance collector of Section VII-C measurements.
+
+    A window is finalized once statistics from every Assigner and every
+    Joiner arrived; the per-machine document counts are summed across
+    Assigners before computing replication / Gini / maximal processing
+    load, so the metrics describe the *global* window, not one Assigner's
+    slice.
+    """
+
+    def __init__(self) -> None:
+        self._n_assigners = 0
+        self._n_joiners = 0
+        self._assigner_stats: dict[int, list[msg.AssignerWindowStats]] = {}
+        self._joiner_stats: dict[int, list[msg.JoinerWindowStats]] = {}
+        #: window -> True when this was the initial partition creation
+        self.repartition_events: dict[int, bool] = {}
+        self.windows: list[WindowMetrics] = []
+        self.join_pairs: set[JoinPair] = set()
+
+    def prepare(self, context: ComponentContext) -> None:
+        self._n_assigners = context.parallelism_of(msg.ASSIGNER)
+        self._n_joiners = context.parallelism_of(msg.JOINER)
+
+    def process(self, tup: StreamTuple, collector: Collector) -> None:
+        if tup.stream == msg.ASSIGNER_STATS:
+            (stats,) = tup.values
+            self._assigner_stats.setdefault(stats.window_id, []).append(stats)
+            self._maybe_finalize(stats.window_id)
+        elif tup.stream == msg.JOIN_STATS:
+            stats, pairs = tup.values
+            self._joiner_stats.setdefault(stats.window_id, []).append(stats)
+            if pairs:
+                self.join_pairs.update(pairs)
+            self._maybe_finalize(stats.window_id)
+        elif tup.stream == msg.REPARTITION_EVENT:
+            window_id, initial = tup.values
+            self.repartition_events[window_id] = initial
+
+    def _maybe_finalize(self, window_id: int) -> None:
+        assigners = self._assigner_stats.get(window_id, [])
+        joiners = self._joiner_stats.get(window_id, [])
+        if len(assigners) < self._n_assigners or len(joiners) < self._n_joiners:
+            return
+        del self._assigner_stats[window_id]
+        del self._joiner_stats[window_id]
+
+        documents = sum(s.documents for s in assigners)
+        assignments = sum(s.assignments for s in assigners)
+        broadcasts = sum(s.broadcasts for s in assigners)
+        machine_counts = [0] * self._n_joiners
+        for stats in assigners:
+            for machine, count in enumerate(stats.machine_counts):
+                machine_counts[machine] += count
+        if documents:
+            loads = [count / documents for count in machine_counts]
+            metrics = WindowMetrics(
+                window=window_id,
+                replication=assignments / documents,
+                gini=gini_coefficient(loads),
+                max_load=max(loads),
+                documents=documents,
+                repartitioned=self._was_repartitioned(window_id),
+                broadcast_fraction=broadcasts / documents,
+                join_pairs=sum(s.join_pairs for s in joiners),
+                loads=loads,
+            )
+        else:  # pragma: no cover - empty windows are rejected upstream
+            metrics = WindowMetrics(
+                window=window_id,
+                replication=0.0,
+                gini=0.0,
+                max_load=0.0,
+                documents=0,
+                repartitioned=self._was_repartitioned(window_id),
+            )
+        self.windows.append(metrics)
+        self.windows.sort(key=lambda w: w.window)
+
+    def _was_repartitioned(self, window_id: int) -> bool:
+        """True when a *non-initial* partition computation hit this window."""
+        if window_id not in self.repartition_events:
+            return False
+        return not self.repartition_events[window_id]
+
+    def repartition_windows(self) -> list[int]:
+        """All windows in which partitions were (re)computed, incl. initial."""
+        return sorted(self.repartition_events)

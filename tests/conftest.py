@@ -1,0 +1,78 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.document import Document
+
+# ---------------------------------------------------------------------------
+# Canonical paper examples
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fig1_documents() -> list[Document]:
+    """The seven documents of the paper's Fig. 1."""
+    return [
+        Document({"User": "A", "Severity": "Warning"}, doc_id=1),
+        Document({"User": "A", "Severity": "Warning", "MsgId": 2}, doc_id=2),
+        Document({"User": "A", "Severity": "Error"}, doc_id=3),
+        Document({"IP": "10.2.145.212", "Severity": "Warning"}, doc_id=4),
+        Document({"User": "B", "Severity": "Critical", "MsgId": 1}, doc_id=5),
+        Document({"User": "B", "Severity": "Critical"}, doc_id=6),
+        Document({"User": "B", "Severity": "Warning"}, doc_id=7),
+    ]
+
+
+@pytest.fixture
+def table1_documents() -> list[Document]:
+    """The four documents of the paper's Table I (FP-tree example)."""
+    return [
+        Document({"a": 3, "b": 7, "c": 1}, doc_id=1),
+        Document({"a": 3, "b": 8}, doc_id=2),
+        Document({"a": 3, "b": 7}, doc_id=3),
+        Document({"b": 8, "c": 2}, doc_id=4),
+    ]
+
+
+@pytest.fixture
+def fig3_documents() -> list[Document]:
+    """The four documents of the paper's Fig. 3 (association groups)."""
+    return [
+        Document({"A": 2, "B": 3, "C": 7}, doc_id=1),
+        Document({"A": 7, "B": 3, "C": 4}, doc_id=2),
+        Document({"D": 13}, doc_id=3),
+        Document({"A": 7, "C": 4}, doc_id=4),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for schema-free documents
+# ---------------------------------------------------------------------------
+
+#: a constrained attribute alphabet so documents actually share pairs
+ATTRIBUTES = st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"])
+VALUES = st.one_of(
+    st.integers(min_value=0, max_value=4),
+    st.sampled_from(["x", "y", "z"]),
+    st.booleans(),
+)
+
+
+@st.composite
+def document_pairs(draw) -> dict:
+    """A non-empty flat attribute -> value mapping."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    attributes = draw(
+        st.lists(ATTRIBUTES, min_size=n, max_size=n, unique=True)
+    )
+    return {attribute: draw(VALUES) for attribute in attributes}
+
+
+@st.composite
+def document_lists(draw, min_size: int = 1, max_size: int = 25) -> list[Document]:
+    """A window of documents with sequential doc ids."""
+    raw = draw(st.lists(document_pairs(), min_size=min_size, max_size=max_size))
+    return [Document(pairs, doc_id=i) for i, pairs in enumerate(raw)]

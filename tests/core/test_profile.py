@@ -1,0 +1,97 @@
+"""Unit tests for dataset profiling."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.core.profile import drift_rate, profile_documents
+
+
+class TestProfileDocuments:
+    @pytest.fixture
+    def docs(self):
+        return [
+            Document({"a": 1, "b": 2}, doc_id=0),
+            Document({"a": 1, "c": 3}, doc_id=1),
+            Document({"a": 2}, doc_id=2),
+            Document({"z": 9}, doc_id=3),
+        ]
+
+    def test_counts(self, docs):
+        profile = profile_documents(docs)
+        assert profile.documents == 4
+        assert profile.distinct_pairs == 5  # a:1, b:2, c:3, a:2, z:9
+        assert profile.distinct_attributes == 4
+        assert profile.mean_pairs_per_document == pytest.approx(6 / 4)
+
+    def test_top_pair_share(self, docs):
+        profile = profile_documents(docs)
+        assert profile.top_pair_share == pytest.approx(2 / 4)  # a:1 twice
+
+    def test_mean_posting_length(self, docs):
+        profile = profile_documents(docs)
+        assert profile.mean_posting_length == pytest.approx(6 / 5)
+
+    def test_connected_components(self, docs):
+        # a:1 co-occurs with b:2 and c:3 (one component); a:2 and z:9
+        # each appear alone in their documents (two singleton components)
+        profile = profile_documents(docs)
+        assert profile.connected_components == 3
+
+    def test_attribute_profiles(self, docs):
+        profile = profile_documents(docs)
+        a = profile.attributes["a"]
+        assert a.document_count == 3
+        assert a.distinct_values == 2
+        assert a.coverage(profile.documents) == pytest.approx(0.75)
+
+    def test_ubiquitous_attributes(self):
+        docs = [Document({"u": i % 2, "x": i}, doc_id=i) for i in range(4)]
+        docs.append(Document({"u": 0}, doc_id=99))  # lacks x
+        profile = profile_documents(docs)
+        assert profile.ubiquitous_attributes() == ["u"]
+
+    def test_disabling_attributes(self):
+        docs = [Document({"flag": i % 2 == 0, "v": i}, doc_id=i) for i in range(6)]
+        profile = profile_documents(docs)
+        assert profile.disabling_attributes(m=4) == ["flag"]
+        assert profile.disabling_attributes(m=2) == []  # domain not < 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_documents([])
+
+    def test_rwdata_profile_sanity(self):
+        from repro.data.serverlogs import ServerLogGenerator
+
+        docs = ServerLogGenerator(seed=1).documents(800)
+        profile = profile_documents(docs)
+        assert "Source" in profile.ubiquitous_attributes()
+        assert profile.disabling_attributes(m=20, coverage=1.0) == []
+        assert profile.top_pair_share > 0.25
+
+
+class TestDriftRate:
+    def test_no_drift_for_identical_windows(self):
+        window = [Document({"a": 1}, doc_id=0)]
+        assert drift_rate(window, window) == 0.0
+
+    def test_full_drift_for_new_vocabulary(self):
+        old = [Document({"a": 1}, doc_id=0)]
+        new = [Document({"b": 2}, doc_id=1)]
+        assert drift_rate(old, new) == 1.0
+
+    def test_partial_drift(self):
+        old = [Document({"a": 1}, doc_id=0)]
+        new = [Document({"a": 1}, doc_id=1), Document({"a": 2}, doc_id=2)]
+        assert drift_rate(old, new) == pytest.approx(0.5)
+
+    def test_empty_current_window(self):
+        assert drift_rate([Document({"a": 1}, doc_id=0)], []) == 0.0
+
+    def test_generators_keep_drifting(self):
+        from repro.data.nobench import NoBenchGenerator
+
+        generator = NoBenchGenerator(seed=3)
+        first = generator.next_window(300)
+        second = generator.next_window(300)
+        assert drift_rate(first, second) > 0.1

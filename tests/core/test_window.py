@@ -1,0 +1,76 @@
+"""Unit tests for tumbling window definitions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.window import CountWindow, TimeWindow, tumbling_count_windows
+from repro.exceptions import WindowError
+
+
+class TestCountWindow:
+    def test_exact_split(self):
+        assert CountWindow(2).split([1, 2, 3, 4]) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert CountWindow(3).split([1, 2, 3, 4]) == [[1, 2, 3], [4]]
+
+    def test_empty_input(self):
+        assert CountWindow(5).split([]) == []
+
+    def test_window_larger_than_input(self):
+        assert CountWindow(10).split([1, 2]) == [[1, 2]]
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(WindowError):
+            CountWindow(0)
+        with pytest.raises(WindowError):
+            CountWindow(-3)
+
+    def test_iter_windows_streaming(self):
+        chunks = list(CountWindow(2).iter_windows(iter(range(5))))
+        assert chunks == [[0, 1], [2, 3], [4]]
+
+    def test_iter_windows_empty(self):
+        assert list(CountWindow(2).iter_windows(iter([]))) == []
+
+    @given(st.lists(st.integers(), max_size=40), st.integers(1, 7))
+    def test_property_split_preserves_order_and_content(self, items, size):
+        windows = CountWindow(size).split(items)
+        assert [x for w in windows for x in w] == items
+        assert all(len(w) <= size for w in windows)
+        assert all(len(w) == size for w in windows[:-1])
+
+
+class TestTimeWindow:
+    def test_window_index(self):
+        window = TimeWindow(3.0)
+        assert window.window_index(0.0) == 0
+        assert window.window_index(2.999) == 0
+        assert window.window_index(3.0) == 1
+        assert window.window_index(7.5) == 2
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(WindowError):
+            TimeWindow(3.0).window_index(-1.0)
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(WindowError):
+            TimeWindow(0)
+
+    def test_split_groups_by_time(self):
+        window = TimeWindow(10)
+        items = ["a", "b", "c", "d"]
+        stamps = [1, 9, 11, 25]
+        assert window.split(items, stamps) == [["a", "b"], ["c"], ["d"]]
+
+    def test_split_length_mismatch(self):
+        with pytest.raises(WindowError, match="equal length"):
+            TimeWindow(10).split(["a"], [1, 2])
+
+    def test_split_empty(self):
+        assert TimeWindow(10).split([], []) == []
+
+
+def test_tumbling_count_windows_helper():
+    assert tumbling_count_windows([1, 2, 3], 2) == [[1, 2], [3]]

@@ -1,0 +1,195 @@
+"""Unit tests for the dataset generators and their structural contracts."""
+
+import pytest
+
+from repro.data.ideal import IdealStreamGenerator
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator_cls", [ServerLogGenerator, NoBenchGenerator]
+    )
+    def test_same_seed_same_stream(self, generator_cls):
+        a = generator_cls(seed=5).documents(200)
+        b = generator_cls(seed=5).documents(200)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "generator_cls", [ServerLogGenerator, NoBenchGenerator]
+    )
+    def test_different_seed_different_stream(self, generator_cls):
+        a = generator_cls(seed=5).documents(100)
+        b = generator_cls(seed=6).documents(100)
+        assert a != b
+
+    def test_sequential_doc_ids(self):
+        docs = ServerLogGenerator(seed=1).documents(50)
+        assert [d.doc_id for d in docs] == list(range(50))
+
+    def test_windows_continue_ids(self):
+        generator = ServerLogGenerator(seed=1)
+        first = generator.next_window(10)
+        second = generator.next_window(10)
+        assert first[-1].doc_id == 9
+        assert second[0].doc_id == 10
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            ServerLogGenerator(seed=1).next_window(0)
+
+    def test_windows_iterator(self):
+        windows = list(ServerLogGenerator(seed=1).windows(3, 20))
+        assert [len(w) for w in windows] == [20, 20, 20]
+
+
+class TestServerLogStructure:
+    """The structural properties the rwData substitution must preserve."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return ServerLogGenerator(seed=2).documents(2000)
+
+    def test_no_disabling_attribute_at_strict_coverage(self, corpus):
+        """AG/SC must run without expansion on rwData (Section VII-E).
+
+        The ubiquitous Source attribute has a domain (30 hosts) at least
+        as large as the largest evaluated machine count, so strict
+        coverage finds no disabling attribute for any paper setting."""
+        from repro.partitioning.expansion import plan_expansion
+
+        for m in (5, 8, 10, 20):
+            assert plan_expansion(corpus, m, coverage=1.0) is None
+
+    def test_source_is_ubiquitous_with_wide_domain(self, corpus):
+        """Every log record names its producing host — this enables the
+        FPTreeJoin fast path (Section V-B) without limiting partitioning."""
+        assert all("Source" in d for d in corpus)
+        assert len({d["Source"] for d in corpus}) >= 20
+
+    def test_severity_near_ubiquitous_low_variety(self, corpus):
+        """DS needs a relaxed-coverage disabling attribute (Section VII-E)."""
+        with_severity = sum(1 for d in corpus if "Severity" in d)
+        assert with_severity / len(corpus) > 0.85
+        values = {d["Severity"] for d in corpus if "Severity" in d}
+        assert len(values) <= 5
+
+    def test_skewed_popular_pairs(self, corpus):
+        """Popular AV-pairs occur in large document fractions (long HBJ
+        posting lists -> NLJ wins on rwData, Fig. 11c)."""
+        from collections import Counter
+
+        counter: Counter = Counter(p for d in corpus for p in d.avpairs())
+        most_common = counter.most_common(1)[0][1]
+        assert most_common > len(corpus) * 0.25
+
+    def test_users_have_stable_context(self, corpus):
+        """A user's home location never varies — real association structure."""
+        location: dict[str, str] = {}
+        for doc in corpus:
+            user, loc = doc.get("User"), doc.get("Location")
+            if user is None or loc is None or doc.get("EventType") == "system":
+                continue
+            location.setdefault(str(user), str(loc))
+            assert location[str(user)] == loc
+
+    def test_drift_introduces_new_users(self):
+        generator = ServerLogGenerator(seed=3, new_entities_per_window=5)
+        first = generator.next_window(500)
+        later = generator.next_window(500)
+        users_first = {d.get("User") for d in first} - {None}
+        users_later = {d.get("User") for d in later} - {None}
+        assert users_later - users_first
+
+    def test_joinable_documents_exist(self, corpus):
+        sample = corpus[:150]
+        joinable = sum(
+            1
+            for i, a in enumerate(sample)
+            for b in sample[i + 1 :]
+            if a.joinable(b)
+        )
+        assert joinable > 0
+
+
+class TestNoBenchStructure:
+    """The structural properties of the nbData substitution."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return NoBenchGenerator(seed=2).documents(2000)
+
+    def test_bool_in_every_document(self, corpus):
+        """'bool' is the disabling attribute forcing expansion on nbData."""
+        assert all("bool" in d for d in corpus)
+        assert {d["bool"] for d in corpus} == {True, False}
+
+    def test_num_attribute_removed(self, corpus):
+        assert all("num" not in d for d in corpus)
+
+    def test_nested_obj_flattened(self, corpus):
+        nested = [d for d in corpus if "nested_obj.str" in d]
+        assert nested
+        assert all("nested_obj.num" in d for d in nested)
+
+    def test_nested_arr_flattened(self, corpus):
+        assert any("nested_arr[0]" in d for d in corpus)
+
+    def test_sparse_attributes_present(self, corpus):
+        sparse = {a for d in corpus for a in d.pairs if a.startswith("sparse_")}
+        assert len(sparse) > 10
+
+    def test_sparse_attributes_shift_per_window(self):
+        generator = NoBenchGenerator(seed=4)
+        first = {a for d in generator.next_window(300) for a in d.pairs}
+        fourth = set()
+        for _ in range(3):
+            fourth = {a for d in generator.next_window(300) for a in d.pairs}
+        new_attrs = {a for a in fourth - first if a.startswith("sparse_")}
+        assert new_attrs  # "previously absent attributes" every window
+
+    def test_higher_diversity_than_serverlogs(self):
+        """Short posting lists: HBJ beats NLJ on nbData (Fig. 11d)."""
+        from collections import Counter
+
+        nb = NoBenchGenerator(seed=2).documents(1000)
+        rw = ServerLogGenerator(seed=2).documents(1000)
+        top_nb = Counter(p for d in nb for p in d.avpairs()).most_common(1)[0][1]
+        top_rw = Counter(p for d in rw for p in d.avpairs()).most_common(1)[0][1]
+        assert top_nb < top_rw
+
+
+class TestIdealStream:
+    def test_repeats_base_window_content(self):
+        base = ServerLogGenerator(seed=5)
+        ideal = IdealStreamGenerator(base, base_window_size=50, unseen_per_window=4)
+        first = ideal.next_window(50)
+        second = ideal.next_window(50)
+        first_content = [d.to_dict() for d in first]
+        second_content = [d.to_dict() for d in second[: len(first)]]
+        assert first_content == second_content
+
+    def test_first_window_has_no_extras(self):
+        base = ServerLogGenerator(seed=5)
+        ideal = IdealStreamGenerator(base, base_window_size=50, unseen_per_window=4)
+        assert len(ideal.next_window(50)) == 50
+        assert len(ideal.next_window(50)) == 54
+
+    def test_fresh_doc_ids_every_repetition(self):
+        base = ServerLogGenerator(seed=5)
+        ideal = IdealStreamGenerator(base, base_window_size=30, unseen_per_window=2)
+        ids = [d.doc_id for w in ideal.windows(3, 30) for d in w]
+        assert len(ids) == len(set(ids))
+
+    def test_zero_unseen_allowed(self):
+        base = ServerLogGenerator(seed=5)
+        ideal = IdealStreamGenerator(base, base_window_size=30, unseen_per_window=0)
+        ideal.next_window(30)
+        assert len(ideal.next_window(30)) == 30
+
+    def test_window_size_validation(self):
+        base = ServerLogGenerator(seed=5)
+        ideal = IdealStreamGenerator(base, base_window_size=10)
+        with pytest.raises(ValueError):
+            ideal.next_window(0)

@@ -1,0 +1,51 @@
+"""Unit tests for JSONL document IO."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.data.loader import read_jsonl, write_jsonl
+from repro.data.serverlogs import ServerLogGenerator
+from repro.exceptions import DocumentError
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        docs = ServerLogGenerator(seed=1).documents(25)
+        path = tmp_path / "docs.jsonl"
+        assert write_jsonl(path, docs) == 25
+        loaded = list(read_jsonl(path))
+        assert [d.pairs for d in loaded] == [d.pairs for d in docs]
+
+    def test_read_assigns_sequential_ids(self, tmp_path):
+        path = tmp_path / "docs.jsonl"
+        write_jsonl(path, [Document({"a": 1}), Document({"b": 2})])
+        loaded = list(read_jsonl(path))
+        assert [d.doc_id for d in loaded] == [0, 1]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "docs.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_invalid_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(DocumentError, match="bad.jsonl:2"):
+            list(read_jsonl(path))
+
+    def test_skip_invalid(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        loaded = list(read_jsonl(path, skip_invalid=True))
+        assert len(loaded) == 2
+
+    def test_nested_documents_flattened_on_read(self, tmp_path):
+        path = tmp_path / "nested.jsonl"
+        path.write_text('{"o": {"k": 1}}\n')
+        (doc,) = read_jsonl(path)
+        assert doc["o.k"] == 1
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert list(read_jsonl(path)) == []

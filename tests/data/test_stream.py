@@ -1,0 +1,104 @@
+"""Unit tests for timestamped streams and time-based windowing."""
+
+import pytest
+
+from repro.data.serverlogs import ServerLogGenerator
+from repro.data.stream import (
+    arrival_rate_from_daily_volume,
+    timestamped_stream,
+    windows_by_time,
+)
+from repro.exceptions import WindowError
+
+
+class TestTimestampedStream:
+    def test_produces_requested_count(self):
+        stream = list(
+            timestamped_stream(ServerLogGenerator(seed=1), 100.0, 250)
+        )
+        assert len(stream) == 250
+
+    def test_timestamps_strictly_increase(self):
+        stream = list(
+            timestamped_stream(ServerLogGenerator(seed=1), 100.0, 200)
+        )
+        stamps = [item.timestamp for item in stream]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+    def test_mean_rate_approximates_parameter(self):
+        rate = 50.0
+        stream = list(
+            timestamped_stream(ServerLogGenerator(seed=2), rate, 2000)
+        )
+        duration = stream[-1].timestamp
+        observed = len(stream) / duration
+        assert observed == pytest.approx(rate, rel=0.15)
+
+    def test_deterministic(self):
+        def stamps():
+            return [
+                item.timestamp
+                for item in timestamped_stream(
+                    ServerLogGenerator(seed=3), 80.0, 100, seed=9
+                )
+            ]
+
+        assert stamps() == stamps()
+
+    def test_zero_documents(self):
+        assert list(timestamped_stream(ServerLogGenerator(seed=1), 10.0, 0)) == []
+
+    def test_invalid_rate(self):
+        with pytest.raises(WindowError):
+            list(timestamped_stream(ServerLogGenerator(seed=1), 0.0, 10))
+
+    def test_invalid_count(self):
+        with pytest.raises(WindowError):
+            list(timestamped_stream(ServerLogGenerator(seed=1), 10.0, -1))
+
+
+class TestWindowsByTime:
+    def test_framing_respects_boundaries(self):
+        stream = list(
+            timestamped_stream(ServerLogGenerator(seed=4), 100.0, 500)
+        )
+        windows = windows_by_time(stream, window_minutes=1.0)
+        position = 0
+        for index, window in enumerate(windows):
+            for doc in window:
+                assert stream[position].document is doc
+                position += 1
+        assert position == len(stream)
+
+    def test_window_sizes_track_rate(self):
+        stream = list(
+            timestamped_stream(ServerLogGenerator(seed=4), 120.0, 1200)
+        )
+        windows = windows_by_time(stream, window_minutes=1.0)
+        interior = windows[1:-1]
+        average = sum(len(w) for w in interior) / max(1, len(interior))
+        assert average == pytest.approx(120.0, rel=0.25)
+
+    def test_windows_feed_the_topology(self):
+        from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+        stream = list(
+            timestamped_stream(ServerLogGenerator(seed=5), 150.0, 600)
+        )
+        windows = windows_by_time(stream, window_minutes=1.0)
+        result = run_stream_join(
+            StreamJoinConfig(m=3, algorithm="AG", n_assigners=2), windows
+        )
+        assert len(result.per_window) == len(windows)
+
+
+class TestDailyVolumeRate:
+    def test_paper_scaling(self):
+        # 46M documents over 105 days ~ 438k documents per day, streamed
+        # as one day's volume per 3 minutes
+        daily = 46_000_000 // 105
+        assert arrival_rate_from_daily_volume(daily) == pytest.approx(daily / 3)
+
+    def test_invalid_volume(self):
+        with pytest.raises(WindowError):
+            arrival_rate_from_daily_volume(0)

@@ -1,0 +1,64 @@
+"""Unit tests for the tweet-stream generator."""
+
+import pytest
+
+from repro.data.tweets import TweetGenerator
+from repro.join.base import brute_force_pairs, join_result_set
+from repro.join.fptree_join import FPTreeJoiner
+
+
+class TestTweetGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return TweetGenerator(seed=2).documents(800)
+
+    def test_deterministic(self):
+        assert TweetGenerator(seed=4).documents(100) == (
+            TweetGenerator(seed=4).documents(100)
+        )
+
+    def test_nested_user_flattened(self, corpus):
+        assert all("user.screen_name" in d for d in corpus)
+        assert all("user.lang" in d for d in corpus)
+
+    def test_hashtags_flattened_as_indexed_paths(self, corpus):
+        tagged = [d for d in corpus if "hashtags[0]" in d]
+        assert tagged
+        assert all(str(d["hashtags[0]"]).startswith("#") for d in tagged)
+
+    def test_user_language_consistent(self, corpus):
+        lang_of = {}
+        for doc in corpus:
+            name = doc["user.screen_name"]
+            lang_of.setdefault(name, doc["lang"])
+            assert lang_of[name] == doc["lang"]
+
+    def test_replies_reference_recent_tweets(self, corpus):
+        replies = [d for d in corpus if "in_reply_to" in d]
+        assert replies
+        ids = {d.doc_id for d in corpus}
+        assert all(d["in_reply_to"] in ids for d in replies)
+
+    def test_trending_topics_shift_per_window(self):
+        generator = TweetGenerator(seed=5, trend_shift_per_window=4)
+        first = {
+            d.get("hashtags[0]")
+            for d in generator.next_window(300)
+            if "hashtags[0]" in d
+        }
+        later = set()
+        for _ in range(5):
+            later = {
+                d.get("hashtags[0]")
+                for d in generator.next_window(300)
+                if "hashtags[0]" in d
+            }
+        assert later - first  # new trending tags appeared
+
+    def test_fpj_exact_on_tweets(self, corpus):
+        sample = corpus[:250]
+        assert join_result_set(FPTreeJoiner(), sample) == brute_force_pairs(sample)
+
+    def test_joinable_tweets_exist(self, corpus):
+        sample = corpus[:200]
+        assert brute_force_pairs(sample)

@@ -1,0 +1,93 @@
+"""Unit tests for experiment configuration and dataset wiring."""
+
+import pytest
+
+from repro.data.ideal import IdealStreamGenerator
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+from repro.exceptions import PartitioningError
+from repro.experiments.config import (
+    ExperimentConfig,
+    expansion_coverage_for,
+    make_generator,
+    scale_factor,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.m == 8
+        assert config.w == 6
+        assert config.theta == 0.2
+        assert config.delta == 3
+        assert config.n_assigners == 6  # "All settings use six Assigners"
+
+    def test_window_size_scales_with_w(self):
+        small = ExperimentConfig(w=3)
+        large = ExperimentConfig(w=9)
+        assert large.window_size == 3 * small.window_size
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(PartitioningError, match="unknown dataset"):
+            ExperimentConfig(dataset="secretData")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(PartitioningError):
+            ExperimentConfig(w=0)
+        with pytest.raises(PartitioningError):
+            ExperimentConfig(n_windows=0)
+
+    def test_hashable_for_memoization(self):
+        assert ExperimentConfig() == ExperimentConfig()
+        assert hash(ExperimentConfig()) == hash(ExperimentConfig())
+
+    def test_explicit_coverage_wins(self):
+        config = ExperimentConfig(algorithm="DS", expansion_coverage=1.0)
+        assert config.coverage() == 1.0
+
+
+class TestExpansionCoverage:
+    def test_ds_uses_relaxed_coverage(self):
+        assert expansion_coverage_for("rwData", "DS") == pytest.approx(0.85)
+
+    def test_ag_and_sc_use_strict_coverage(self):
+        assert expansion_coverage_for("rwData", "AG") == 1.0
+        assert expansion_coverage_for("nbData", "SC") == 1.0
+
+
+class TestScaleFactor:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+        assert ExperimentConfig(w=2, docs_per_minute=100).window_size == 500
+
+    def test_invalid_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+
+class TestMakeGenerator:
+    def test_rwdata(self):
+        assert isinstance(make_generator("rwData", 1, 100), ServerLogGenerator)
+
+    def test_nbdata(self):
+        assert isinstance(make_generator("nbData", 1, 100), NoBenchGenerator)
+
+    def test_ideal(self):
+        generator = make_generator("idealData", 1, 100)
+        assert isinstance(generator, IdealStreamGenerator)
+
+    def test_unknown(self):
+        with pytest.raises(PartitioningError):
+            make_generator("other", 1, 100)

@@ -1,0 +1,80 @@
+"""Unit tests for the figure sweep functions (tiny grids)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_cache, run_experiment
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+TINY = dict(
+    datasets=("rwData",),
+    algorithms=("AG",),
+    m_values=(2,),
+    w_values=(1,),
+    n_windows=2,
+)
+
+
+class TestSweepRows:
+    def test_fig06_row_shape(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rows = figures.fig06_replication(**TINY)
+        assert len(rows) == 2  # one vary-m row + one vary-w row
+        for row in rows:
+            assert row["metric"] == "replication"
+            assert row["value"] == row["replication"]
+            assert row["algorithm"] == "AG"
+
+    def test_fig07_and_fig08_share_runs_with_fig06(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        figures.fig06_replication(**TINY)
+        import repro.experiments.runner as runner_module
+
+        runs_after_fig6 = len(runner_module._CACHE)
+        figures.fig07_load_balance(**TINY)
+        figures.fig08_max_load(**TINY)
+        assert len(runner_module._CACHE) == runs_after_fig6  # memoized
+
+    def test_fig09_rows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rows = figures.fig09_repartitions(
+            datasets=("rwData",), algorithms=("AG",),
+            theta_values=(0.2,), n_windows=2,
+        )
+        assert len(rows) == 1
+        assert rows[0]["metric"] == "repartition_rate"
+        assert 0.0 <= float(rows[0]["value"]) <= 1.0
+
+    def test_fig10_rows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rows = figures.fig10_ideal_execution(
+            algorithms=("AG",), m_values=(2,), n_windows=2
+        )
+        metrics = {row["metric"] for row in rows}
+        assert metrics == {"replication", "gini", "max_load"}
+        assert all(row["dataset"] == "idealData" for row in rows)
+
+    def test_print_figure_renders_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        rows = figures.fig06_replication(**TINY)
+        text = figures.print_figure(rows, "title")
+        out = capsys.readouterr().out
+        assert "title" in out and "algorithm" in out
+        assert text.startswith("title")
+
+
+class TestScaleInteraction:
+    def test_scale_shrinks_windows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        result = run_experiment(
+            ExperimentConfig(dataset="rwData", algorithm="AG", w=1, n_windows=2)
+        )
+        assert result.stream_result.per_window[0].documents <= 10

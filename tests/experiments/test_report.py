@@ -1,0 +1,54 @@
+"""Unit tests for the markdown benchmark report generator."""
+
+import json
+
+from repro.experiments.report import generate_report, rows_to_markdown_table
+
+
+class TestMarkdownTable:
+    def test_renders_columns_in_first_seen_order(self):
+        table = rows_to_markdown_table([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b | c |"
+        assert lines[2] == "| 1 | 2 |  |"
+        assert lines[3] == "|  | 3 | 4 |"
+
+    def test_floats_formatted(self):
+        table = rows_to_markdown_table([{"v": 0.123456}])
+        assert "0.123" in table
+
+    def test_empty_rows(self):
+        assert "no rows" in rows_to_markdown_table([])
+
+
+class TestGenerateReport:
+    def test_report_from_result_files(self, tmp_path):
+        (tmp_path / "fig06_replication.json").write_text(
+            json.dumps([{"algorithm": "AG", "value": 3.5}])
+        )
+        text = generate_report(results_dir=tmp_path)
+        assert "Fig. 6" in text
+        assert "AG" in text
+
+    def test_missing_sections_skipped(self, tmp_path):
+        text = generate_report(results_dir=tmp_path)
+        assert "no result files found" in text
+
+    def test_invalid_json_skipped(self, tmp_path):
+        (tmp_path / "fig06_replication.json").write_text("{broken")
+        text = generate_report(results_dir=tmp_path)
+        assert "no result files found" in text
+
+    def test_writes_out_path(self, tmp_path):
+        (tmp_path / "ext_memory.json").write_text(json.dumps([{"d": "rw"}]))
+        out = tmp_path / "REPORT.md"
+        generate_report(results_dir=tmp_path, out_path=out)
+        assert out.exists()
+        assert "compaction" in out.read_text()
+
+    def test_cli_integration(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "fig06_replication.json").write_text(json.dumps([{"m": 8}]))
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        assert "Fig. 6" in capsys.readouterr().out

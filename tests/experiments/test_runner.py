@@ -1,0 +1,87 @@
+"""Unit tests for the experiment runner and memoization."""
+
+import json
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_cache, run_experiment, save_rows
+
+SMALL = dict(n_windows=2, docs_per_minute=20, n_assigners=2, n_creators=1)
+
+
+class TestRunExperiment:
+    def test_produces_summary_and_windows(self):
+        clear_cache()
+        result = run_experiment(ExperimentConfig(**SMALL))
+        assert result.summary.windows == 1  # bootstrap excluded
+        assert len(result.stream_result.per_window) == 2
+
+    def test_memoization_returns_same_object(self):
+        clear_cache()
+        config = ExperimentConfig(**SMALL)
+        first = run_experiment(config)
+        second = run_experiment(config)
+        assert first is second
+
+    def test_cache_bypass(self):
+        clear_cache()
+        config = ExperimentConfig(**SMALL)
+        first = run_experiment(config, use_cache=False)
+        second = run_experiment(config, use_cache=False)
+        assert first is not second
+        assert first.summary.replication == second.summary.replication
+
+    def test_deterministic_across_runs(self):
+        clear_cache()
+        config = ExperimentConfig(**SMALL)
+        first = run_experiment(config, use_cache=False)
+        second = run_experiment(config, use_cache=False)
+        assert [w.replication for w in first.stream_result.per_window] == [
+            w.replication for w in second.stream_result.per_window
+        ]
+
+    def test_row_contains_figure_fields(self):
+        clear_cache()
+        result = run_experiment(ExperimentConfig(**SMALL))
+        row = result.row(panel="x")
+        for key in ("dataset", "algorithm", "m", "w", "theta",
+                    "replication", "gini", "max_load", "panel"):
+            assert key in row
+
+
+class TestSaveRows:
+    def test_writes_json(self, tmp_path):
+        target = save_rows("unit", [{"a": 1}], directory=str(tmp_path))
+        assert json.loads(target.read_text()) == [{"a": 1}]
+
+    def test_creates_directory(self, tmp_path):
+        target = save_rows("unit", [], directory=str(tmp_path / "nested"))
+        assert target.exists()
+
+
+class TestSeedSweep:
+    def test_mean_and_std(self):
+        from repro.experiments.runner import run_with_seeds
+
+        clear_cache()
+        results = run_with_seeds(
+            ExperimentConfig(**SMALL), seeds=[1, 2, 3],
+            metrics=("replication",),
+        )
+        sweep = results["replication"]
+        assert len(sweep.values) == 3
+        assert min(sweep.values) <= sweep.mean <= max(sweep.values)
+        assert sweep.std >= 0.0
+
+    def test_requires_seeds(self):
+        import pytest
+        from repro.experiments.runner import run_with_seeds
+
+        with pytest.raises(ValueError):
+            run_with_seeds(ExperimentConfig(**SMALL), seeds=[])
+
+    def test_single_seed_zero_std(self):
+        from repro.experiments.runner import run_with_seeds
+
+        clear_cache()
+        results = run_with_seeds(ExperimentConfig(**SMALL), seeds=[5])
+        assert results["gini"].std == 0.0

@@ -1,0 +1,63 @@
+"""Unit tests for the Fig. 11 timing harness."""
+
+import pytest
+
+from repro.data.serverlogs import ServerLogGenerator
+from repro.experiments.timing import (
+    BASELINE_SIZES_FULL,
+    BASELINE_SIZES_SCALED,
+    FPJ_SIZES_FULL,
+    FPJ_SIZES_SCALED,
+    fig11_sizes,
+    time_join,
+)
+
+
+class TestTimeJoin:
+    @pytest.fixture(scope="class")
+    def docs(self):
+        return ServerLogGenerator(seed=1).documents(200)
+
+    @pytest.mark.parametrize("algorithm", ["FPJ", "NLJ", "HBJ"])
+    def test_timing_fields(self, algorithm, docs):
+        timing = time_join(algorithm, "rwData", docs)
+        assert timing.algorithm == algorithm
+        assert timing.documents == 200
+        assert timing.total_seconds >= 0
+        assert timing.join_pairs > 0
+
+    def test_all_algorithms_agree_on_pair_count(self, docs):
+        counts = {
+            algorithm: time_join(algorithm, "rwData", docs).join_pairs
+            for algorithm in ("FPJ", "NLJ", "HBJ")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_unknown_algorithm(self, docs):
+        with pytest.raises(ValueError, match="unknown join algorithm"):
+            time_join("MERGE", "rwData", docs)
+
+    def test_row_shape(self, docs):
+        row = time_join("FPJ", "rwData", docs[:50]).row()
+        assert set(row) == {
+            "algorithm", "dataset", "documents", "creation_s",
+            "join_s", "total_s", "join_pairs",
+        }
+
+
+class TestSizes:
+    def test_scaled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIG11_FULL", raising=False)
+        assert fig11_sizes() == (FPJ_SIZES_SCALED, BASELINE_SIZES_SCALED)
+
+    def test_full_when_requested(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIG11_FULL", "1")
+        assert fig11_sizes() == (FPJ_SIZES_FULL, BASELINE_SIZES_FULL)
+
+    def test_paper_ratios_preserved(self):
+        # 1 : 3 : 5 within each panel; FPJ sizes 10x the baseline sizes
+        for sizes in (FPJ_SIZES_SCALED, BASELINE_SIZES_SCALED,
+                      FPJ_SIZES_FULL, BASELINE_SIZES_FULL):
+            assert sizes[1] == 3 * sizes[0]
+            assert sizes[2] == 5 * sizes[0]
+        assert FPJ_SIZES_FULL[0] == 10 * BASELINE_SIZES_FULL[0]

@@ -1,0 +1,108 @@
+"""Tests for the Bloom filter and the approximate joiner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.document import Document
+from repro.join.approximate import ApproximateJoiner, BloomFilter, measure_recall
+from repro.join.base import brute_force_pairs, join_window
+from repro.data.serverlogs import ServerLogGenerator
+
+
+class TestBloomFilter:
+    def test_added_items_always_found(self):
+        bloom = BloomFilter(capacity=100)
+        for i in range(100):
+            bloom.add(("attr", i))
+        assert all(("attr", i) in bloom for i in range(100))
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(capacity=100)
+        assert ("attr", 1) not in bloom
+
+    def test_false_positive_rate_near_design(self):
+        bloom = BloomFilter(capacity=2000, error_rate=0.01)
+        for i in range(2000):
+            bloom.add(("in", i))
+        false_positives = sum(1 for i in range(10_000) if ("out", i) in bloom)
+        assert false_positives / 10_000 < 0.05  # generous margin over 1%
+
+    def test_clear(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add("x")
+        bloom.clear()
+        assert "x" not in bloom
+        assert bloom.item_count == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, error_rate=1.5)
+
+    @given(items=st.lists(st.integers(), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_false_negatives(self, items):
+        bloom = BloomFilter(capacity=max(1, len(items)))
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+
+class TestApproximateJoiner:
+    def test_full_sample_rate_is_exact(self):
+        docs = ServerLogGenerator(seed=3).documents(200)
+        pairs = frozenset(join_window(ApproximateJoiner(sample_rate=1.0), docs))
+        assert pairs == brute_force_pairs(docs)
+
+    def test_results_are_subset_of_truth(self):
+        docs = ServerLogGenerator(seed=3).documents(300)
+        approx = frozenset(
+            join_window(ApproximateJoiner(sample_rate=0.3, seed=1), docs)
+        )
+        assert approx <= brute_force_pairs(docs)
+
+    def test_recall_tracks_sample_rate(self):
+        docs = ServerLogGenerator(seed=4).documents(400)
+        recall, _, exact = measure_recall(docs, sample_rate=0.5, seed=2)
+        assert exact > 0
+        assert 0.3 < recall < 0.7  # ~0.5 expected
+
+    def test_bloom_filter_rejects_unmatchable_probes(self):
+        joiner = ApproximateJoiner(sample_rate=1.0)
+        joiner.add(Document({"a": 1}, doc_id=1))
+        assert joiner.probe(Document({"zz": 99})) == []
+        assert joiner.filtered_probes == 1
+
+    def test_estimate_is_unbiased_shape(self):
+        joiner = ApproximateJoiner(sample_rate=0.5, seed=7)
+        for i in range(200):
+            joiner.add(Document({"k": 1, "u": i}, doc_id=i))
+        found = joiner.probe(Document({"k": 1}))
+        assert joiner.last_estimate == pytest.approx(len(found) / 0.5)
+        # ~200 true partners; the estimate should be in the ballpark
+        assert 100 <= joiner.last_estimate <= 300
+
+    def test_reset(self):
+        joiner = ApproximateJoiner(sample_rate=1.0)
+        joiner.add(Document({"a": 1}, doc_id=1))
+        joiner.reset()
+        assert len(joiner) == 0
+        assert joiner.probe(Document({"a": 1})) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateJoiner(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            ApproximateJoiner(sample_rate=1.5)
+
+    def test_add_requires_doc_id(self):
+        with pytest.raises(ValueError):
+            ApproximateJoiner().add(Document({"a": 1}))
+
+    def test_deterministic_given_seed(self):
+        docs = ServerLogGenerator(seed=5).documents(150)
+        first = join_window(ApproximateJoiner(0.4, seed=9), docs)
+        second = join_window(ApproximateJoiner(0.4, seed=9), docs)
+        assert first == second

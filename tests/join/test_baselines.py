@@ -1,0 +1,67 @@
+"""Unit tests for the NLJ and HBJ baseline joiners."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.join.hash_join import HashJoiner
+from repro.join.nested_loop import NestedLoopJoiner
+
+
+@pytest.fixture(params=[NestedLoopJoiner, HashJoiner], ids=["NLJ", "HBJ"])
+def joiner(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_probe_empty_state(self, joiner):
+        assert joiner.probe(Document({"a": 1})) == []
+
+    def test_probe_finds_joinable(self, joiner):
+        joiner.add(Document({"a": 1, "b": 2}, doc_id=1))
+        assert joiner.probe(Document({"a": 1, "c": 3})) == [1]
+
+    def test_probe_skips_conflicting(self, joiner):
+        joiner.add(Document({"a": 1, "b": 2}, doc_id=1))
+        assert joiner.probe(Document({"a": 1, "b": 9})) == []
+
+    def test_probe_skips_disjoint(self, joiner):
+        joiner.add(Document({"a": 1}, doc_id=1))
+        assert joiner.probe(Document({"z": 1})) == []
+
+    def test_multiple_partners(self, joiner):
+        joiner.add(Document({"a": 1}, doc_id=1))
+        joiner.add(Document({"a": 1, "b": 2}, doc_id=2))
+        joiner.add(Document({"a": 2}, doc_id=3))
+        assert sorted(joiner.probe(Document({"a": 1}))) == [1, 2]
+
+    def test_partner_reported_once(self, joiner):
+        """A stored doc sharing several pairs is still one partner."""
+        joiner.add(Document({"a": 1, "b": 2, "c": 3}, doc_id=1))
+        assert joiner.probe(Document({"a": 1, "b": 2, "c": 3})) == [1]
+
+    def test_reset(self, joiner):
+        joiner.add(Document({"a": 1}, doc_id=1))
+        joiner.reset()
+        assert len(joiner) == 0
+        assert joiner.probe(Document({"a": 1})) == []
+
+    def test_add_requires_doc_id(self, joiner):
+        with pytest.raises(ValueError, match="doc_id"):
+            joiner.add(Document({"a": 1}))
+
+    def test_len_counts_stored(self, joiner):
+        joiner.add(Document({"a": 1}, doc_id=1))
+        joiner.add(Document({"b": 1}, doc_id=2))
+        assert len(joiner) == 2
+
+
+class TestHashJoinerSpecific:
+    def test_posting_list_lengths(self):
+        joiner = HashJoiner()
+        joiner.add(Document({"a": 1, "b": 2}, doc_id=1))
+        joiner.add(Document({"a": 1}, doc_id=2))
+        assert sorted(joiner.posting_list_lengths()) == [1, 2]
+
+    def test_names(self):
+        assert NestedLoopJoiner.name == "NLJ"
+        assert HashJoiner.name == "HBJ"

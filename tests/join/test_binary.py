@@ -1,0 +1,117 @@
+"""Tests for the two-stream (R ⋈ S) join extension."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.document import Document
+from repro.join.binary import (
+    LEFT,
+    RIGHT,
+    BinaryJoinPair,
+    BinaryStreamJoiner,
+    binary_join_window,
+    brute_force_binary_pairs,
+)
+from repro.join.hash_join import HashJoiner
+from repro.join.nested_loop import NestedLoopJoiner
+from tests.conftest import document_lists
+
+
+class TestBinaryJoiner:
+    def test_cross_stream_pair_found(self):
+        joiner = BinaryStreamJoiner()
+        assert joiner.process(Document({"q": 7}, doc_id=1), LEFT) == []
+        pairs = joiner.process(Document({"q": 7}, doc_id=2), RIGHT)
+        assert pairs == [BinaryJoinPair(1, 2)]
+
+    def test_intra_stream_pairs_excluded(self):
+        """Two joinable documents on the SAME stream never pair."""
+        joiner = BinaryStreamJoiner()
+        joiner.process(Document({"q": 7}, doc_id=1), LEFT)
+        assert joiner.process(Document({"q": 7}, doc_id=2), LEFT) == []
+
+    def test_pair_orientation_is_left_right(self):
+        joiner = BinaryStreamJoiner()
+        joiner.process(Document({"q": 7}, doc_id=9), RIGHT)
+        pairs = joiner.process(Document({"q": 7}, doc_id=1), LEFT)
+        assert pairs == [BinaryJoinPair(1, 9)]
+
+    def test_conflicts_respected_across_streams(self):
+        joiner = BinaryStreamJoiner()
+        joiner.process(Document({"q": 7, "u": "a"}, doc_id=1), LEFT)
+        assert joiner.process(Document({"q": 7, "u": "b"}, doc_id=2), RIGHT) == []
+
+    def test_invalid_side(self):
+        joiner = BinaryStreamJoiner()
+        with pytest.raises(ValueError, match="side"):
+            joiner.process(Document({"a": 1}, doc_id=1), "T")
+
+    def test_doc_id_required(self):
+        with pytest.raises(ValueError, match="doc_id"):
+            BinaryStreamJoiner().process(Document({"a": 1}), LEFT)
+
+    def test_reset_clears_both_stores(self):
+        joiner = BinaryStreamJoiner()
+        joiner.process(Document({"a": 1}, doc_id=1), LEFT)
+        joiner.process(Document({"b": 2}, doc_id=2), RIGHT)
+        assert len(joiner) == 2
+        joiner.reset()
+        assert len(joiner) == 0
+        assert joiner.process(Document({"a": 1}, doc_id=3), RIGHT) == []
+
+    def test_overlapping_id_spaces_allowed(self):
+        """R and S may number their documents independently."""
+        joiner = BinaryStreamJoiner()
+        joiner.process(Document({"a": 1}, doc_id=0), LEFT)
+        pairs = joiner.process(Document({"a": 1}, doc_id=0), RIGHT)
+        assert pairs == [BinaryJoinPair(0, 0)]
+
+
+FACTORIES = [
+    pytest.param(None, id="FPJ"),
+    pytest.param(NestedLoopJoiner, id="NLJ"),
+    pytest.param(HashJoiner, id="HBJ"),
+]
+
+
+class TestBinaryJoinWindow:
+    @pytest.mark.parametrize("factory", FACTORIES)
+    @given(
+        left=document_lists(min_size=0, max_size=12),
+        right=document_lists(min_size=0, max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_brute_force(self, factory, left, right):
+        kwargs = {} if factory is None else {"store_factory": factory}
+        assert binary_join_window(left, right, **kwargs) == (
+            brute_force_binary_pairs(left, right)
+        )
+
+    @given(
+        left=document_lists(min_size=0, max_size=10),
+        right=document_lists(min_size=0, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_order_independent(self, left, right):
+        """R-then-S equals interleaved equals S-then-R."""
+        joiner = BinaryStreamJoiner()
+        sequential: set[BinaryJoinPair] = set()
+        for doc in left:
+            sequential.update(joiner.process(doc, LEFT))
+        for doc in right:
+            sequential.update(joiner.process(doc, RIGHT))
+        assert frozenset(sequential) == binary_join_window(left, right)
+
+    def test_photon_scenario(self):
+        """Queries joined with clicks via shared identifiers — without
+        declaring which attribute is the key."""
+        queries = [
+            Document({"QueryId": "q1", "Terms": "cheap flights"}, doc_id=1),
+            Document({"QueryId": "q2", "Terms": "pizza near me"}, doc_id=2),
+        ]
+        clicks = [
+            Document({"QueryId": "q1", "AdId": "a9"}, doc_id=1),
+            Document({"QueryId": "q3", "AdId": "a7"}, doc_id=2),
+        ]
+        pairs = binary_join_window(queries, clicks)
+        assert pairs == frozenset({BinaryJoinPair(1, 1)})

@@ -1,0 +1,68 @@
+"""Tests for the NLJ/HBJ cost model — predictions vs measurements."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.core.profile import profile_documents
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+from repro.join.cost import (
+    expected_shared_incidences,
+    measure_nlj_hbj_winner,
+    predict_nlj_hbj_winner,
+    profile_and_predict,
+    shared_incidences_of,
+)
+
+
+class TestSharedIncidences:
+    def test_identical_documents(self):
+        docs = [Document({"a": 1}, doc_id=i) for i in range(4)]
+        # one pair with share 1.0 -> sum of squares = 1.0
+        assert shared_incidences_of(docs) == pytest.approx(1.0)
+
+    def test_fully_disjoint_documents(self):
+        docs = [Document({f"a{i}": i}, doc_id=i) for i in range(10)]
+        # ten pairs, each share 0.1 -> 10 * 0.01
+        assert shared_incidences_of(docs) == pytest.approx(0.1)
+
+    def test_rwdata_exceeds_nbdata(self):
+        rw = ServerLogGenerator(seed=2).documents(1000)
+        nb = NoBenchGenerator(seed=2).documents(1000)
+        assert shared_incidences_of(rw) > shared_incidences_of(nb)
+
+    def test_profile_approximation_in_ballpark(self):
+        docs = ServerLogGenerator(seed=3).documents(800)
+        exact = shared_incidences_of(docs)
+        approx = expected_shared_incidences(profile_documents(docs))
+        # the profile keeps only the top pair exactly; the approximation
+        # must at least preserve the order of magnitude
+        assert approx == pytest.approx(exact, rel=0.9)
+        assert approx > 0.0
+
+
+class TestPrediction:
+    def test_predicts_nlj_on_interconnected_data(self):
+        docs = ServerLogGenerator(seed=4).documents(1500)
+        assert predict_nlj_hbj_winner(docs) == "NLJ"
+
+    def test_predicts_hbj_on_diverse_data(self):
+        docs = NoBenchGenerator(seed=4).documents(1500)
+        assert predict_nlj_hbj_winner(docs) == "HBJ"
+
+    @pytest.mark.parametrize(
+        "generator_cls", [ServerLogGenerator, NoBenchGenerator],
+        ids=["rwData", "nbData"],
+    )
+    def test_prediction_matches_measurement(self, generator_cls):
+        """The model's call agrees with actual wall-clock on both
+        datasets — the Fig. 11c/11d crossover, predicted analytically."""
+        docs = generator_cls(seed=7).documents(2500)
+        assert predict_nlj_hbj_winner(docs) == measure_nlj_hbj_winner(docs)
+
+    def test_report_shape(self):
+        docs = ServerLogGenerator(seed=5).documents(300)
+        report = profile_and_predict(docs)
+        assert report["documents"] == 300
+        assert report["predicted_winner"] in ("NLJ", "HBJ")
+        assert report["shared_incidences"] > 0

@@ -1,0 +1,144 @@
+"""Unit tests for FP-tree construction (Section V-A, Fig. 4)."""
+
+import pytest
+
+from repro.core.document import AVPair, Document
+from repro.join.fptree import FPTree
+from repro.join.ordering import AttributeOrder
+
+
+@pytest.fixture
+def table1_tree(table1_documents) -> FPTree:
+    return FPTree.build(table1_documents)
+
+
+class TestFig4Structure:
+    """The tree of the paper's Fig. 4, exactly."""
+
+    def test_root_children_are_b_values(self, table1_tree):
+        labels = set(table1_tree.root.children)
+        assert labels == {AVPair("b", 7), AVPair("b", 8)}
+
+    def test_b7_branch(self, table1_tree):
+        b7 = table1_tree.root.children[AVPair("b", 7)]
+        assert set(b7.children) == {AVPair("a", 3)}
+        a3 = b7.children[AVPair("a", 3)]
+        assert a3.doc_ids == [3]  # d3 ends at b:7 -> a:3
+        c1 = a3.children[AVPair("c", 1)]
+        assert c1.doc_ids == [1]  # d1 ends at b:7 -> a:3 -> c:1
+
+    def test_b8_branch(self, table1_tree):
+        b8 = table1_tree.root.children[AVPair("b", 8)]
+        assert set(b8.children) == {AVPair("a", 3), AVPair("c", 2)}
+        assert b8.children[AVPair("a", 3)].doc_ids == [2]
+        assert b8.children[AVPair("c", 2)].doc_ids == [4]
+
+    def test_prefix_sharing(self, table1_tree):
+        """d1 and d3 share the b:7 -> a:3 path: 6 nodes total, not 9."""
+        assert table1_tree.node_count == 6
+
+    def test_doc_count(self, table1_tree):
+        assert table1_tree.doc_count == 4
+        assert len(table1_tree) == 4
+
+    def test_header_table_links_equal_labels(self, table1_tree):
+        a3_nodes = table1_tree.header_chain(AVPair("a", 3))
+        assert len(a3_nodes) == 2
+        assert all(node.label == AVPair("a", 3) for node in a3_nodes)
+
+    def test_branch_ids_unique_per_terminal(self, table1_tree):
+        ids = [
+            node.branch_id
+            for node in table1_tree.iter_nodes()
+            if node.branch_id is not None
+        ]
+        assert len(ids) == len(set(ids)) == 4  # one branch per document path
+
+    def test_path_pairs(self, table1_tree):
+        b7 = table1_tree.root.children[AVPair("b", 7)]
+        c1 = b7.children[AVPair("a", 3)].children[AVPair("c", 1)]
+        assert c1.path_pairs() == [AVPair("b", 7), AVPair("a", 3), AVPair("c", 1)]
+
+
+class TestInsertion:
+    def test_insert_requires_doc_id(self):
+        tree = FPTree(AttributeOrder(("a",)))
+        with pytest.raises(ValueError, match="doc_id"):
+            tree.insert(Document({"a": 1}))
+
+    def test_identical_documents_share_terminal(self):
+        tree = FPTree(AttributeOrder(("a", "b")))
+        tree.insert(Document({"a": 1, "b": 2}, doc_id=1))
+        tree.insert(Document({"a": 1, "b": 2}, doc_id=2))
+        terminal = tree.root.children[AVPair("a", 1)].children[AVPair("b", 2)]
+        assert terminal.doc_ids == [1, 2]
+        assert tree.node_count == 2
+
+    def test_stored_doc_ids(self, table1_tree):
+        assert sorted(table1_tree.stored_doc_ids()) == [1, 2, 3, 4]
+
+    def test_build_derives_order_when_missing(self, table1_documents):
+        tree = FPTree.build(table1_documents)
+        assert tree.order.attributes == ("b", "a", "c")
+
+    def test_build_with_explicit_order(self, table1_documents):
+        order = AttributeOrder(("c", "a", "b"))
+        tree = FPTree.build(table1_documents, order)
+        # now c-labelled nodes sit at the top for documents containing c
+        assert AVPair("c", 1) in tree.root.children
+        assert AVPair("c", 2) in tree.root.children
+
+
+class TestUbiquitousPrefix:
+    def test_empty_tree(self):
+        assert FPTree(AttributeOrder(("a",))).ubiquitous_prefix_length() == 0
+
+    def test_table1_has_one_ubiquitous_level(self, table1_tree):
+        # 'b' appears in all four Table I documents — the paper's Fig. 5
+        # walkthrough states exactly one level has this property
+        assert table1_tree.ubiquitous_prefix_length() == 1
+        assert table1_tree.ubiquitous_attributes() == ("b",)
+
+    def test_no_ubiquitous_attribute(self):
+        docs = [Document({"a": 1}, doc_id=1), Document({"b": 2}, doc_id=2)]
+        assert FPTree.build(docs).ubiquitous_prefix_length() == 0
+
+    def test_single_ubiquitous_attribute(self):
+        docs = [
+            Document({"flag": True, "x": 1}, doc_id=1),
+            Document({"flag": False, "y": 2}, doc_id=2),
+            Document({"flag": True}, doc_id=3),
+        ]
+        tree = FPTree.build(docs)
+        assert tree.ubiquitous_prefix_length() == 1
+        assert tree.ubiquitous_attributes() == ("flag",)
+
+    def test_multiple_ubiquitous_attributes(self):
+        docs = [
+            Document({"f": True, "g": 1, "x": 1}, doc_id=1),
+            Document({"f": False, "g": 2, "y": 2}, doc_id=2),
+        ]
+        tree = FPTree.build(docs)
+        assert tree.ubiquitous_prefix_length() == 2
+
+    def test_prefix_requires_order_head(self):
+        """An attribute in all docs but ranked later gives no fast path."""
+        order = AttributeOrder(("rare", "common"))
+        tree = FPTree(order)
+        tree.insert(Document({"common": 1}, doc_id=1))
+        tree.insert(Document({"common": 2}, doc_id=2))
+        # 'common' is ubiquitous but 'rare' (rank 0) is not in any doc
+        assert tree.ubiquitous_prefix_length() == 0
+
+    def test_prefix_shrinks_as_documents_arrive(self):
+        docs = [Document({"f": 1, "x": 1}, doc_id=1)]
+        tree = FPTree.build(docs)
+        assert tree.ubiquitous_prefix_length() >= 1
+        tree.insert(Document({"y": 9}, doc_id=2))  # lacks f
+        assert tree.ubiquitous_prefix_length() == 0
+
+    def test_attribute_document_count(self, table1_tree):
+        assert table1_tree.attribute_document_count("b") == 4
+        assert table1_tree.attribute_document_count("a") == 3
+        assert table1_tree.attribute_document_count("c") == 2
+        assert table1_tree.attribute_document_count("zz") == 0

@@ -1,0 +1,151 @@
+"""Unit tests for FPTreeJoin (Section V-B, Algorithms 2 and 3, Fig. 5)."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.join.fptree import FPTree
+from repro.join.fptree_join import FPTreeJoiner, fptree_join
+from repro.join.ordering import AttributeOrder
+
+
+class TestFig5Example:
+    """Finding the join partners of d1 in the Table I tree."""
+
+    def test_d1_joins_only_d3(self, table1_documents):
+        d1 = table1_documents[0]
+        others = [d for d in table1_documents if d.doc_id != 1]
+        tree = FPTree.build(
+            others, AttributeOrder.from_documents(table1_documents)
+        )
+        assert fptree_join(tree, d1) == [3]
+
+    def test_pruning_of_b8_subtree(self, table1_documents):
+        """d1 carries b:7, so the whole b:8 branch must be pruned; d2 and
+        d4 (stored under b:8) never appear in the result."""
+        tree = FPTree.build(table1_documents)
+        result = fptree_join(tree, table1_documents[0])
+        assert 2 not in result and 4 not in result
+
+
+class TestGeneralTraversal:
+    def test_no_shared_attribute_yields_nothing(self):
+        tree = FPTree.build([Document({"a": 1}, doc_id=1)])
+        assert fptree_join(tree, Document({"z": 1})) == []
+
+    def test_conflict_prunes_subtree_documents(self):
+        docs = [
+            Document({"a": 1, "b": 2}, doc_id=1),
+            Document({"a": 1, "b": 3}, doc_id=2),
+        ]
+        tree = FPTree.build(docs)
+        probe = Document({"a": 1, "b": 2})
+        assert fptree_join(tree, probe) == [1]
+
+    def test_partner_below_nonshared_prefix(self):
+        """A stored doc can join even when the branch prefix contains
+        attributes the probe lacks (shared count starts later)."""
+        docs = [
+            Document({"a": 1, "b": 2, "c": 3}, doc_id=1),
+            Document({"a": 1, "b": 2}, doc_id=2),
+        ]
+        tree = FPTree.build(docs)
+        probe = Document({"c": 3})  # shares only c with d1
+        assert fptree_join(tree, probe) == [1]
+
+    def test_zero_shared_pairs_excluded_along_branch(self):
+        """Documents on a branch sharing no pair with the probe are not
+        collected even when no conflict occurs."""
+        docs = [Document({"a": 1}, doc_id=1), Document({"a": 1, "b": 2}, doc_id=2)]
+        tree = FPTree.build(docs)
+        probe = Document({"b": 2, "z": 9})
+        # d2 shares b:2; d1 shares nothing (but also does not conflict)
+        assert fptree_join(tree, probe) == [2]
+
+    def test_empty_tree(self):
+        tree = FPTree(AttributeOrder(("a",)))
+        assert fptree_join(tree, Document({"a": 1})) == []
+
+
+class TestFastPath:
+    @pytest.fixture
+    def bool_docs(self) -> list[Document]:
+        return [
+            Document({"bool": True, "x": 1}, doc_id=1),
+            Document({"bool": True, "y": 2}, doc_id=2),
+            Document({"bool": False, "x": 1}, doc_id=3),
+            Document({"bool": False}, doc_id=4),
+        ]
+
+    def test_fast_path_matches_general_traversal(self, bool_docs):
+        tree = FPTree.build(bool_docs)
+        probe = Document({"bool": True, "x": 1})
+        fast = sorted(fptree_join(tree, probe, use_fast_path=True))
+        slow = sorted(fptree_join(tree, probe, use_fast_path=False))
+        assert fast == slow == [1, 2]
+
+    def test_fast_path_prunes_conflicting_half(self, bool_docs):
+        tree = FPTree.build(bool_docs)
+        probe = Document({"bool": False, "x": 1})
+        assert sorted(fptree_join(tree, probe)) == [3, 4]
+
+    def test_probe_missing_ubiquitous_attribute_falls_back(self, bool_docs):
+        """A probe without 'bool' cannot conflict on it and must see
+        partners from both halves of the tree."""
+        tree = FPTree.build(bool_docs)
+        probe = Document({"x": 1})
+        assert sorted(fptree_join(tree, probe)) == [1, 3]
+
+    def test_fast_path_no_matching_child_returns_empty(self):
+        docs = [Document({"f": 1, "x": 1}, doc_id=1)]
+        tree = FPTree.build(docs)
+        assert fptree_join(tree, Document({"f": 2, "x": 1})) == []
+
+    def test_docs_collected_along_fast_path(self):
+        """Documents terminating inside the ubiquitous prefix are partners."""
+        docs = [
+            Document({"f": 1, "g": 2}, doc_id=1),  # ends at level 2
+            Document({"f": 1, "g": 2, "x": 3}, doc_id=2),
+        ]
+        tree = FPTree.build(docs)
+        probe = Document({"f": 1, "g": 2, "x": 3, "q": 0})
+        assert sorted(fptree_join(tree, probe)) == [1, 2]
+
+    def test_two_level_fast_path(self):
+        docs = [
+            Document({"f": i % 2, "g": i % 3, "v": i}, doc_id=i) for i in range(12)
+        ]
+        tree = FPTree.build(docs)
+        probe = Document({"f": 0, "g": 0, "v": 6})
+        fast = sorted(fptree_join(tree, probe, use_fast_path=True))
+        slow = sorted(fptree_join(tree, probe, use_fast_path=False))
+        assert fast == slow
+
+
+class TestFPTreeJoinerOperator:
+    def test_probe_then_add_discipline(self):
+        joiner = FPTreeJoiner()
+        first = Document({"a": 1}, doc_id=1)
+        assert joiner.probe(first) == []
+        joiner.add(first)
+        assert joiner.probe(Document({"a": 1}, doc_id=2)) == [1]
+
+    def test_reset_evicts_everything(self):
+        joiner = FPTreeJoiner()
+        joiner.add(Document({"a": 1}, doc_id=1))
+        joiner.reset()
+        assert len(joiner) == 0
+        assert joiner.probe(Document({"a": 1})) == []
+
+    def test_reset_keeps_explicit_order(self):
+        order = AttributeOrder(("b", "a"))
+        joiner = FPTreeJoiner(order)
+        joiner.add(Document({"a": 1, "b": 2}, doc_id=1))
+        joiner.reset()
+        assert joiner.tree.order is order
+
+    def test_with_sample_order(self, table1_documents):
+        joiner = FPTreeJoiner.with_sample_order(table1_documents)
+        assert joiner.tree.order.attributes == ("b", "a", "c")
+
+    def test_name(self):
+        assert FPTreeJoiner.name == "FPJ"

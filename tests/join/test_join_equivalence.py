@@ -1,0 +1,79 @@
+"""The central correctness property: every joiner computes the exact join.
+
+FPTreeJoin (with and without the fast path), NLJ and HBJ must all return
+precisely the brute-force natural-join result on arbitrary document
+windows — including generated rwData / nbData samples.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+from repro.join.base import brute_force_pairs, join_result_set, join_window
+from repro.join.fptree_join import FPTreeJoiner
+from repro.join.hash_join import HashJoiner
+from repro.join.nested_loop import NestedLoopJoiner
+from repro.join.ordering import AttributeOrder
+from tests.conftest import document_lists
+
+ALL_JOINERS = [
+    pytest.param(lambda docs: FPTreeJoiner(), id="FPJ-incremental-order"),
+    pytest.param(
+        lambda docs: FPTreeJoiner(AttributeOrder.from_documents(docs)),
+        id="FPJ-sample-order",
+    ),
+    pytest.param(
+        lambda docs: FPTreeJoiner(use_fast_path=False), id="FPJ-no-fast-path"
+    ),
+    pytest.param(lambda docs: NestedLoopJoiner(), id="NLJ"),
+    pytest.param(lambda docs: HashJoiner(), id="HBJ"),
+]
+
+
+@pytest.mark.parametrize("make_joiner", ALL_JOINERS)
+@given(docs=document_lists(max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_property_joiner_equals_brute_force(make_joiner, docs):
+    assert join_result_set(make_joiner(docs), docs) == brute_force_pairs(docs)
+
+
+@pytest.mark.parametrize("make_joiner", ALL_JOINERS)
+@pytest.mark.parametrize(
+    "generator_cls", [ServerLogGenerator, NoBenchGenerator], ids=["rwData", "nbData"]
+)
+def test_joiner_exact_on_generated_data(make_joiner, generator_cls):
+    docs = generator_cls(seed=5).documents(250)
+    assert join_result_set(make_joiner(docs), docs) == brute_force_pairs(docs)
+
+
+@given(docs=document_lists(max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_property_fast_path_is_pure_optimization(docs):
+    with_fast = join_result_set(FPTreeJoiner(use_fast_path=True), docs)
+    without = join_result_set(FPTreeJoiner(use_fast_path=False), docs)
+    assert with_fast == without
+
+
+@given(docs=document_lists(max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_property_result_independent_of_attribute_order(docs):
+    """Any total attribute order yields the same join result."""
+    natural = join_result_set(FPTreeJoiner(), docs)
+    reversed_order = AttributeOrder(
+        tuple(reversed(AttributeOrder.from_documents(docs).attributes))
+    )
+    assert join_result_set(FPTreeJoiner(reversed_order), docs) == natural
+
+
+def test_join_window_requires_doc_ids():
+    from repro.core.document import Document
+
+    with pytest.raises(ValueError, match="doc_id"):
+        join_window(NestedLoopJoiner(), [Document({"a": 1})])
+
+
+def test_join_window_reports_each_pair_once(fig1_documents):
+    pairs = join_window(NestedLoopJoiner(), fig1_documents)
+    assert len(pairs) == len(set(pairs))
+    assert set(pairs) == brute_force_pairs(fig1_documents)

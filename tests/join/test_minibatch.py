@@ -1,0 +1,56 @@
+"""Tests for the mini-batch (D-Stream) join baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.document import Document
+from repro.data.serverlogs import ServerLogGenerator
+from repro.join.base import JoinPair, brute_force_pairs
+from repro.join.minibatch import minibatch_join, minibatch_loss
+from tests.conftest import document_lists
+
+
+class TestMinibatchJoin:
+    def test_single_batch_is_exact(self):
+        docs = ServerLogGenerator(seed=2).documents(200)
+        assert minibatch_join(docs, batch_size=200) == brute_force_pairs(docs)
+
+    def test_cross_batch_pairs_lost(self):
+        docs = [
+            Document({"k": 1}, doc_id=0),
+            Document({"z": 1}, doc_id=1),
+            Document({"k": 1}, doc_id=2),  # joins doc 0 across the boundary
+        ]
+        pairs = minibatch_join(docs, batch_size=2)
+        assert JoinPair(0, 2) not in pairs
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            minibatch_join([], batch_size=0)
+
+    def test_loss_measurement(self):
+        docs = ServerLogGenerator(seed=6).documents(400)
+        lost, batched, exact = minibatch_loss(docs, batch_size=50)
+        assert exact > 0
+        assert 0.0 < lost < 1.0
+        assert batched < exact
+
+    def test_loss_shrinks_with_batch_size(self):
+        docs = ServerLogGenerator(seed=6).documents(400)
+        small, _, _ = minibatch_loss(docs, batch_size=25)
+        large, _, _ = minibatch_loss(docs, batch_size=200)
+        assert large < small
+
+    @given(
+        docs=document_lists(min_size=1, max_size=25),
+        batch=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batched_is_subset_of_truth(self, docs, batch):
+        assert minibatch_join(docs, batch) <= brute_force_pairs(docs)
+
+    @given(docs=document_lists(min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_property_full_batch_is_exact(self, docs):
+        assert minibatch_join(docs, len(docs)) == brute_force_pairs(docs)

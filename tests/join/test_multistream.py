@@ -1,0 +1,72 @@
+"""Tests for the N-ary multi-stream join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.document import Document
+from repro.join.multistream import (
+    MultiStreamJoiner,
+    StreamPair,
+    brute_force_stream_pairs,
+)
+from tests.conftest import document_lists
+
+
+class TestMultiStreamJoiner:
+    def test_three_streams_pairwise_matches(self):
+        joiner = MultiStreamJoiner(("logs", "alerts", "tickets"))
+        joiner.process(Document({"host": "h1"}, doc_id=1), "logs")
+        joiner.process(Document({"host": "h1"}, doc_id=2), "alerts")
+        pairs = joiner.process(Document({"host": "h1"}, doc_id=3), "tickets")
+        assert set(pairs) == {
+            StreamPair.of("tickets", 3, "logs", 1),
+            StreamPair.of("tickets", 3, "alerts", 2),
+        }
+
+    def test_intra_stream_excluded(self):
+        joiner = MultiStreamJoiner(("a", "b"))
+        joiner.process(Document({"k": 1}, doc_id=1), "a")
+        assert joiner.process(Document({"k": 1}, doc_id=2), "a") == []
+
+    def test_unknown_stream_rejected(self):
+        joiner = MultiStreamJoiner(("a", "b"))
+        with pytest.raises(ValueError, match="unknown stream"):
+            joiner.process(Document({"k": 1}, doc_id=1), "c")
+
+    def test_needs_two_streams(self):
+        with pytest.raises(ValueError):
+            MultiStreamJoiner(("solo",))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            MultiStreamJoiner(("a", "a"))
+
+    def test_reset(self):
+        joiner = MultiStreamJoiner(("a", "b"))
+        joiner.process(Document({"k": 1}, doc_id=1), "a")
+        joiner.reset()
+        assert len(joiner) == 0
+        assert joiner.process(Document({"k": 1}, doc_id=2), "b") == []
+
+    def test_pair_normalization(self):
+        assert StreamPair.of("b", 2, "a", 1) == StreamPair.of("a", 1, "b", 2)
+
+    @given(
+        a=document_lists(min_size=0, max_size=8),
+        b=document_lists(min_size=0, max_size=8),
+        c=document_lists(min_size=0, max_size=8),
+        order_seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_brute_force(self, a, b, c, order_seed):
+        streams = {"a": a, "b": b, "c": c}
+        arrivals = [
+            (doc, name) for name, docs in streams.items() for doc in docs
+        ]
+        order_seed.shuffle(arrivals)
+        joiner = MultiStreamJoiner(("a", "b", "c"))
+        pairs: set[StreamPair] = set()
+        for doc, name in arrivals:
+            pairs.update(joiner.process(doc, name))
+        assert frozenset(pairs) == brute_force_stream_pairs(streams)

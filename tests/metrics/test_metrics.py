@@ -1,0 +1,169 @@
+"""Unit tests for the Section VII-C metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.gini import gini_coefficient
+from repro.metrics.load import assigned_counts, max_processing_load, processing_loads
+from repro.metrics.replication import (
+    average_replication,
+    broadcast_fraction,
+    replication_from_counts,
+)
+from repro.metrics.report import (
+    WindowMetrics,
+    aggregate_metrics,
+    format_table,
+)
+from repro.partitioning.router import RoutingDecision
+
+
+def decision(targets, broadcast=False):
+    return RoutingDecision(tuple(targets), broadcast=broadcast)
+
+
+class TestGini:
+    def test_perfect_equality_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_total_concentration(self):
+        # one machine carries everything: G = (n-1)/n
+        assert gini_coefficient([10, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_known_value(self):
+        # loads 1,2,3: mean abs diff formulation gives 2/9
+        assert gini_coefficient([1, 2, 3]) == pytest.approx(2 / 9)
+
+    def test_scale_invariant(self):
+        assert gini_coefficient([1, 2, 3]) == pytest.approx(
+            gini_coefficient([10, 20, 30])
+        )
+
+    def test_order_invariant(self):
+        assert gini_coefficient([3, 1, 2]) == pytest.approx(gini_coefficient([1, 2, 3]))
+
+    def test_all_zero_loads(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_single_machine(self):
+        assert gini_coefficient([7]) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30))
+    def test_property_bounded(self, loads):
+        g = gini_coefficient(loads)
+        assert 0.0 <= g < 1.0
+
+
+class TestReplication:
+    def test_average(self):
+        decisions = [decision([0]), decision([0, 1]), decision([0, 1, 2])]
+        assert average_replication(decisions) == pytest.approx(2.0)
+
+    def test_minimum_is_one(self):
+        assert average_replication([decision([3])]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_replication([])
+
+    def test_from_counts(self):
+        assert replication_from_counts([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_from_counts_rejects_zero(self):
+        with pytest.raises(ValueError):
+            replication_from_counts([1, 0])
+
+    def test_broadcast_fraction(self):
+        decisions = [decision([0]), decision([0, 1], broadcast=True)]
+        assert broadcast_fraction(decisions) == pytest.approx(0.5)
+
+
+class TestProcessingLoad:
+    def test_assigned_counts(self):
+        decisions = [decision([0, 1]), decision([1])]
+        assert assigned_counts(decisions, 3) == [1, 2, 0]
+
+    def test_loads_are_fractions_of_documents(self):
+        decisions = [decision([0, 1]), decision([1])]
+        assert processing_loads(decisions, 2) == [0.5, 1.0]
+
+    def test_max_processing_load(self):
+        decisions = [decision([0]), decision([0]), decision([1])]
+        assert max_processing_load(decisions, 2) == pytest.approx(2 / 3)
+
+    def test_replicated_loads_can_sum_over_one(self):
+        decisions = [decision([0, 1])]
+        assert sum(processing_loads(decisions, 2)) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            processing_loads([], 2)
+
+
+class TestReporting:
+    def _metrics(self, window, replication=2.0, repartitioned=False):
+        return WindowMetrics(
+            window=window,
+            replication=replication,
+            gini=0.1,
+            max_load=0.5,
+            documents=100,
+            repartitioned=repartitioned,
+            join_pairs=10,
+        )
+
+    def test_aggregate_averages(self):
+        summary = aggregate_metrics(
+            [self._metrics(0, 1.0), self._metrics(1, 3.0)]
+        )
+        assert summary.replication == pytest.approx(2.0)
+        assert summary.windows == 2
+        assert summary.join_pairs == 20
+
+    def test_repartition_rate(self):
+        summary = aggregate_metrics(
+            [
+                self._metrics(0, repartitioned=True),
+                self._metrics(1),
+                self._metrics(2, repartitioned=True),
+                self._metrics(3),
+            ]
+        )
+        assert summary.repartition_rate == pytest.approx(0.5)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])
+
+    def test_as_dict(self):
+        summary = aggregate_metrics([self._metrics(0)])
+        data = summary.as_dict()
+        assert set(data) == {
+            "replication", "gini", "max_load", "repartition_rate",
+            "windows", "join_pairs",
+        }
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        table = format_table(rows, ("a", "b"))
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert len({len(line.rstrip()) for line in lines[:2]}) <= 2
+
+    def test_format_table_floats(self):
+        table = format_table([{"v": 1.23456}], ("v",))
+        assert "1.235" in table
+
+    def test_format_table_missing_column(self):
+        table = format_table([{"a": 1}], ("a", "missing"))
+        assert "missing" in table

@@ -1,0 +1,204 @@
+"""Unit tests for the AG algorithm (Section IV, Fig. 3, Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.association import (
+    AssociationGroup,
+    AssociationGroupPartitioner,
+    build_association_groups,
+    consolidate_association_groups,
+    find_equivalence_groups,
+    mine_association_groups,
+)
+from tests.conftest import document_lists
+
+
+def _pair_sets(groups):
+    return {frozenset(g.pairs) for g in groups}
+
+
+class TestEquivalenceGroups:
+    def test_fig3_equivalence_groups(self, fig3_documents):
+        """The paper's Fig. 3: eg1={A:2,C:7}, eg2={B:3}, eg3={A:7,C:4}, eg4={D:13}."""
+        groups = find_equivalence_groups(fig3_documents)
+        assert _pair_sets(groups) == {
+            frozenset({AVPair("A", 2), AVPair("C", 7)}),
+            frozenset({AVPair("B", 3)}),
+            frozenset({AVPair("A", 7), AVPair("C", 4)}),
+            frozenset({AVPair("D", 13)}),
+        }
+
+    def test_groups_partition_the_pair_space(self, fig3_documents):
+        groups = find_equivalence_groups(fig3_documents)
+        all_pairs = [p for g in groups for p in g.pairs]
+        assert len(all_pairs) == len(set(all_pairs))
+        observed = {p for d in fig3_documents for p in d.avpairs()}
+        assert set(all_pairs) == observed
+
+    def test_docsets_are_correct(self, fig3_documents):
+        groups = {
+            frozenset(g.pairs): g.doc_ids
+            for g in find_equivalence_groups(fig3_documents)
+        }
+        assert groups[frozenset({AVPair("B", 3)})] == {1, 2}
+        assert groups[frozenset({AVPair("A", 7), AVPair("C", 4)})] == {2, 4}
+
+    def test_positional_identity_without_doc_ids(self):
+        docs = [Document({"a": 1}), Document({"a": 1, "b": 2})]
+        groups = find_equivalence_groups(docs)
+        docsets = {frozenset(g.pairs): g.doc_ids for g in groups}
+        assert docsets[frozenset({AVPair("a", 1)})] == {0, 1}
+
+    def test_load_is_docset_size(self, fig3_documents):
+        for group in find_equivalence_groups(fig3_documents):
+            assert group.load == len(group.doc_ids)
+
+
+class TestAssociationGroups:
+    def test_fig3_association_groups(self, fig3_documents):
+        """Fig. 3's final output: {A:2,C:7,B:3}, {A:7,C:4}, {D:13}."""
+        groups = mine_association_groups(fig3_documents)
+        assert _pair_sets(groups) == {
+            frozenset({AVPair("A", 2), AVPair("C", 7), AVPair("B", 3)}),
+            frozenset({AVPair("A", 7), AVPair("C", 4)}),
+            frozenset({AVPair("D", 13)}),
+        }
+
+    def test_implication_requires_strict_containment(self):
+        # x:1 appears in docs {0,1}; y:1 in {0}; z:1 in {1}
+        docs = [Document({"x": 1, "y": 1}), Document({"x": 1, "z": 1})]
+        groups = mine_association_groups(docs)
+        # y implies x and z implies x, but the first absorption wins and
+        # removes x's group; the groups keep disjoint pairs
+        all_pairs = [p for g in groups for p in g.pairs]
+        assert len(all_pairs) == len(set(all_pairs))
+
+    def test_output_pairs_are_disjoint_and_complete(self, fig3_documents):
+        groups = mine_association_groups(fig3_documents)
+        all_pairs = [p for g in groups for p in g.pairs]
+        assert len(all_pairs) == len(set(all_pairs))
+        assert set(all_pairs) == {
+            p for d in fig3_documents for p in d.avpairs()
+        }
+
+    def test_load_counts_union_of_absorbed_docsets(self, fig3_documents):
+        groups = {frozenset(g.pairs): g for g in mine_association_groups(fig3_documents)}
+        ag1 = groups[frozenset({AVPair("A", 2), AVPair("C", 7), AVPair("B", 3)})]
+        # B:3 appears in docs 1 and 2; A:2,C:7 only in doc 1 -> union {1,2}
+        assert ag1.load == 2
+
+    def test_empty_input(self):
+        assert build_association_groups([]) == []
+
+    @given(docs=document_lists(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_groups_cover_pair_space_disjointly(self, docs):
+        groups = mine_association_groups(docs)
+        all_pairs = [p for g in groups for p in g.pairs]
+        assert len(all_pairs) == len(set(all_pairs))
+        assert set(all_pairs) == {p for d in docs for p in d.avpairs()}
+
+    @given(docs=document_lists(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_equivalent_pairs_stay_together(self, docs):
+        """Pairs with identical docsets must end in the same group."""
+        occurrences: dict[AVPair, frozenset[int]] = {}
+        for i, doc in enumerate(docs):
+            for pair in doc.avpairs():
+                occurrences[pair] = occurrences.get(pair, frozenset()) | {i}
+        docs_no_ids = [Document(d.pairs) for d in docs]
+        groups = mine_association_groups(docs_no_ids)
+        owner = {p: id(g) for g in groups for p in g.pairs}
+        for pair_a, docset_a in occurrences.items():
+            for pair_b, docset_b in occurrences.items():
+                if docset_a == docset_b:
+                    assert owner[pair_a] == owner[pair_b]
+
+
+class TestConsolidation:
+    def test_subset_groups_absorbed(self):
+        big = AssociationGroup({AVPair("a", 1), AVPair("b", 2)}, load=5)
+        small = AssociationGroup({AVPair("a", 1)}, load=3)
+        merged = consolidate_association_groups([[big], [small]])
+        assert len(merged) == 1
+        assert merged[0].pairs == {AVPair("a", 1), AVPair("b", 2)}
+        assert merged[0].load == 8
+
+    def test_duplicate_pair_removed_from_larger_group(self):
+        large = AssociationGroup(
+            {AVPair("a", 1), AVPair("b", 2), AVPair("c", 3)}, load=4
+        )
+        small = AssociationGroup({AVPair("a", 1), AVPair("z", 9)}, load=2)
+        merged = consolidate_association_groups([[large], [small]])
+        owners = [g for g in merged if AVPair("a", 1) in g.pairs]
+        assert len(owners) == 1
+        assert owners[0].pairs == {AVPair("a", 1), AVPair("z", 9)}
+
+    def test_consolidated_pairs_disjoint(self):
+        lists = [
+            [AssociationGroup({AVPair("a", 1), AVPair("b", 2)}, load=1)],
+            [AssociationGroup({AVPair("b", 2), AVPair("c", 3)}, load=1)],
+            [AssociationGroup({AVPair("c", 3), AVPair("a", 1)}, load=1)],
+        ]
+        merged = consolidate_association_groups(lists)
+        all_pairs = [p for g in merged for p in g.pairs]
+        assert len(all_pairs) == len(set(all_pairs))
+        assert set(all_pairs) == {AVPair("a", 1), AVPair("b", 2), AVPair("c", 3)}
+
+    def test_empty_groups_dropped(self):
+        merged = consolidate_association_groups([[AssociationGroup(set(), load=1)]])
+        assert merged == []
+
+    def test_identical_groups_merge_loads(self):
+        g = lambda: AssociationGroup({AVPair("a", 1)}, load=2)
+        merged = consolidate_association_groups([[g()], [g()], [g()]])
+        assert len(merged) == 1
+        assert merged[0].load == 6
+
+
+class TestPartitioner:
+    def test_creates_m_partitions(self, fig3_documents):
+        result = AssociationGroupPartitioner().create_partitions(fig3_documents, 2)
+        assert result.m == 2
+        assert result.algorithm == "AG"
+        assert result.group_count == 3
+
+    def test_every_observed_pair_is_owned(self, fig3_documents):
+        result = AssociationGroupPartitioner().create_partitions(fig3_documents, 2)
+        owned = {p for part in result.partitions for p in part.pairs}
+        assert owned == {p for d in fig3_documents for p in d.avpairs()}
+
+    def test_distributed_path_covers_pair_space(self, fig3_documents):
+        result = AssociationGroupPartitioner(n_creators=2).create_partitions(
+            fig3_documents, 2
+        )
+        owned = {p for part in result.partitions for p in part.pairs}
+        assert owned == {p for d in fig3_documents for p in d.avpairs()}
+
+    def test_rejects_empty_sample(self):
+        from repro.exceptions import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            AssociationGroupPartitioner().create_partitions([], 2)
+
+    def test_rejects_non_positive_m(self, fig3_documents):
+        from repro.exceptions import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            AssociationGroupPartitioner().create_partitions(fig3_documents, 0)
+
+    def test_rejects_bad_creator_count(self):
+        with pytest.raises(ValueError):
+            AssociationGroupPartitioner(n_creators=0)
+
+    @given(docs=document_lists(min_size=2, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_property_pair_ownership_unique(self, docs):
+        """AG partitions never replicate a pair across machines."""
+        result = AssociationGroupPartitioner().create_partitions(docs, 3)
+        seen: set[AVPair] = set()
+        for partition in result.partitions:
+            assert not (partition.pairs & seen)
+            seen |= partition.pairs

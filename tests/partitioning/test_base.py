@@ -1,0 +1,127 @@
+"""Unit tests for partitions and the greedy group assignment."""
+
+import pytest
+
+from dataclasses import dataclass
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.base import Partition, assign_groups_to_partitions
+
+
+@dataclass
+class Group:
+    pairs: set
+    load: int
+
+
+class TestPartition:
+    def test_matches_on_shared_pair(self):
+        partition = Partition(index=0, pairs={AVPair("a", 1)})
+        assert partition.matches(Document({"a": 1, "b": 2}))
+
+    def test_no_match_on_same_attribute_other_value(self):
+        partition = Partition(index=0, pairs={AVPair("a", 1)})
+        assert not partition.matches(Document({"a": 2}))
+
+    def test_empty_partition_matches_nothing(self):
+        assert not Partition(index=0).matches(Document({"a": 1}))
+
+    def test_len(self):
+        assert len(Partition(index=0, pairs={AVPair("a", 1)})) == 1
+
+
+class TestGreedyAssignment:
+    def test_one_group_per_partition_when_counts_match(self):
+        groups = [Group({AVPair("a", i)}, load=10 - i) for i in range(3)]
+        partitions = assign_groups_to_partitions(groups, 3)
+        assert sorted(len(p.pairs) for p in partitions) == [1, 1, 1]
+
+    def test_largest_groups_seed_empty_partitions(self):
+        groups = [
+            Group({AVPair("big", 1)}, load=100),
+            Group({AVPair("mid", 1)}, load=50),
+            Group({AVPair("small", 1)}, load=10),
+        ]
+        partitions = assign_groups_to_partitions(groups, 2)
+        loads = sorted(p.estimated_load for p in partitions)
+        # LPT: big alone (100), mid+small together (60)
+        assert loads == [60, 100]
+
+    def test_next_group_goes_to_least_loaded(self):
+        groups = [Group({AVPair(str(i), 1)}, load=load) for i, load in
+                  enumerate([8, 7, 6, 5])]
+        partitions = assign_groups_to_partitions(groups, 2)
+        loads = sorted(p.estimated_load for p in partitions)
+        assert loads == [13, 13]  # 8+5 and 7+6
+
+    def test_fewer_groups_than_partitions_leaves_empties(self):
+        groups = [Group({AVPair("a", 1)}, load=1)]
+        partitions = assign_groups_to_partitions(groups, 4)
+        assert sum(1 for p in partitions if p.pairs) == 1
+        assert sum(1 for p in partitions if not p.pairs) == 3
+
+    def test_no_groups(self):
+        partitions = assign_groups_to_partitions([], 3)
+        assert len(partitions) == 3
+        assert all(not p.pairs for p in partitions)
+
+    def test_indices_are_sequential(self):
+        partitions = assign_groups_to_partitions([], 5)
+        assert [p.index for p in partitions] == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        groups = [Group({AVPair(str(i), 1)}, load=i % 4) for i in range(12)]
+        first = assign_groups_to_partitions(groups, 3)
+        second = assign_groups_to_partitions(groups, 3)
+        assert [p.pairs for p in first] == [p.pairs for p in second]
+
+
+class TestPartitioningResult:
+    def test_pair_owner_index(self, fig3_documents):
+        from repro.partitioning.association import AssociationGroupPartitioner
+
+        result = AssociationGroupPartitioner().create_partitions(fig3_documents, 2)
+        index = result.pair_owner_index()
+        for pair, owners in index.items():
+            assert len(owners) == 1  # AG never replicates pairs
+
+    def test_non_empty_count(self):
+        from repro.partitioning.base import PartitioningResult
+
+        partitions = [
+            Partition(index=0, pairs={AVPair("a", 1)}),
+            Partition(index=1),
+        ]
+        result = PartitioningResult(partitions, algorithm="AG")
+        assert result.non_empty() == 1
+        assert result.m == 2
+
+
+class TestWeightedAssignment:
+    def _groups(self, loads):
+        return [Group({AVPair(str(i), i)}, load=load) for i, load in enumerate(loads)]
+
+    def test_capacity_proportional_loads(self):
+        # one double-capacity machine should end up with ~2x the load
+        groups = self._groups([10] * 12)
+        partitions = assign_groups_to_partitions(groups, 3, capacities=[2, 1, 1])
+        loads = [p.estimated_load for p in partitions]
+        assert loads[0] == 60 and loads[1] == 30 and loads[2] == 30
+
+    def test_uniform_capacities_match_default(self):
+        groups = self._groups([8, 7, 6, 5, 4])
+        plain = assign_groups_to_partitions(groups, 2)
+        weighted = assign_groups_to_partitions(groups, 2, capacities=[1.0, 1.0])
+        assert [p.pairs for p in plain] == [p.pairs for p in weighted]
+
+    def test_capacity_length_mismatch(self):
+        from repro.exceptions import PartitioningError
+
+        with pytest.raises(PartitioningError, match="length"):
+            assign_groups_to_partitions([], 3, capacities=[1, 2])
+
+    def test_non_positive_capacity_rejected(self):
+        from repro.exceptions import PartitioningError
+
+        with pytest.raises(PartitioningError, match="positive"):
+            assign_groups_to_partitions([], 2, capacities=[1, 0])

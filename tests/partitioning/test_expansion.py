@@ -1,0 +1,164 @@
+"""Unit tests for attribute-value expansion (Section VI-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.document import Document
+from repro.partitioning.expansion import ExpansionPlan, plan_expansion
+
+
+def bool_docs(n: int = 20, with_device: bool = True) -> list[Document]:
+    docs = []
+    for i in range(n):
+        record = {"flag": i % 2 == 0, "value": i % 5}
+        if with_device:
+            record["device"] = f"d{i % 10}"
+        docs.append(Document(record, doc_id=i))
+    return docs
+
+
+class TestPlanning:
+    def test_boolean_everywhere_is_disabling(self):
+        plan = plan_expansion(bool_docs(), m=8)
+        assert plan is not None
+        assert plan.attributes[0] == "flag"
+
+    def test_no_plan_without_low_variety_attribute(self):
+        docs = [Document({"id": i}, doc_id=i) for i in range(30)]
+        assert plan_expansion(docs, m=8) is None
+
+    def test_no_plan_when_domain_already_sufficient(self):
+        docs = [Document({"k": i % 10}, doc_id=i) for i in range(30)]
+        assert plan_expansion(docs, m=8) is None
+
+    def test_combining_attribute_prefers_frequent_small_domain(self):
+        # 'value' (5 values) and 'device' (10 values) both appear everywhere;
+        # value has the smaller domain and is chosen first
+        plan = plan_expansion(bool_docs(), m=8)
+        assert plan is not None
+        assert plan.attributes[1] == "value"
+
+    def test_expansion_repeats_until_domain_reached(self):
+        # flag (2) * value2 (2) = 4 < m=8 -> a third attribute is added
+        docs = [
+            Document({"flag": i % 2 == 0, "v": i % 2, "w": i % 4}, doc_id=i)
+            for i in range(32)
+        ]
+        plan = plan_expansion(docs, m=8)
+        assert plan is not None
+        assert len(plan.attributes) == 3
+
+    def test_stops_when_attributes_exhausted(self):
+        docs = [Document({"flag": i % 2 == 0}, doc_id=i) for i in range(10)]
+        plan = plan_expansion(docs, m=8)
+        assert plan is not None
+        assert plan.attributes == ("flag",)
+
+    def test_coverage_threshold_relaxation(self):
+        docs = bool_docs(20)
+        # 'almost' appears in 90% of docs with 2 values
+        docs = [
+            Document(
+                {**d.to_dict(), "almost": d.doc_id % 2 == 0}
+                if d.doc_id % 10 != 0
+                else d.to_dict(),
+                doc_id=d.doc_id,
+            )
+            for d in docs
+        ]
+        strict = plan_expansion(docs, m=20, coverage=1.0)
+        relaxed = plan_expansion(docs, m=20, coverage=0.85)
+        assert strict is None or strict.attributes[0] == "flag"
+        assert relaxed is not None
+
+    def test_empty_sample(self):
+        assert plan_expansion([], m=4) is None
+
+
+class TestTransform:
+    def test_full_transform_replaces_attributes(self):
+        plan = ExpansionPlan(("flag", "device"))
+        doc = Document({"flag": True, "device": "d1", "x": 7}, doc_id=1)
+        transformed, broadcast = plan.transform(doc)
+        assert not broadcast
+        assert "flag" not in transformed
+        assert "device" not in transformed
+        assert "x" in transformed
+        assert plan.synthetic_attribute in transformed
+
+    def test_missing_attribute_means_broadcast(self):
+        plan = ExpansionPlan(("flag", "device"))
+        doc = Document({"flag": True, "x": 7}, doc_id=1)
+        transformed, broadcast = plan.transform(doc)
+        assert broadcast
+        assert transformed is doc
+
+    def test_doc_id_preserved(self):
+        plan = ExpansionPlan(("flag",))
+        transformed, _ = plan.transform(Document({"flag": 1, "x": 2}, doc_id=9))
+        assert transformed.doc_id == 9
+
+    def test_synthetic_value_distinguishes_types(self):
+        plan = ExpansionPlan(("k",))
+        a = plan.synthetic_value(Document({"k": 1}))
+        b = plan.synthetic_value(Document({"k": "1"}))
+        assert a != b
+
+    def test_joinable_docs_get_equal_synthetic_values(self):
+        plan = ExpansionPlan(("flag", "device"))
+        a = Document({"flag": True, "device": "d1", "x": 1})
+        b = Document({"flag": True, "device": "d1", "y": 2})
+        assert plan.synthetic_value(a) == plan.synthetic_value(b)
+
+    def test_transform_sample_drops_broadcast_docs(self):
+        plan = ExpansionPlan(("flag", "device"))
+        docs = [
+            Document({"flag": True, "device": "d1"}, doc_id=1),
+            Document({"flag": True}, doc_id=2),
+        ]
+        sample = plan.transform_sample(docs)
+        assert len(sample) == 1
+        assert sample[0].doc_id == 1
+
+
+class TestReplicationEstimate:
+    def test_pna_zero_when_all_transformable(self):
+        plan = ExpansionPlan(("flag", "device"))
+        docs = bool_docs(20)
+        assert plan.missing_fraction(docs) == 0.0
+        assert plan.expected_replication(docs, 8) == 0.0
+
+    def test_pna_counts_missing(self):
+        plan = ExpansionPlan(("flag", "device"))
+        docs = bool_docs(10) + [Document({"flag": True}, doc_id=100)]
+        assert plan.missing_fraction(docs) == pytest.approx(1 / 11)
+        assert plan.expected_replication(docs, 8) == pytest.approx(8 / 11)
+
+    def test_empty_document_list(self):
+        assert ExpansionPlan(("flag",)).missing_fraction([]) == 0.0
+
+
+@given(
+    flags=st.lists(st.booleans(), min_size=4, max_size=20),
+    m=st.integers(min_value=3, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_joinable_pairs_not_separated_by_expansion(flags, m):
+    """If two docs are joinable and both fully transformable, their
+    synthetic pairs are identical — expansion never separates them."""
+    docs = [
+        Document({"flag": f, "device": f"d{i % 3}", "x": i % 2}, doc_id=i)
+        for i, f in enumerate(flags)
+    ]
+    plan = plan_expansion(docs, m=m)
+    if plan is None:
+        return
+    for i, a in enumerate(docs):
+        for b in docs[i + 1 :]:
+            if not a.joinable(b):
+                continue
+            value_a = plan.synthetic_value(a)
+            value_b = plan.synthetic_value(b)
+            if value_a is not None and value_b is not None:
+                assert value_a == value_b

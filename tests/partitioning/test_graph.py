@@ -1,0 +1,87 @@
+"""Unit tests for the Kernighan-Lin graph-partitioning baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.graph import KernighanLinPartitioner
+from repro.partitioning.router import DocumentRouter
+from tests.conftest import document_lists
+
+
+class TestKernighanLinPartitioner:
+    def test_creates_m_partitions(self, fig1_documents):
+        result = KernighanLinPartitioner().create_partitions(fig1_documents, 3)
+        assert result.m == 3
+        assert result.algorithm == "KL"
+
+    def test_all_pairs_covered_exactly_once(self, fig1_documents):
+        result = KernighanLinPartitioner().create_partitions(fig1_documents, 3)
+        owners = result.pair_owner_index()
+        observed = {p for d in fig1_documents for p in d.avpairs()}
+        assert set(owners) == observed
+        assert all(len(v) == 1 for v in owners.values())
+
+    def test_respects_cooccurrence(self):
+        """Two tightly coupled pair clusters end up in different parts."""
+        docs = []
+        for i in range(20):
+            docs.append(Document({"a": 1, "b": 2}, doc_id=2 * i))
+            docs.append(Document({"x": 8, "y": 9}, doc_id=2 * i + 1))
+        result = KernighanLinPartitioner().create_partitions(docs, 2)
+        owners = result.pair_owner_index()
+        assert owners[AVPair("a", 1)] == owners[AVPair("b", 2)]
+        assert owners[AVPair("x", 8)] == owners[AVPair("y", 9)]
+        assert owners[AVPair("a", 1)] != owners[AVPair("x", 8)]
+
+    def test_more_partitions_than_pairs(self):
+        docs = [Document({"a": 1}, doc_id=0)]
+        result = KernighanLinPartitioner().create_partitions(docs, 4)
+        assert result.m == 4
+        assert result.non_empty() == 1
+
+    def test_deterministic_with_seed(self, fig1_documents):
+        first = KernighanLinPartitioner(seed=1).create_partitions(fig1_documents, 3)
+        second = KernighanLinPartitioner(seed=1).create_partitions(fig1_documents, 3)
+        assert [p.pairs for p in first.partitions] == [
+            p.pairs for p in second.partitions
+        ]
+
+    def test_wide_documents_capped(self):
+        wide = Document({f"a{i}": i for i in range(40)}, doc_id=0)
+        result = KernighanLinPartitioner(max_pairs_per_doc=12).create_partitions(
+            [wide], 2
+        )
+        owned = {p for part in result.partitions for p in part.pairs}
+        assert len(owned) == 40
+
+    def test_loads_estimated(self, fig1_documents):
+        result = KernighanLinPartitioner().create_partitions(fig1_documents, 2)
+        assert sum(p.estimated_load for p in result.partitions) >= len(
+            fig1_documents
+        )
+
+    @given(docs=document_lists(min_size=2, max_size=18))
+    @settings(max_examples=30, deadline=None)
+    def test_property_joinable_docs_colocated(self, docs):
+        result = KernighanLinPartitioner().create_partitions(docs, 3)
+        router = DocumentRouter(result.partitions)
+        routes = {d.doc_id: set(router.route(d).targets) for d in docs}
+        for i, a in enumerate(docs):
+            for b in docs[i + 1 :]:
+                if a.joinable(b):
+                    assert routes[a.doc_id] & routes[b.doc_id]
+
+    def test_runs_inside_topology(self, fig1_documents):
+        from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+        windows = [fig1_documents, fig1_documents]
+        # re-identify the second window to keep doc ids unique
+        windows[1] = [
+            Document(d.pairs, doc_id=100 + i) for i, d in enumerate(windows[1])
+        ]
+        result = run_stream_join(
+            StreamJoinConfig(m=2, algorithm="KL", n_assigners=1, n_creators=1),
+            windows,
+        )
+        assert len(result.per_window) == 2

@@ -1,0 +1,49 @@
+"""Unit tests for the hash partitioning reference baseline."""
+
+from hypothesis import given, settings
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.hashing import HashPartitioner, stable_pair_hash
+from tests.conftest import document_lists
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        pair = AVPair("Severity", "Warning")
+        assert stable_pair_hash(pair) == stable_pair_hash(pair)
+
+    def test_distinguishes_value_types(self):
+        assert stable_pair_hash(AVPair("a", 1)) != stable_pair_hash(AVPair("a", "1"))
+
+    def test_distinguishes_attributes(self):
+        assert stable_pair_hash(AVPair("a", 1)) != stable_pair_hash(AVPair("b", 1))
+
+
+class TestHashPartitioner:
+    def test_each_pair_owned_once(self, fig1_documents):
+        result = HashPartitioner().create_partitions(fig1_documents, 3)
+        owners = result.pair_owner_index()
+        assert all(len(v) == 1 for v in owners.values())
+
+    def test_placement_follows_hash(self, fig1_documents):
+        result = HashPartitioner().create_partitions(fig1_documents, 3)
+        for partition in result.partitions:
+            for pair in partition.pairs:
+                assert stable_pair_hash(pair) % 3 == partition.index
+
+    def test_loads_count_matching_documents(self):
+        docs = [Document({"a": 1}, doc_id=1), Document({"a": 1, "b": 2}, doc_id=2)]
+        result = HashPartitioner().create_partitions(docs, 1)
+        assert result.partitions[0].estimated_load == 2
+
+    def test_group_count_is_pair_count(self, fig1_documents):
+        result = HashPartitioner().create_partitions(fig1_documents, 3)
+        distinct = {p for d in fig1_documents for p in d.avpairs()}
+        assert result.group_count == len(distinct)
+
+    @given(docs=document_lists(min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_pairs_covered(self, docs):
+        result = HashPartitioner().create_partitions(docs, 4)
+        owned = {p for part in result.partitions for p in part.pairs}
+        assert owned == {p for d in docs for p in d.avpairs()}

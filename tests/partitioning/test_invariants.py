@@ -1,0 +1,113 @@
+"""Cross-cutting partitioning invariants (property-based)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.document import AVPair
+from repro.partitioning.association import (
+    AssociationGroup,
+    consolidate_association_groups,
+    mine_association_groups,
+)
+from repro.partitioning.base import assign_groups_to_partitions
+from tests.conftest import document_lists
+
+
+@st.composite
+def group_lists(draw):
+    """Random lists of association-group lists (as creators would emit)."""
+    n_lists = draw(st.integers(min_value=1, max_value=4))
+    out = []
+    for _ in range(n_lists):
+        n_groups = draw(st.integers(min_value=0, max_value=5))
+        groups = []
+        for _ in range(n_groups):
+            n_pairs = draw(st.integers(min_value=0, max_value=4))
+            pairs = {
+                AVPair(draw(st.sampled_from("abcdef")), draw(st.integers(0, 3)))
+                for _ in range(n_pairs)
+            }
+            groups.append(
+                AssociationGroup(pairs=pairs, load=draw(st.integers(0, 20)))
+            )
+        out.append(groups)
+    return out
+
+
+class TestConsolidationInvariants:
+    @given(lists=group_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_property_output_pairs_disjoint(self, lists):
+        merged = consolidate_association_groups(lists)
+        seen: set[AVPair] = set()
+        for group in merged:
+            assert not (group.pairs & seen)
+            seen |= group.pairs
+
+    @given(lists=group_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_property_no_pair_lost(self, lists):
+        merged = consolidate_association_groups(lists)
+        input_pairs = {p for groups in lists for g in groups for p in g.pairs}
+        output_pairs = {p for g in merged for p in g.pairs}
+        assert output_pairs == input_pairs
+
+    @given(lists=group_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_property_no_empty_groups(self, lists):
+        assert all(g.pairs for g in consolidate_association_groups(lists))
+
+    @given(docs=document_lists(min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_property_consolidation_of_single_mining_is_stable(self, docs):
+        """Consolidating one creator's groups keeps the pair space intact."""
+        mined = mine_association_groups(docs)
+        merged = consolidate_association_groups([mined])
+        assert {p for g in merged for p in g.pairs} == {
+            p for g in mined for p in g.pairs
+        }
+
+
+class TestAssignmentInvariants:
+    @given(
+        loads=st.lists(st.integers(min_value=0, max_value=100), max_size=20),
+        m=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_lpt_load_bound(self, loads, m):
+        """Greedy LPT: max partition load <= mean + largest group load."""
+        groups = [
+            AssociationGroup(pairs={AVPair(str(i), i)}, load=load)
+            for i, load in enumerate(loads)
+        ]
+        partitions = assign_groups_to_partitions(groups, m)
+        total = sum(loads)
+        largest = max(loads, default=0)
+        bound = total / m + largest
+        assert all(p.estimated_load <= bound + 1e-9 for p in partitions)
+
+    @given(
+        loads=st.lists(st.integers(min_value=0, max_value=100), max_size=20),
+        m=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_total_load_preserved(self, loads, m):
+        groups = [
+            AssociationGroup(pairs={AVPair(str(i), i)}, load=load)
+            for i, load in enumerate(loads)
+        ]
+        partitions = assign_groups_to_partitions(groups, m)
+        assert sum(p.estimated_load for p in partitions) == sum(loads)
+
+    @given(
+        loads=st.lists(st.integers(min_value=1, max_value=50), min_size=6, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_enough_groups_fill_every_partition(self, loads):
+        m = 3
+        groups = [
+            AssociationGroup(pairs={AVPair(str(i), i)}, load=load)
+            for i, load in enumerate(loads)
+        ]
+        partitions = assign_groups_to_partitions(groups, m)
+        assert all(p.pairs for p in partitions)

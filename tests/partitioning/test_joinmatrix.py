@@ -1,0 +1,60 @@
+"""Unit tests for the join-matrix routing baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.document import Document
+from repro.partitioning.joinmatrix import JoinMatrixRouter, _grid_dimensions
+from tests.conftest import document_lists
+
+
+class TestGridDimensions:
+    @pytest.mark.parametrize(
+        "m,expected", [(1, (1, 1)), (4, (2, 2)), (8, (2, 4)), (9, (3, 3)),
+                       (12, (3, 4)), (7, (1, 7))]
+    )
+    def test_most_square_factorization(self, m, expected):
+        assert _grid_dimensions(m) == expected
+
+
+class TestJoinMatrixRouter:
+    def test_constant_replication(self):
+        router = JoinMatrixRouter(9)
+        assert router.replication == 5  # 3 + 3 - 1
+        decision = router.route(Document({"a": 1}))
+        assert decision.replication == 5
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            JoinMatrixRouter(0)
+
+    def test_single_machine(self):
+        router = JoinMatrixRouter(1)
+        assert router.route(Document({"a": 1})).targets == (0,)
+
+    def test_deterministic(self):
+        router = JoinMatrixRouter(16)
+        doc = Document({"user": "A", "x": 1})
+        assert router.route(doc).targets == router.route(doc).targets
+
+    def test_targets_within_range(self):
+        router = JoinMatrixRouter(12)
+        for i in range(30):
+            targets = router.route(Document({"k": i})).targets
+            assert all(0 <= t < 12 for t in targets)
+
+    @given(docs=document_lists(min_size=2, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_document_pair_meets(self, docs):
+        """The defining guarantee: ANY two documents share a machine,
+        joinable or not — which is exactly why replication is so high."""
+        router = JoinMatrixRouter(6)
+        routes = [set(router.route(d).targets) for d in docs]
+        for i in range(len(routes)):
+            for j in range(i + 1, len(routes)):
+                assert routes[i] & routes[j]
+
+    def test_replication_grows_with_sqrt_m(self):
+        small = JoinMatrixRouter(4).replication
+        large = JoinMatrixRouter(64).replication
+        assert small == 3 and large == 15  # ~2*sqrt(m) - 1

@@ -1,0 +1,128 @@
+"""Unit tests for document routing, including the co-location guarantee."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.association import AssociationGroupPartitioner
+from repro.partitioning.base import Partition
+from repro.partitioning.disjoint import DisjointSetPartitioner
+from repro.partitioning.expansion import ExpansionPlan, plan_expansion
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.router import DocumentRouter
+from repro.partitioning.setcover import SetCoverPartitioner
+from tests.conftest import document_lists
+
+PARTITIONERS = [
+    pytest.param(AssociationGroupPartitioner, id="AG"),
+    pytest.param(SetCoverPartitioner, id="SC"),
+    pytest.param(DisjointSetPartitioner, id="DS"),
+    pytest.param(HashPartitioner, id="HASH"),
+]
+
+
+def _partitions(*pair_sets) -> list[Partition]:
+    return [Partition(index=i, pairs=set(ps)) for i, ps in enumerate(pair_sets)]
+
+
+class TestBasicRouting:
+    def test_matched_document_goes_to_owner(self):
+        router = DocumentRouter(_partitions({AVPair("a", 1)}, {AVPair("b", 2)}))
+        decision = router.route(Document({"a": 1}))
+        assert decision.targets == (0,)
+        assert not decision.broadcast
+
+    def test_document_matching_two_partitions_replicates(self):
+        router = DocumentRouter(_partitions({AVPair("a", 1)}, {AVPair("b", 2)}))
+        decision = router.route(Document({"a": 1, "b": 2}))
+        assert decision.targets == (0, 1)
+        assert decision.replication == 2
+
+    def test_any_unseen_pair_forces_broadcast(self):
+        """Section VI-A: a document with an unknown pair must reach all
+        machines — its unknown pair may join it with documents routed
+        anywhere."""
+        router = DocumentRouter(_partitions({AVPair("a", 1)}, {AVPair("b", 2)}))
+        decision = router.route(Document({"a": 1, "mystery": 9}))
+        assert decision.broadcast
+        assert decision.targets == (0, 1)
+        assert decision.unseen_pairs == (AVPair("mystery", 9),)
+
+    def test_fully_unknown_document_broadcasts(self):
+        router = DocumentRouter(_partitions({AVPair("a", 1)}))
+        decision = router.route(Document({"z": 0}))
+        assert decision.broadcast
+
+    def test_empty_partition_list_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentRouter([])
+
+    def test_add_pair_updates_routing(self):
+        router = DocumentRouter(_partitions({AVPair("a", 1)}, set()))
+        assert router.route(Document({"new": 5})).broadcast
+        router.add_pair(AVPair("new", 5), 1)
+        decision = router.route(Document({"new": 5}))
+        assert decision.targets == (1,)
+        assert not decision.broadcast
+        assert router.owns(AVPair("new", 5))
+
+
+class TestRoutingWithExpansion:
+    def test_transformed_document_routes_on_synthetic_pair(self):
+        plan = ExpansionPlan(("flag", "dev"))
+        synthetic = plan.synthetic_attribute
+        doc = Document({"flag": True, "dev": "d1"})
+        transformed, _ = plan.transform(doc)
+        value = transformed[synthetic]
+        router = DocumentRouter(
+            _partitions({AVPair(synthetic, value)}, set()), expansion=plan
+        )
+        decision = router.route(doc)
+        assert decision.targets == (0,)
+
+    def test_untransformable_document_broadcasts(self):
+        plan = ExpansionPlan(("flag", "dev"))
+        router = DocumentRouter(_partitions({AVPair("x", 1)}, set()), expansion=plan)
+        decision = router.route(Document({"flag": True, "x": 1}))
+        assert decision.broadcast
+        assert decision.targets == (0, 1)
+
+
+class TestCoLocationGuarantee:
+    """The make-or-break invariant: joinable documents always share a machine."""
+
+    @pytest.mark.parametrize("partitioner_cls", PARTITIONERS)
+    @given(docs=document_lists(min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_joinable_docs_colocated(self, partitioner_cls, docs):
+        sample, live = docs[: len(docs) // 2] or docs, docs
+        result = partitioner_cls().create_partitions(sample, 3)
+        router = DocumentRouter(result.partitions)
+        routes = {d.doc_id: set(router.route(d).targets) for d in live}
+        for i, a in enumerate(live):
+            for b in live[i + 1 :]:
+                if a.joinable(b):
+                    assert routes[a.doc_id] & routes[b.doc_id]
+
+    @pytest.mark.parametrize("partitioner_cls", PARTITIONERS)
+    @given(docs=document_lists(min_size=4, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_colocated_under_expansion(self, partitioner_cls, docs):
+        """Same invariant when an expansion plan rewrites the pair space."""
+        flagged = [
+            Document({**d.to_dict(), "flag": i % 2 == 0}, doc_id=i)
+            for i, d in enumerate(docs)
+        ]
+        plan = plan_expansion(flagged, m=3)
+        if plan is None:
+            return
+        sample = plan.transform_sample(flagged)
+        if not sample:
+            return
+        result = partitioner_cls().create_partitions(sample, 3)
+        router = DocumentRouter(result.partitions, expansion=plan)
+        routes = {d.doc_id: set(router.route(d).targets) for d in flagged}
+        for i, a in enumerate(flagged):
+            for b in flagged[i + 1 :]:
+                if a.joinable(b):
+                    assert routes[a.doc_id] & routes[b.doc_id]

@@ -1,0 +1,93 @@
+"""Unit tests for partition-state serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.document import AVPair
+from repro.exceptions import PartitioningError
+from repro.partitioning.association import AssociationGroupPartitioner
+from repro.partitioning.base import Partition
+from repro.partitioning.expansion import ExpansionPlan
+from repro.partitioning.router import DocumentRouter
+from repro.partitioning.serialize import (
+    dump_partitions,
+    load_partitions,
+    pair_from_json,
+    pair_to_json,
+)
+from tests.conftest import document_lists
+
+
+class TestPairRoundTrip:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            AVPair("a", 1),
+            AVPair("a", "1"),
+            AVPair("flag", True),
+            AVPair("x", None),
+            AVPair("f", 2.5),
+        ],
+    )
+    def test_round_trip_preserves_type(self, pair):
+        assert pair_from_json(pair_to_json(pair)) == pair
+        restored = pair_from_json(pair_to_json(pair))
+        assert type(restored.value) is type(pair.value)
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(PartitioningError):
+            pair_from_json({"attr": "a"})
+        with pytest.raises(PartitioningError):
+            pair_from_json([1, 2])
+
+
+class TestPartitionRoundTrip:
+    def test_full_round_trip(self, fig1_documents):
+        result = AssociationGroupPartitioner().create_partitions(fig1_documents, 2)
+        plan = ExpansionPlan(("Severity", "User"))
+        text = dump_partitions(result.partitions, plan, version=7)
+        partitions, restored_plan, version = load_partitions(text)
+        assert version == 7
+        assert restored_plan == plan
+        assert [p.pairs for p in partitions] == [p.pairs for p in result.partitions]
+        assert [p.estimated_load for p in partitions] == [
+            p.estimated_load for p in result.partitions
+        ]
+
+    def test_round_trip_without_expansion(self):
+        text = dump_partitions([Partition(index=0, pairs={AVPair("a", 1)})])
+        partitions, plan, version = load_partitions(text)
+        assert plan is None and version == 0
+        assert partitions[0].pairs == {AVPair("a", 1)}
+
+    def test_restored_router_routes_identically(self, fig1_documents):
+        result = AssociationGroupPartitioner().create_partitions(fig1_documents, 3)
+        text = dump_partitions(result.partitions)
+        partitions, _, _ = load_partitions(text)
+        original = DocumentRouter(result.partitions)
+        restored = DocumentRouter(partitions)
+        for doc in fig1_documents:
+            assert original.route(doc).targets == restored.route(doc).targets
+
+    def test_deterministic_output(self, fig1_documents):
+        result = AssociationGroupPartitioner().create_partitions(fig1_documents, 2)
+        assert dump_partitions(result.partitions) == dump_partitions(result.partitions)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(PartitioningError, match="invalid"):
+            load_partitions("{not json")
+
+    def test_wrong_format_version_rejected(self):
+        with pytest.raises(PartitioningError, match="unsupported"):
+            load_partitions('{"format": 99, "partitions": []}')
+
+    def test_malformed_partition_rejected(self):
+        with pytest.raises(PartitioningError, match="malformed"):
+            load_partitions('{"format": 1, "partitions": [{"pairs": []}]}')
+
+    @given(docs=document_lists(min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip_any_partitioning(self, docs):
+        result = AssociationGroupPartitioner().create_partitions(docs, 3)
+        partitions, _, _ = load_partitions(dump_partitions(result.partitions))
+        assert [p.pairs for p in partitions] == [p.pairs for p in result.partitions]

@@ -1,0 +1,71 @@
+"""Unit tests for the set-cover (SC) partitioning baseline."""
+
+from hypothesis import given, settings
+
+from repro.core.document import AVPair, Document
+from repro.partitioning.setcover import SetCoverPartitioner
+from tests.conftest import document_lists
+
+
+class TestSetCoverPartitioner:
+    def test_creates_m_partitions(self, fig1_documents):
+        result = SetCoverPartitioner().create_partitions(fig1_documents, 3)
+        assert result.m == 3
+        assert result.algorithm == "SC"
+
+    def test_all_pairs_covered(self, fig1_documents):
+        result = SetCoverPartitioner().create_partitions(fig1_documents, 3)
+        owned = {p for part in result.partitions for p in part.pairs}
+        assert owned == {p for d in fig1_documents for p in d.avpairs()}
+
+    def test_seeds_prefer_uncovered_pairs(self):
+        docs = [
+            Document({"a": 1, "b": 2, "c": 3}, doc_id=1),  # 3 fresh pairs
+            Document({"a": 1}, doc_id=2),
+            Document({"x": 9, "y": 8}, doc_id=3),  # 2 fresh pairs
+        ]
+        result = SetCoverPartitioner().create_partitions(docs, 2)
+        seeds = sorted(len(p.pairs) for p in result.partitions)
+        # first seed takes the 3-pair set, second the 2-pair set;
+        # the remaining {a:1} is assigned afterwards without new pairs
+        assert seeds[-1] >= 3
+
+    def test_pairs_may_replicate_across_partitions(self):
+        """SC's defining weakness: popular pairs end up in many partitions."""
+        docs = [
+            Document({"hot": 1, f"only{i}": i}, doc_id=i) for i in range(6)
+        ]
+        result = SetCoverPartitioner().create_partitions(docs, 3)
+        owners = result.pair_owner_index()
+        assert len(owners[AVPair("hot", 1)]) > 1
+
+    def test_loads_accumulated_with_multiplicity(self):
+        docs = [Document({"a": 1}, doc_id=i) for i in range(5)]
+        result = SetCoverPartitioner().create_partitions(docs, 2)
+        assert sum(p.estimated_load for p in result.partitions) == 5
+
+    def test_fewer_distinct_sets_than_partitions(self):
+        docs = [Document({"a": 1}, doc_id=1), Document({"b": 2}, doc_id=2)]
+        result = SetCoverPartitioner().create_partitions(docs, 4)
+        assert result.m == 4
+        assert result.non_empty() == 2
+
+    def test_deterministic(self, fig1_documents):
+        first = SetCoverPartitioner().create_partitions(fig1_documents, 3)
+        second = SetCoverPartitioner().create_partitions(fig1_documents, 3)
+        assert [p.pairs for p in first.partitions] == [
+            p.pairs for p in second.partitions
+        ]
+
+    @given(docs=document_lists(min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_covers_all_pairs(self, docs):
+        result = SetCoverPartitioner().create_partitions(docs, 3)
+        owned = {p for part in result.partitions for p in part.pairs}
+        assert owned == {p for d in docs for p in d.avpairs()}
+
+    @given(docs=document_lists(min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_load_equals_document_count(self, docs):
+        result = SetCoverPartitioner().create_partitions(docs, 3)
+        assert sum(p.estimated_load for p in result.partitions) == len(docs)

@@ -1,0 +1,67 @@
+"""The shuffle router as a negative control: balance without exactness."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.join.base import JoinPair, brute_force_pairs, join_window
+from repro.join.fptree_join import FPTreeJoiner
+from repro.partitioning.shuffle import ShuffleRouter
+
+
+def _distributed_join(router, documents, m):
+    """Route documents, join locally per machine, union the results."""
+    per_machine: list[list[Document]] = [[] for _ in range(m)]
+    for doc in documents:
+        for target in router.route(doc).targets:
+            per_machine[target].append(doc)
+    pairs: set[JoinPair] = set()
+    for machine_docs in per_machine:
+        pairs.update(join_window(FPTreeJoiner(), machine_docs))
+    return frozenset(pairs)
+
+
+class TestShuffleRouter:
+    def test_perfect_balance(self):
+        router = ShuffleRouter(4)
+        counts = [0] * 4
+        for i in range(400):
+            counts[router.route(Document({"k": i})).targets[0]] += 1
+        assert counts == [100, 100, 100, 100]
+
+    def test_replication_is_one(self):
+        router = ShuffleRouter(3)
+        assert router.route(Document({"k": 1})).replication == 1
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            ShuffleRouter(0)
+
+    def test_marked_inexact(self):
+        assert ShuffleRouter.exact is False
+
+    def test_loses_join_results(self):
+        """The Section II argument, executed: consecutive joinable
+        documents land on different machines and their pair vanishes."""
+        docs = [Document({"k": 1}, doc_id=0), Document({"k": 1}, doc_id=1)]
+        result = _distributed_join(ShuffleRouter(2), docs, 2)
+        truth = brute_force_pairs(docs)
+        assert JoinPair(0, 1) in truth
+        assert JoinPair(0, 1) not in result  # silently lost
+
+    def test_loss_rate_on_generated_stream(self):
+        """On realistic data shuffle loses most of the join result, while
+        an AG router over the same documents loses nothing."""
+        from repro.data.serverlogs import ServerLogGenerator
+        from repro.partitioning.association import AssociationGroupPartitioner
+        from repro.partitioning.router import DocumentRouter
+
+        docs = ServerLogGenerator(seed=14).documents(300)
+        truth = brute_force_pairs(docs)
+        assert truth
+
+        shuffled = _distributed_join(ShuffleRouter(4), docs, 4)
+        assert len(shuffled) < len(truth)
+
+        partitions = AssociationGroupPartitioner().create_partitions(docs, 4)
+        exact = _distributed_join(DocumentRouter(partitions.partitions), docs, 4)
+        assert exact == truth

@@ -1,0 +1,22 @@
+"""Unit tests for component context plumbing."""
+
+import pytest
+
+from repro.streaming.component import ComponentContext
+
+
+class TestComponentContext:
+    def test_own_fields(self):
+        context = ComponentContext("joiner", 2, 4, {"joiner": 4, "assigner": 2})
+        assert context.component == "joiner"
+        assert context.task_index == 2
+        assert context.parallelism == 4
+
+    def test_parallelism_of_other_component(self):
+        context = ComponentContext("joiner", 0, 4, {"joiner": 4, "assigner": 2})
+        assert context.parallelism_of("assigner") == 2
+
+    def test_unknown_component_raises(self):
+        context = ComponentContext("joiner", 0, 4, {"joiner": 4})
+        with pytest.raises(KeyError):
+            context.parallelism_of("ghost")

@@ -1,0 +1,215 @@
+"""Unit tests for the deterministic local cluster executor."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.streaming.component import Bolt, Spout
+from repro.streaming.executor import LocalCluster
+from repro.streaming.grouping import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.streaming.topology import TopologyBuilder
+
+
+class NumberSpout(Spout):
+    """Emits the integers 0..n-1 on stream 'numbers'."""
+
+    def __init__(self, n: int = 10):
+        self.n = n
+        self._i = 0
+
+    def next_tuple(self, collector) -> bool:
+        if self._i >= self.n:
+            return False
+        collector.emit("numbers", (self._i,))
+        self._i += 1
+        return self._i < self.n
+
+
+class Recorder(Bolt):
+    def prepare(self, context) -> None:
+        self.task = context.task_index
+        self.seen: list = []
+
+    def process(self, tup, collector) -> None:
+        self.seen.append(tup.values[0])
+
+
+class Doubler(Bolt):
+    def process(self, tup, collector) -> None:
+        collector.emit("doubled", (tup.values[0] * 2,))
+
+
+def build_and_run(wire):
+    builder = TopologyBuilder()
+    wire(builder)
+    cluster = LocalCluster(builder.build())
+    cluster.run()
+    return cluster
+
+
+class TestExecution:
+    def test_tuples_reach_single_bolt(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(5))
+            b.set_bolt("rec", Recorder).subscribe("src", "numbers", GlobalGrouping())
+
+        cluster = build_and_run(wire)
+        assert cluster.tasks("rec")[0].seen == [0, 1, 2, 3, 4]
+
+    def test_shuffle_splits_evenly(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(9))
+            b.set_bolt("rec", Recorder, parallelism=3).subscribe(
+                "src", "numbers", ShuffleGrouping()
+            )
+
+        cluster = build_and_run(wire)
+        sizes = [len(t.seen) for t in cluster.tasks("rec")]
+        assert sizes == [3, 3, 3]
+
+    def test_all_grouping_replicates(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(4))
+            b.set_bolt("rec", Recorder, parallelism=2).subscribe(
+                "src", "numbers", AllGrouping()
+            )
+
+        cluster = build_and_run(wire)
+        for task in cluster.tasks("rec"):
+            assert task.seen == [0, 1, 2, 3]
+
+    def test_chained_bolts(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(3))
+            b.set_bolt("dbl", Doubler).subscribe("src", "numbers", GlobalGrouping())
+            b.set_bolt("rec", Recorder).subscribe("dbl", "doubled", GlobalGrouping())
+
+        cluster = build_and_run(wire)
+        assert cluster.tasks("rec")[0].seen == [0, 2, 4]
+
+    def test_fields_grouping_pins_keys(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(20))
+            b.set_bolt("rec", Recorder, parallelism=4).subscribe(
+                "src", "numbers", FieldsGrouping(key=lambda v: v[0] % 5)
+            )
+
+        cluster = build_and_run(wire)
+        # each residue class must live entirely on one task
+        location = {}
+        for task in cluster.tasks("rec"):
+            for value in task.seen:
+                residue = value % 5
+                location.setdefault(residue, task.task)
+                assert location[residue] == task.task
+
+    def test_fifo_drain_between_spout_emissions(self):
+        """All downstream effects of tuple k happen before tuple k+1."""
+        order = []
+
+        class Tracker(Bolt):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def process(self, tup, collector):
+                order.append((self.tag, tup.values[0]))
+                if self.tag == "first":
+                    collector.emit("fwd", tup.values)
+
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(3))
+            b.set_bolt("first", lambda: Tracker("first")).subscribe(
+                "src", "numbers", GlobalGrouping()
+            )
+            b.set_bolt("second", lambda: Tracker("second")).subscribe(
+                "first", "fwd", GlobalGrouping()
+            )
+
+        build_and_run(wire)
+        assert order == [
+            ("first", 0), ("second", 0),
+            ("first", 1), ("second", 1),
+            ("first", 2), ("second", 2),
+        ]
+
+    def test_stats_counters(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(5))
+            b.set_bolt("rec", Recorder).subscribe("src", "numbers", GlobalGrouping())
+
+        cluster = build_and_run(wire)
+        stats = cluster.stats()
+        assert stats["src"]["emitted"] == 5
+        assert stats["rec"]["processed"] == 5
+        assert cluster.emitted == 5
+        assert cluster.processed == 5
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            def wire(b):
+                b.set_spout("src", lambda: NumberSpout(12))
+                b.set_bolt("rec", Recorder, parallelism=3).subscribe(
+                    "src", "numbers", ShuffleGrouping()
+                )
+
+            cluster = build_and_run(wire)
+            return [t.seen for t in cluster.tasks("rec")]
+
+        assert run_once() == run_once()
+
+    def test_tuple_budget_guards_against_loops(self):
+        class Echo(Bolt):
+            def process(self, tup, collector):
+                collector.emit("ping", tup.values)
+
+        builder = TopologyBuilder()
+        builder.set_spout("src", lambda: NumberSpout(1))
+        # a and b bounce 'ping' tuples between each other forever
+        builder.set_bolt("a", Echo).subscribe(
+            "src", "numbers", GlobalGrouping()
+        ).subscribe("b", "ping", GlobalGrouping())
+        builder.set_bolt("b", Echo).subscribe("a", "ping", GlobalGrouping())
+        cluster = LocalCluster(builder.build(), max_tuples=1000)
+        with pytest.raises(TopologyError, match="budget"):
+            cluster.run()
+
+    def test_factory_type_checked(self):
+        builder = TopologyBuilder()
+        builder.set_spout("src", Recorder)  # a bolt where a spout belongs
+        with pytest.raises(TopologyError, match="Spout"):
+            LocalCluster(builder.build())
+
+    def test_multiple_spouts_interleave(self):
+        def wire(b):
+            b.set_spout("a", lambda: NumberSpout(2))
+            b.set_spout("b", lambda: NumberSpout(2))
+            rec = b.set_bolt("rec", Recorder)
+            rec.subscribe("a", "numbers", GlobalGrouping())
+            rec.subscribe("b", "numbers", GlobalGrouping())
+
+        cluster = build_and_run(wire)
+        assert sorted(cluster.tasks("rec")[0].seen) == [0, 0, 1, 1]
+
+
+class TestObservability:
+    def test_max_queue_depth_tracked(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(5))
+            b.set_bolt("rec", Recorder, parallelism=4).subscribe(
+                "src", "numbers", AllGrouping()
+            )
+
+        cluster = build_and_run(wire)
+        # each source tuple fans out to 4 tasks before draining
+        assert cluster.max_queue_depth == 4
+
+    def test_queue_depth_zero_without_subscribers(self):
+        def wire(b):
+            b.set_spout("src", lambda: NumberSpout(3))
+
+        cluster = build_and_run(wire)
+        assert cluster.max_queue_depth == 0

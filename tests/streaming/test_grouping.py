@@ -1,0 +1,90 @@
+"""Unit tests for the four Storm-style stream groupings."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.streaming.grouping import (
+    AllGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.streaming.tuples import StreamTuple
+
+
+def make_tuple(values=("v",), direct_task=None):
+    return StreamTuple(
+        stream="s", values=values, source="src", source_task=0, direct_task=direct_task
+    )
+
+
+class TestShuffleGrouping:
+    def test_round_robin(self):
+        grouping = ShuffleGrouping()
+        targets = [grouping.targets(make_tuple(), 3)[0] for _ in range(6)]
+        assert targets == [0, 1, 2, 0, 1, 2]
+
+    def test_equal_distribution(self):
+        """Storm's contract: every instance receives an equal tuple count."""
+        grouping = ShuffleGrouping()
+        counts = [0] * 4
+        for _ in range(400):
+            counts[grouping.targets(make_tuple(), 4)[0]] += 1
+        assert counts == [100, 100, 100, 100]
+
+    def test_single_task(self):
+        grouping = ShuffleGrouping()
+        assert grouping.targets(make_tuple(), 1) == (0,)
+
+
+class TestFieldsGrouping:
+    def test_same_key_same_task(self):
+        grouping = FieldsGrouping(key=0)
+        t1 = grouping.targets(make_tuple(("userA", 1)), 5)
+        t2 = grouping.targets(make_tuple(("userA", 2)), 5)
+        assert t1 == t2
+
+    def test_callable_key(self):
+        grouping = FieldsGrouping(key=lambda values: values[1])
+        t1 = grouping.targets(make_tuple(("x", "k")), 5)
+        t2 = grouping.targets(make_tuple(("y", "k")), 5)
+        assert t1 == t2
+
+    def test_stable_across_instances(self):
+        a = FieldsGrouping(key=0).targets(make_tuple(("u",)), 7)
+        b = FieldsGrouping(key=0).targets(make_tuple(("u",)), 7)
+        assert a == b
+
+    def test_spreads_keys(self):
+        grouping = FieldsGrouping(key=0)
+        targets = {
+            grouping.targets(make_tuple((f"user{i}",)), 8)[0] for i in range(100)
+        }
+        assert len(targets) > 4  # most tasks receive some keys
+
+
+class TestAllGrouping:
+    def test_replicates_to_every_task(self):
+        assert AllGrouping().targets(make_tuple(), 4) == (0, 1, 2, 3)
+
+    def test_single_task(self):
+        assert AllGrouping().targets(make_tuple(), 1) == (0,)
+
+
+class TestDirectGrouping:
+    def test_producer_chooses_task(self):
+        assert DirectGrouping().targets(make_tuple(direct_task=2), 4) == (2,)
+
+    def test_missing_direct_task_rejected(self):
+        with pytest.raises(TopologyError, match="direct_task"):
+            DirectGrouping().targets(make_tuple(), 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError, match="out of range"):
+            DirectGrouping().targets(make_tuple(direct_task=4), 4)
+
+
+class TestGlobalGrouping:
+    def test_always_task_zero(self):
+        assert GlobalGrouping().targets(make_tuple(), 5) == (0,)

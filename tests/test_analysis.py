@@ -1,0 +1,123 @@
+"""Unit tests for the join-result analytics layer."""
+
+import pytest
+
+from repro.analysis import (
+    SuspicionScorer,
+    complement_statistics,
+    materialize_joins,
+)
+from repro.core.document import Document
+from repro.join.base import JoinPair
+
+
+@pytest.fixture
+def corpus():
+    docs = {
+        1: Document({"User": "A", "Status": "failure", "Session": 3}, doc_id=1),
+        2: Document({"User": "A", "Severity": "Critical", "Session": 3}, doc_id=2),
+        3: Document({"User": "B", "Status": "success", "Session": 7}, doc_id=3),
+        4: Document({"User": "B", "Location": "Munich", "Session": 7}, doc_id=4),
+        5: Document({"User": "C", "Status": "denied", "Location": "Munich"}, doc_id=5),
+        6: Document({"Location": "Munich", "Severity": "Error"}, doc_id=6),
+    }
+    pairs = [JoinPair(1, 2), JoinPair(3, 4), JoinPair(5, 6)]
+    return docs, pairs
+
+
+class TestMaterialize:
+    def test_merged_documents(self, corpus):
+        docs, pairs = corpus
+        merged = dict(materialize_joins(pairs, docs))
+        assert merged[JoinPair(1, 2)].pairs == {
+            "User": "A", "Status": "failure", "Severity": "Critical", "Session": 3,
+        }
+
+    def test_missing_id_raises(self, corpus):
+        docs, _ = corpus
+        with pytest.raises(KeyError):
+            list(materialize_joins([JoinPair(1, 99)], docs))
+
+    def test_empty_pairs(self, corpus):
+        docs, _ = corpus
+        assert list(materialize_joins([], docs)) == []
+
+
+class TestComplementStatistics:
+    def test_counts_one_sided_attributes(self, corpus):
+        docs, pairs = corpus
+        stats = complement_statistics(pairs, docs)
+        # Status appears on exactly one side of pairs (1,2), (3,4), (5,6)
+        assert stats["Status"] == 3
+        assert stats["Severity"] == 2
+        # Session is shared in (1,2) and (3,4): never gained there
+        assert stats["Session"] == 0
+
+    def test_empty(self, corpus):
+        docs, _ = corpus
+        assert complement_statistics([], docs) == {}
+
+
+class TestSuspicionScorer:
+    def test_failed_access_scoring(self, corpus):
+        docs, pairs = corpus
+        scorer = SuspicionScorer()
+        scorer.observe_joins(pairs, docs)
+        alerts = {alert.entity: alert for alert in scorer.user_alerts()}
+        # user A: failure joined with Critical -> two rule hits
+        assert alerts["A"].score == 2
+        assert any("failure-with-severity" in r for r in alerts["A"].reasons)
+        # user B only has successes
+        assert "B" not in alerts
+        # user C: denied access joined with an Error event
+        assert alerts["C"].score == 2
+
+    def test_location_alerts(self, corpus):
+        docs, pairs = corpus
+        scorer = SuspicionScorer()
+        scorer.observe_joins(pairs, docs)
+        locations = scorer.location_alerts()
+        assert locations[0].entity == "Munich"
+        assert locations[0].score == 1
+
+    def test_location_threshold(self, corpus):
+        docs, pairs = corpus
+        scorer = SuspicionScorer()
+        scorer.observe_joins(pairs, docs)
+        assert scorer.location_alerts(minimum_failures=2) == []
+
+    def test_top_limits_alerts(self, corpus):
+        docs, pairs = corpus
+        scorer = SuspicionScorer()
+        scorer.observe_joins(pairs, docs)
+        assert len(scorer.user_alerts(top=1)) == 1
+
+    def test_end_to_end_with_pipeline(self):
+        """The full loop: generate -> distribute -> join -> analyze."""
+        from repro.data.serverlogs import ServerLogGenerator
+        from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+        generator = ServerLogGenerator(seed=6)
+        windows = [generator.next_window(250) for _ in range(2)]
+        # plant a known attack pattern in the second window
+        windows[1] = windows[1] + [
+            Document(
+                {"User": "mallory", "Status": "failure", "Severity": "Critical"},
+                doc_id=10_001,
+            ),
+            Document(
+                {"User": "mallory", "Severity": "Critical", "MsgId": 99},
+                doc_id=10_002,
+            ),
+        ]
+        by_id = {d.doc_id: d for w in windows for d in w}
+        result = run_stream_join(
+            StreamJoinConfig(m=3, algorithm="AG", n_assigners=2,
+                             compute_joins=True, collect_pairs=True),
+            windows,
+        )
+        scorer = SuspicionScorer()
+        scorer.observe_joins(result.join_pairs, by_id)
+        alerts = {alert.entity: alert for alert in scorer.user_alerts()}
+        assert "mallory" in alerts
+        assert alerts["mallory"].score >= 2

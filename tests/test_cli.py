@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQuickstart:
+    def test_prints_fig1_pairs(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "d1 ⋈ d2" in out
+        assert "d5 ⋈ d6" in out
+        assert "d1 ⋈ d3" not in out  # conflicting Severity
+
+
+class TestJoinCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["join", "--algorithm", "FPJ", "--docs", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "FPJ" in out
+        assert "join_pairs" in out
+
+    def test_nbdata_hbj(self, capsys):
+        assert main(
+            ["join", "--algorithm", "HBJ", "--dataset", "nbData", "--docs", "200"]
+        ) == 0
+        assert "HBJ" in capsys.readouterr().out
+
+
+class TestTopologyCommand:
+    def test_prints_per_window_table(self, capsys):
+        code = main(
+            [
+                "topology", "--dataset", "rwData", "--algorithm", "AG",
+                "-m", "3", "--windows", "2", "-w", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replication" in out
+        assert "summary" in out
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "--algorithm", "XX"])
+
+
+class TestGenerateCommand:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "docs.jsonl"
+        code = main(
+            ["generate", "--dataset", "nbData", "--docs", "40", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert len(out_file.read_text().splitlines()) == 40
+
+    def test_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--docs", "5"])
+
+
+class TestArgumentErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestFigureCommand:
+    def test_fig10_small_scale(self, capsys, monkeypatch):
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert main(["figure", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal" in out and "AG" in out
+        clear_cache()
+
+    def test_topology_kl_algorithm(self, capsys):
+        code = main(
+            ["topology", "--algorithm", "KL", "-m", "2", "--windows", "2", "-w", "1"]
+        )
+        assert code == 0
+        assert "replication" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_runs_end_to_end(self, capsys):
+        assert main(["analyze", "--docs", "400", "--windows", "2", "-m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "joined pairs" in out
+        assert "attributes gained" in out
+
+
+class TestIngestCommand:
+    def test_generate_then_ingest_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "docs.jsonl"
+        assert main(["generate", "--dataset", "rwData", "--docs", "300",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["ingest", str(path), "-m", "3",
+                     "--window-size", "100", "--joins"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window 0" in out and "window 2" in out
+        assert "300 documents total" in out
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["ingest", str(path)]) == 1

@@ -1,0 +1,108 @@
+"""Stress tests: join exactness under heavy dynamics.
+
+The trickiest interplay in the system is between the exactness fallback
+(broadcast on unseen pairs), δ partition updates, and θ repartitioning —
+each changes routing mid-stream.  These tests engineer streams that
+exercise all three and verify the distributed result stays exactly the
+single-node ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.core.document import Document
+from repro.join.base import brute_force_pairs
+from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+
+def _truth(windows):
+    truth = set()
+    for window in windows:
+        truth |= brute_force_pairs(window)
+    return frozenset(truth)
+
+
+def _run(windows, **overrides):
+    config = StreamJoinConfig(
+        m=overrides.pop("m", 3),
+        algorithm=overrides.pop("algorithm", "AG"),
+        n_creators=2,
+        n_assigners=overrides.pop("n_assigners", 2),
+        compute_joins=True,
+        collect_pairs=True,
+        **overrides,
+    )
+    return run_stream_join(config, windows)
+
+
+class TestExactnessUnderDynamics:
+    def test_fully_drifting_vocabulary(self):
+        """Every window uses a brand-new attribute vocabulary: all
+        documents hit the unseen-pair fallback, repartitions fire
+        constantly, and the result must still be exact."""
+        rng = random.Random(3)
+        windows = []
+        next_id = 0
+        for w in range(4):
+            window = []
+            for _ in range(60):
+                record = {
+                    f"era{w}_k{rng.randrange(4)}": rng.randrange(3),
+                    f"era{w}_v{rng.randrange(3)}": rng.randrange(3),
+                }
+                window.append(Document(record, doc_id=next_id))
+                next_id += 1
+            windows.append(window)
+        result = _run(windows, theta=0.1)
+        assert result.join_pairs == _truth(windows)
+        assert len(result.repartition_windows) >= 2  # dynamics actually fired
+
+    def test_delta_updates_fire_and_stay_exact(self):
+        """A pair absent from the bootstrap sample recurs heavily later:
+        δ updates graft it onto a partition mid-window; routing changes
+        while its documents are in flight."""
+        stable = [
+            Document({"base": i % 5, "tag": i % 3}, doc_id=i) for i in range(80)
+        ]
+        surge = [
+            Document({"hot": 1, "serial": i % 7}, doc_id=100 + i)
+            for i in range(80)
+        ]
+        windows = [stable, surge]
+        result = _run(windows, delta=2, theta=5.0)  # updates yes, repartition no
+        assert result.join_pairs == _truth(windows)
+        assert result.repartition_windows == [0]
+
+    @pytest.mark.parametrize("theta", [0.05, 0.5, 5.0])
+    def test_exact_at_every_repartition_aggressiveness(self, theta):
+        from repro.data.nobench import NoBenchGenerator
+
+        generator = NoBenchGenerator(seed=21)
+        windows = [generator.next_window(90) for _ in range(4)]
+        result = _run(windows, theta=theta, m=4)
+        assert result.join_pairs == _truth(windows)
+
+    @pytest.mark.parametrize("delta", [1, 2, 10])
+    def test_exact_at_every_update_aggressiveness(self, delta):
+        from repro.data.serverlogs import ServerLogGenerator
+
+        generator = ServerLogGenerator(seed=22, new_entities_per_window=20)
+        windows = [generator.next_window(100) for _ in range(3)]
+        result = _run(windows, delta=delta)
+        assert result.join_pairs == _truth(windows)
+
+    def test_exact_with_many_assigners_and_machines(self):
+        """δ counting is per-assigner and routing per-machine; crank both."""
+        from repro.data.serverlogs import ServerLogGenerator
+
+        generator = ServerLogGenerator(seed=23)
+        windows = [generator.next_window(150) for _ in range(3)]
+        result = _run(windows, m=7, n_assigners=5)
+        assert result.join_pairs == _truth(windows)
+
+    def test_exact_when_every_window_is_one_document(self):
+        windows = [[Document({"k": i}, doc_id=i)] for i in range(5)]
+        result = _run(windows, m=2, n_assigners=1)
+        assert result.join_pairs == frozenset()
+        assert len(result.per_window) == 5

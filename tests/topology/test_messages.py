@@ -1,0 +1,50 @@
+"""Unit tests for the topology message payloads."""
+
+from repro.topology.messages import AttributeStats, ControlMessage
+
+
+class TestAttributeStats:
+    def test_observe_counts_documents_and_values(self):
+        stats = AttributeStats()
+        stats.observe([("a", 1), ("b", 2)])
+        stats.observe([("a", 3)])
+        assert stats.sample_size == 2
+        assert stats.doc_count == {"a": 2, "b": 1}
+        assert stats.values["a"] == {1, 3}
+
+    def test_value_cap_bounds_memory(self):
+        stats = AttributeStats()
+        for i in range(AttributeStats.VALUE_CAP + 50):
+            stats.observe([("k", i)])
+        assert len(stats.values["k"]) == AttributeStats.VALUE_CAP
+        assert stats.doc_count["k"] == AttributeStats.VALUE_CAP + 50
+
+    def test_merge_combines_counts(self):
+        a, b = AttributeStats(), AttributeStats()
+        a.observe([("x", 1)])
+        b.observe([("x", 2), ("y", 3)])
+        a.merge(b)
+        assert a.sample_size == 2
+        assert a.doc_count == {"x": 2, "y": 1}
+        assert a.values["x"] == {1, 2}
+
+    def test_merge_respects_cap(self):
+        a, b = AttributeStats(), AttributeStats()
+        for i in range(AttributeStats.VALUE_CAP):
+            a.observe([("k", i)])
+        b.observe([("k", "fresh")])
+        a.merge(b)
+        assert len(a.values["k"]) == AttributeStats.VALUE_CAP
+
+
+class TestControlMessage:
+    def test_repartition_message(self):
+        control = ControlMessage(kind="repartition", window_id=3)
+        assert control.pair is None
+        assert control.co_pairs == ()
+
+    def test_messages_are_hashable(self):
+        a = ControlMessage(kind="repartition", window_id=3)
+        b = ControlMessage(kind="repartition", window_id=3)
+        assert a == b
+        assert hash(a) == hash(b)

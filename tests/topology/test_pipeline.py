@@ -1,0 +1,225 @@
+"""Integration tests for the full Fig. 2 topology."""
+
+import pytest
+
+from repro.core.document import Document
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+from repro.exceptions import PartitioningError
+from repro.join.base import brute_force_pairs
+from repro.topology.pipeline import (
+    PARTITIONERS,
+    StreamJoinConfig,
+    build_topology,
+    run_stream_join,
+)
+
+
+def windows_from(generator_cls, n_windows=3, window_size=150, seed=3):
+    generator = generator_cls(seed=seed)
+    return [generator.next_window(window_size) for _ in range(n_windows)]
+
+
+def expected_pairs(windows):
+    truth = set()
+    for window in windows:
+        truth |= brute_force_pairs(window)
+    return frozenset(truth)
+
+
+class TestExactness:
+    """The headline guarantee: the distributed join result is exact."""
+
+    @pytest.mark.parametrize("algorithm", sorted(PARTITIONERS))
+    def test_exact_join_rwdata(self, algorithm):
+        windows = windows_from(ServerLogGenerator)
+        coverage = 0.85 if algorithm == "DS" else 1.0
+        config = StreamJoinConfig(
+            m=4,
+            algorithm=algorithm,
+            n_creators=2,
+            n_assigners=3,
+            compute_joins=True,
+            collect_pairs=True,
+            expansion_coverage=coverage,
+        )
+        result = run_stream_join(config, windows)
+        assert result.join_pairs == expected_pairs(windows)
+
+    @pytest.mark.parametrize("algorithm", ["AG", "DS"])
+    def test_exact_join_nbdata(self, algorithm):
+        windows = windows_from(NoBenchGenerator, window_size=120)
+        config = StreamJoinConfig(
+            m=4,
+            algorithm=algorithm,
+            n_creators=2,
+            n_assigners=2,
+            compute_joins=True,
+            collect_pairs=True,
+        )
+        result = run_stream_join(config, windows)
+        assert result.join_pairs == expected_pairs(windows)
+
+    def test_exact_with_single_machine(self):
+        windows = windows_from(ServerLogGenerator, n_windows=2)
+        config = StreamJoinConfig(
+            m=1, algorithm="AG", n_assigners=2, compute_joins=True, collect_pairs=True
+        )
+        result = run_stream_join(config, windows)
+        assert result.join_pairs == expected_pairs(windows)
+
+    def test_windows_never_join_across_boundaries(self):
+        """Tumbling semantics: identical docs in different windows don't pair."""
+        a = [Document({"k": 1}, doc_id=0), Document({"z": 5}, doc_id=1)]
+        b = [Document({"k": 1}, doc_id=2), Document({"z": 6}, doc_id=3)]
+        config = StreamJoinConfig(
+            m=2, algorithm="AG", n_assigners=1, n_creators=1,
+            compute_joins=True, collect_pairs=True,
+        )
+        result = run_stream_join(config, [a, b])
+        assert result.join_pairs == frozenset()
+
+
+class TestMetrics:
+    def test_bootstrap_window_broadcasts_everything(self):
+        windows = windows_from(ServerLogGenerator)
+        result = run_stream_join(
+            StreamJoinConfig(m=4, algorithm="AG", n_assigners=2), windows
+        )
+        bootstrap = result.per_window[0]
+        assert bootstrap.replication == pytest.approx(4.0)
+        assert bootstrap.max_load == pytest.approx(1.0)
+        assert bootstrap.broadcast_fraction == pytest.approx(1.0)
+
+    def test_partitions_reduce_replication_after_bootstrap(self):
+        windows = windows_from(ServerLogGenerator, n_windows=4, window_size=300)
+        result = run_stream_join(
+            StreamJoinConfig(m=4, algorithm="AG", n_assigners=2), windows
+        )
+        for metrics in result.per_window[1:]:
+            assert metrics.replication < 4.0
+
+    def test_one_metrics_record_per_window(self):
+        windows = windows_from(ServerLogGenerator, n_windows=5)
+        result = run_stream_join(
+            StreamJoinConfig(m=3, algorithm="AG", n_assigners=2), windows
+        )
+        assert [m.window for m in result.per_window] == [0, 1, 2, 3, 4]
+
+    def test_initial_partition_creation_not_counted_as_repartition(self):
+        windows = windows_from(ServerLogGenerator, n_windows=3)
+        result = run_stream_join(
+            StreamJoinConfig(m=3, algorithm="AG", n_assigners=2), windows
+        )
+        assert 0 in result.repartition_windows
+        assert not result.per_window[0].repartitioned
+
+    def test_summary_excludes_bootstrap_by_default(self):
+        windows = windows_from(ServerLogGenerator, n_windows=3)
+        result = run_stream_join(
+            StreamJoinConfig(m=4, algorithm="AG", n_assigners=2), windows
+        )
+        without = result.summary()
+        with_bootstrap = result.summary(include_bootstrap=True)
+        assert without.windows == 2
+        assert with_bootstrap.windows == 3
+        assert with_bootstrap.replication > without.replication
+
+    def test_document_counts_preserved(self):
+        windows = windows_from(ServerLogGenerator, n_windows=3, window_size=100)
+        result = run_stream_join(
+            StreamJoinConfig(m=3, algorithm="AG", n_assigners=2), windows
+        )
+        assert all(m.documents == 100 for m in result.per_window)
+
+
+class TestDynamics:
+    def test_drifting_stream_triggers_repartitions(self):
+        """nbData's shifting sparse attributes force recomputations."""
+        windows = windows_from(NoBenchGenerator, n_windows=6, window_size=200)
+        result = run_stream_join(
+            StreamJoinConfig(m=4, algorithm="AG", n_assigners=2, theta=0.2), windows
+        )
+        assert len(result.repartition_windows) > 1
+
+    def test_higher_theta_repartitions_at_most_as_often(self):
+        low = run_stream_join(
+            StreamJoinConfig(m=4, algorithm="AG", n_assigners=2, theta=0.2),
+            windows_from(ServerLogGenerator, n_windows=6),
+        )
+        high = run_stream_join(
+            StreamJoinConfig(m=4, algorithm="AG", n_assigners=2, theta=2.0),
+            windows_from(ServerLogGenerator, n_windows=6),
+        )
+        assert (
+            high.summary().repartition_rate <= low.summary().repartition_rate
+        )
+
+    def test_stable_stream_does_not_repartition(self):
+        """A stream identical in every window never degrades."""
+        base = windows_from(ServerLogGenerator, n_windows=1, window_size=200)[0]
+        windows = []
+        next_id = 0
+        for _ in range(4):
+            window = []
+            for doc in base:
+                window.append(Document(doc.pairs, doc_id=next_id))
+                next_id += 1
+            windows.append(window)
+        result = run_stream_join(
+            StreamJoinConfig(m=3, algorithm="AG", n_assigners=2, theta=0.2), windows
+        )
+        assert result.repartition_windows == [0]
+
+
+class TestConfigValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(PartitioningError, match="unknown algorithm"):
+            StreamJoinConfig(algorithm="MAGIC")
+
+    def test_bad_m(self):
+        with pytest.raises(PartitioningError):
+            StreamJoinConfig(m=0)
+
+    def test_build_topology_components(self):
+        windows = windows_from(ServerLogGenerator, n_windows=1, window_size=10)
+        topology = build_topology(StreamJoinConfig(m=3, n_assigners=2), windows)
+        names = set(topology.components)
+        assert names == {
+            "reader", "partition_creator", "merger", "assigner",
+            "joiner", "metrics_sink",
+        }
+        assert topology.components["joiner"].parallelism == 3
+        assert topology.components["merger"].parallelism == 1
+
+
+class TestAttributeOrderShipping:
+    def test_merger_ships_sample_order(self):
+        """The Section V-A order is computed at partition creation and
+        delivered to the Joiners with the PartitionSet."""
+        from repro.streaming.executor import LocalCluster
+        from repro.topology import messages as msg
+        from repro.topology.joiner import JoinerBolt
+        from repro.topology.pipeline import build_topology
+
+        windows = windows_from(ServerLogGenerator, n_windows=2, window_size=200)
+        config = StreamJoinConfig(
+            m=2, algorithm="AG", n_assigners=2, compute_joins=True
+        )
+        cluster = LocalCluster(build_topology(config, windows))
+        cluster.run()
+        for joiner in cluster.tasks(msg.JOINER):
+            assert isinstance(joiner, JoinerBolt)
+            order = joiner._order
+            assert order is not None
+            # Source appears in every rwData document: maximal frequency
+            assert order.attributes[0] == "Source"
+
+    def test_exactness_with_shipped_order(self):
+        windows = windows_from(ServerLogGenerator, n_windows=3, window_size=120)
+        config = StreamJoinConfig(
+            m=3, algorithm="AG", n_assigners=2,
+            compute_joins=True, collect_pairs=True,
+        )
+        result = run_stream_join(config, windows)
+        assert result.join_pairs == expected_pairs(windows)
