@@ -2,16 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures report examples clean
+.PHONY: install test bench bench-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
-	$(PYTHON) -m pytest tests/
+test: bench-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Instrumented smoke run: exercises the observability layer end to end
+# and persists the metric snapshot for the report tooling.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro stats --json --out results/obs_smoke.json
 
 figures:
 	$(PYTHON) -m repro figure all --save

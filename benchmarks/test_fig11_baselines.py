@@ -13,6 +13,7 @@ import pytest
 
 from repro.experiments.config import make_generator
 from repro.experiments.timing import fig11_sizes, time_join
+from repro.obs import MetricsRegistry
 
 from conftest import publish
 
@@ -28,15 +29,21 @@ def test_fig11_baseline_execution_time(dataset, benchmark):
     generator = make_generator(dataset, 7, max(fpj_sizes))
     corpus = generator.documents(max(fpj_sizes))
 
+    registry = MetricsRegistry()
     rows = []
     totals: dict[tuple[str, int], float] = {}
     for size in baseline_sizes:
         for algorithm in ("NLJ", "HBJ"):
-            timing = time_join(algorithm, dataset, corpus[:size])
+            timing = time_join(
+                algorithm, dataset, corpus[:size], registry=registry
+            )
             totals[(algorithm, size)] = timing.total_seconds
             rows.append(
                 {**timing.row(), "panel": f"fig11 baselines ({dataset})"}
             )
+    for algorithm in ("NLJ", "HBJ"):
+        probes = registry.counter("joiner.probes", algorithm=algorithm).value
+        assert probes == sum(baseline_sizes)
     fpj_at_10x = time_join("FPJ", dataset, corpus[: max(fpj_sizes)])
     rows.append({**fpj_at_10x.row(), "panel": f"fig11 FPJ@10x ({dataset})"})
     publish(

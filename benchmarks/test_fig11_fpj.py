@@ -11,6 +11,7 @@ import pytest
 
 from repro.experiments.config import make_generator
 from repro.experiments.timing import fig11_sizes, time_join
+from repro.obs import MetricsRegistry
 
 from conftest import publish
 
@@ -26,12 +27,16 @@ def test_fig11_fpj_execution_time(dataset, benchmark):
     generator = make_generator(dataset, 7, max(fpj_sizes))
     corpus = generator.documents(max(fpj_sizes))
 
+    registry = MetricsRegistry()
     rows = []
     timings = {}
     for size in fpj_sizes:
-        timing = time_join("FPJ", dataset, corpus[:size])
+        timing = time_join("FPJ", dataset, corpus[:size], registry=registry)
         timings[size] = timing
         rows.append({**timing.row(), "panel": f"fig11 FPJ ({dataset})"})
+    # the instrumented runs account for every probe and insert
+    probes = registry.counter("joiner.probes", algorithm="FPJ").value
+    assert probes == sum(fpj_sizes)
     publish(f"fig11_fpj_{dataset}", f"Fig. 11 FPJ ({dataset})", rows, TIMING_COLUMNS)
 
     # time the smallest size under pytest-benchmark for the record

@@ -11,6 +11,7 @@ streams, scaled out over ``m`` machines:
 * :mod:`repro.topology` — the paper's Fig. 2 topology on that substrate;
 * :mod:`repro.data` — dataset generators for the evaluation;
 * :mod:`repro.metrics` — replication / Gini / processing-load metrics;
+* :mod:`repro.obs` — pluggable observability (metrics registry + traces);
 * :mod:`repro.experiments` — per-figure experiment harness.
 
 Quickstart::
@@ -46,12 +47,21 @@ from repro.partitioning.disjoint import DisjointSetPartitioner
 from repro.partitioning.expansion import ExpansionPlan, plan_expansion
 from repro.partitioning.graph import KernighanLinPartitioner
 from repro.partitioning.hashing import HashPartitioner
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    ObservabilitySnapshot,
+    Span,
+    trace,
+)
 from repro.partitioning.joinmatrix import JoinMatrixRouter
 from repro.partitioning.router import DocumentRouter, RoutingDecision
 from repro.partitioning.setcover import SetCoverPartitioner
 from repro.topology.pipeline import (
+    PARTITIONERS,
     StreamJoinConfig,
     StreamJoinResult,
+    run,
     run_binary_stream_join,
     run_stream_join,
 )
@@ -80,7 +90,11 @@ __all__ = [
     "JoinPair",
     "LocalJoiner",
     "KernighanLinPartitioner",
+    "MetricsRegistry",
     "NestedLoopJoiner",
+    "NullRegistry",
+    "ObservabilitySnapshot",
+    "PARTITIONERS",
     "Partition",
     "Partitioner",
     "PartitioningError",
@@ -89,6 +103,7 @@ __all__ = [
     "RoutingDecision",
     "SetCoverPartitioner",
     "SlidingFPTreeJoiner",
+    "Span",
     "StreamJoinConfig",
     "StreamJoinResult",
     "StreamJoinSession",
@@ -100,7 +115,9 @@ __all__ = [
     "join_window",
     "plan_expansion",
     "binary_join_window",
+    "run",
     "run_binary_stream_join",
     "run_stream_join",
+    "trace",
     "__version__",
 ]

@@ -18,6 +18,10 @@ Subcommands
     Stream a JSONL file through the topology, printing per-window metrics.
 ``generate``
     Write a generated dataset to a JSONL file.
+``stats``
+    Run an observability-enabled topology and print (or dump as JSON)
+    the recorded metric series: per-component tuple counts, executor
+    latency histograms, per-machine replication counters, spans.
 """
 
 from __future__ import annotations
@@ -103,6 +107,21 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--docs", type=int, default=10_000)
     gen.add_argument("--seed", type=int, default=7)
     gen.add_argument("--out", required=True)
+
+    stats = sub.add_parser(
+        "stats", help="run an instrumented topology and print its metrics"
+    )
+    stats.add_argument(
+        "--dataset", choices=("rwData", "nbData", "idealData"), default="rwData"
+    )
+    stats.add_argument("--docs", type=int, default=600)
+    stats.add_argument("--windows", type=int, default=3)
+    stats.add_argument("-m", "--machines", type=int, default=4)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--json", action="store_true", help="dump the snapshot as JSON"
+    )
+    stats.add_argument("--out", default=None, help="write the output to a file")
     return parser
 
 
@@ -216,9 +235,9 @@ def _print_one_figure(name: str, save: bool, chart: bool = False) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro import StreamJoinConfig, run_stream_join
     from repro.analysis import SuspicionScorer, complement_statistics
     from repro.data.serverlogs import ServerLogGenerator
-    from repro.topology.pipeline import StreamJoinConfig, run_stream_join
 
     generator = ServerLogGenerator(seed=args.seed)
     window_size = max(1, args.docs // args.windows)
@@ -247,10 +266,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    from repro.core.window import CountWindow
+    from repro import CountWindow, StreamJoinConfig, StreamJoinSession
     from repro.data.loader import read_jsonl
-    from repro.topology.pipeline import StreamJoinConfig
-    from repro.topology.session import StreamJoinSession
 
     session = StreamJoinSession(
         StreamJoinConfig(
@@ -287,6 +304,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import run
+
+    window_size = max(1, args.docs // args.windows)
+    generator = make_generator(args.dataset, args.seed, window_size)
+    windows = generator.windows(args.windows, window_size)
+    result = run(
+        windows=windows,
+        m=args.machines,
+        compute_joins=True,
+        observability=True,
+    )
+    snapshot = result.observability
+    assert snapshot is not None
+    if args.json:
+        text = snapshot.to_json()
+    else:
+        lines = ["counters:"]
+        for name, value in snapshot.counters.items():
+            lines.append(f"  {name} = {value}")
+        lines.append("gauges:")
+        for name, value in snapshot.gauges.items():
+            lines.append(f"  {name} = {value:g}")
+        lines.append("histograms:")
+        for name, data in snapshot.histograms.items():
+            lines.append(
+                f"  {name}: count={data['count']} mean={data['mean']:.3g} "
+                f"max={data['max'] if data['max'] is not None else '-'}"
+            )
+        lines.append(f"spans: {len(snapshot.spans)} recorded")
+        for span in snapshot.spans[:10]:
+            lines.append(
+                f"  {span['name']} {span['duration_seconds']:.4f}s "
+                f"{span['attributes']}"
+            )
+        text = "\n".join(lines)
+    if args.out:
+        from pathlib import Path
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text + "\n", encoding="utf-8")
+        print(f"stats written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-join`` / ``python -m repro``."""
     args = _build_parser().parse_args(argv)
@@ -313,6 +378,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -107,7 +107,7 @@ class Document:
         ingest; ad-hoc documents may omit it.
     """
 
-    __slots__ = ("_pairs", "doc_id", "_hash")
+    __slots__ = ("_pairs", "doc_id", "_hash", "_avpair_set")
 
     def __init__(
         self,
@@ -129,6 +129,7 @@ class Document:
         self._pairs: dict[str, Value] = items
         self.doc_id = doc_id
         self._hash: Optional[int] = None
+        self._avpair_set: Optional[frozenset[AVPair]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -167,8 +168,15 @@ class Document:
             yield AVPair(attribute, value)
 
     def avpair_set(self) -> frozenset[AVPair]:
-        """The document content as a frozen set of AV-pairs."""
-        return frozenset(self.avpairs())
+        """The document content as a frozen set of AV-pairs.
+
+        Computed once and cached (documents are immutable): partition
+        matching intersects this set per partition, so the flattening to
+        :class:`AVPair` tuples must not repeat per call.
+        """
+        if self._avpair_set is None:
+            self._avpair_set = frozenset(self.avpairs())
+        return self._avpair_set
 
     def get(self, attribute: str, default: Value = None) -> Value:
         return self._pairs.get(attribute, default)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.document import Document
 from repro.experiments.config import make_generator
@@ -28,6 +28,15 @@ from repro.join.fptree_join import FPTreeJoiner
 from repro.join.hash_join import HashJoiner
 from repro.join.nested_loop import NestedLoopJoiner
 from repro.join.ordering import AttributeOrder
+from repro.obs.registry import MetricsRegistry
+
+#: algorithm name -> local joiner class; all share the uniform
+#: ``(order=None, registry=None)`` keyword constructor
+JOINERS: dict[str, type[LocalJoiner]] = {
+    "FPJ": FPTreeJoiner,
+    "NLJ": NestedLoopJoiner,
+    "HBJ": HashJoiner,
+}
 
 FPJ_SIZES_SCALED = (10_000, 30_000, 50_000)
 BASELINE_SIZES_SCALED = (1_000, 3_000, 5_000)
@@ -69,26 +78,34 @@ class JoinTiming:
         }
 
 
-def _make_joiner(algorithm: str, sample: Sequence[Document]) -> LocalJoiner:
-    if algorithm == "FPJ":
-        return FPTreeJoiner(AttributeOrder.from_documents(sample))
-    if algorithm == "NLJ":
-        return NestedLoopJoiner()
-    if algorithm == "HBJ":
-        return HashJoiner()
-    raise ValueError(f"unknown join algorithm {algorithm!r}")
+def _make_joiner(
+    algorithm: str,
+    sample: Sequence[Document],
+    registry: Optional[MetricsRegistry] = None,
+) -> LocalJoiner:
+    try:
+        cls = JOINERS[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown join algorithm {algorithm!r}") from None
+    order = AttributeOrder.from_documents(sample) if algorithm == "FPJ" else None
+    return cls(order=order, registry=registry)
 
 
 def time_join(
-    algorithm: str, dataset: str, documents: Sequence[Document]
+    algorithm: str,
+    dataset: str,
+    documents: Sequence[Document],
+    registry: Optional[MetricsRegistry] = None,
 ) -> JoinTiming:
     """Measure the probe-then-insert join of one window.
 
     For FPJ, "creation" covers tree insertions and "join" the probes,
     matching the paper's split of Fig. 11a/11b; the baselines report all
     time under "join" (their insert step is negligible bookkeeping).
+    Passing a ``registry`` additionally records the joiner's own probe /
+    insert counters and latency histograms.
     """
-    joiner = _make_joiner(algorithm, documents)
+    joiner = _make_joiner(algorithm, documents, registry=registry)
     creation = 0.0
     joining = 0.0
     pair_count = 0

@@ -96,7 +96,10 @@ class ApproximateJoiner(LocalJoiner):
         bloom_capacity: int = 50_000,
         bloom_error_rate: float = 0.01,
         seed: int = 0,
+        order=None,
+        registry=None,
     ):
+        super().__init__(order=order, registry=registry)
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
         self.sample_rate = sample_rate
@@ -109,7 +112,7 @@ class ApproximateJoiner(LocalJoiner):
         #: unbiased estimate of the partner count of the last probe
         self.last_estimate = 0.0
 
-    def add(self, document: Document) -> None:
+    def _insert(self, document: Document) -> None:
         if document.doc_id is None:
             raise ValueError("stored documents need a doc_id")
         self._stored += 1
@@ -118,7 +121,7 @@ class ApproximateJoiner(LocalJoiner):
         if self._rng.random() < self.sample_rate:
             self._sample.append(document)
 
-    def probe(self, document: Document) -> list[int]:
+    def _probe(self, document: Document) -> list[int]:
         """A ~``sample_rate`` subset of the true partners (ids).
 
         Also updates :attr:`last_estimate` with ``found / sample_rate``,

@@ -11,9 +11,12 @@ natural join result.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, NamedTuple, Sequence
+from time import perf_counter
+from typing import Iterable, NamedTuple, Optional, Sequence
 
 from repro.core.document import Document
+from repro.join.ordering import AttributeOrder
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 
 class JoinPair(NamedTuple):
@@ -28,18 +31,71 @@ class JoinPair(NamedTuple):
 
 
 class LocalJoiner(ABC):
-    """Abstract windowed join operator over schema-free documents."""
+    """Abstract windowed join operator over schema-free documents.
 
-    #: short name used in benchmark output ("FPJ", "NLJ", "HBJ")
-    name: str = "joiner"
+    Every joiner shares the uniform keyword signature
+    ``(order=None, registry=None)``: ``order`` is the global attribute
+    order (ignored by algorithms that do not need one) and ``registry``
+    an optional :class:`~repro.obs.registry.MetricsRegistry`.  The public
+    :meth:`probe` / :meth:`add` methods are the shared observability
+    hook — they time the algorithm-specific :meth:`_probe` /
+    :meth:`_insert` implementations into ``joiner.probe_seconds`` /
+    ``joiner.insert_seconds`` histograms and count probes, partners and
+    inserts, all labelled with the algorithm :attr:`name`.  With the
+    default no-op registry the hook costs one attribute lookup.
+    """
 
-    @abstractmethod
+    def __init__(
+        self,
+        order: Optional[AttributeOrder] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.order = order
+        registry = registry if registry is not None else NULL_REGISTRY
+        self.registry = registry
+        self._observed = registry.enabled
+        label = self.name
+        self._probe_seconds = registry.histogram("joiner.probe_seconds", algorithm=label)
+        self._insert_seconds = registry.histogram(
+            "joiner.insert_seconds", algorithm=label
+        )
+        self._probe_count = registry.counter("joiner.probes", algorithm=label)
+        self._partner_count = registry.counter("joiner.partners", algorithm=label)
+        self._insert_count = registry.counter("joiner.inserts", algorithm=label)
+
+    @property
+    def name(self) -> str:
+        """Short name used in benchmark output ("FPJ", "NLJ", "HBJ")."""
+        return "joiner"
+
     def add(self, document: Document) -> None:
         """Store ``document`` (must carry a ``doc_id``) for future probes."""
+        if not self._observed:
+            self._insert(document)
+            return
+        start = perf_counter()
+        self._insert(document)
+        self._insert_seconds.observe(perf_counter() - start)
+        self._insert_count.inc()
 
-    @abstractmethod
     def probe(self, document: Document) -> list[int]:
         """Ids of stored documents joinable with ``document``."""
+        if not self._observed:
+            return self._probe(document)
+        start = perf_counter()
+        partners = self._probe(document)
+        self._probe_seconds.observe(perf_counter() - start)
+        self._probe_count.inc()
+        self._partner_count.inc(len(partners))
+        return partners
+
+    @abstractmethod
+    def _insert(self, document: Document) -> None:
+        """Algorithm-specific storage step behind :meth:`add`."""
+
+    @abstractmethod
+    def _probe(self, document: Document) -> list[int]:
+        """Algorithm-specific matching step behind :meth:`probe`."""
 
     @abstractmethod
     def reset(self) -> None:

@@ -23,6 +23,7 @@ from repro.core.document import AVPair, Document
 from repro.join.base import LocalJoiner
 from repro.join.fptree import FPTree
 from repro.join.ordering import AttributeOrder
+from repro.obs.registry import MetricsRegistry
 
 _MISSING = object()
 
@@ -84,6 +85,9 @@ class FPTreeJoiner(LocalJoiner):
         from the first inserted document and extended implicitly (unknown
         attributes rank last); deriving the order from a window sample via
         :meth:`with_sample_order` yields better tree sharing.
+    registry:
+        Optional metrics registry; probe/insert timings and counts are
+        recorded through the shared :class:`LocalJoiner` hook.
     use_fast_path:
         Forwarded to :func:`fptree_join`; disable for ablation runs.
     """
@@ -91,26 +95,38 @@ class FPTreeJoiner(LocalJoiner):
     name = "FPJ"
 
     def __init__(
-        self, order: Optional[AttributeOrder] = None, use_fast_path: bool = True
+        self,
+        order: Optional[AttributeOrder] = None,
+        registry: Optional[MetricsRegistry] = None,
+        use_fast_path: bool = True,
     ):
-        self._explicit_order = order
+        super().__init__(order=order, registry=registry)
         self.use_fast_path = use_fast_path
         self.tree = FPTree(order if order is not None else AttributeOrder(()))
 
     @classmethod
-    def with_sample_order(cls, sample, use_fast_path: bool = True) -> "FPTreeJoiner":
+    def with_sample_order(
+        cls,
+        sample,
+        use_fast_path: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "FPTreeJoiner":
         """Build a joiner whose order is computed from a document sample."""
-        return cls(AttributeOrder.from_documents(sample), use_fast_path=use_fast_path)
+        return cls(
+            AttributeOrder.from_documents(sample),
+            registry=registry,
+            use_fast_path=use_fast_path,
+        )
 
-    def add(self, document: Document) -> None:
+    def _insert(self, document: Document) -> None:
         self.tree.insert(document)
 
-    def probe(self, document: Document) -> list[int]:
+    def _probe(self, document: Document) -> list[int]:
         return fptree_join(self.tree, document, use_fast_path=self.use_fast_path)
 
     def reset(self) -> None:
         """Evict the whole tree — the tumbling-window eviction of §V-A."""
-        order = self._explicit_order or self.tree.order
+        order = self.order if self.order is not None else self.tree.order
         self.tree = FPTree(order)
 
     def __len__(self) -> int:

@@ -13,27 +13,40 @@ short and HBJ wins.  Both effects are visible in Fig. 11c/11d.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.document import AVPair, Document
 from repro.join.base import LocalJoiner
+from repro.join.ordering import AttributeOrder
+from repro.obs.registry import MetricsRegistry
 
 
 class HashJoiner(LocalJoiner):
-    """Inverted-index joiner over AV-pairs."""
+    """Inverted-index joiner over AV-pairs.
+
+    ``order`` is accepted for signature uniformity with the other
+    joiners and ignored — HBJ needs no attribute order.
+    """
 
     name = "HBJ"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        order: Optional[AttributeOrder] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(order=order, registry=registry)
         self._index: dict[AVPair, list[int]] = {}
         self._docs: dict[int, Document] = {}
 
-    def add(self, document: Document) -> None:
+    def _insert(self, document: Document) -> None:
         if document.doc_id is None:
             raise ValueError("stored documents need a doc_id")
         self._docs[document.doc_id] = document
         for pair in document.avpairs():
             self._index.setdefault(pair, []).append(document.doc_id)
 
-    def probe(self, document: Document) -> list[int]:
+    def _probe(self, document: Document) -> list[int]:
         # Candidates are verified per posting occurrence (a stored
         # document sharing k pairs with the probe is encountered k times)
         # with only the accepted ids deduplicated.  This is the

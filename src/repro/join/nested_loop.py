@@ -7,24 +7,37 @@ textbook baseline the FP-tree join is measured against in Fig. 11.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.document import Document
 from repro.join.base import LocalJoiner
+from repro.join.ordering import AttributeOrder
+from repro.obs.registry import MetricsRegistry
 
 
 class NestedLoopJoiner(LocalJoiner):
-    """Exhaustive pairwise comparison joiner."""
+    """Exhaustive pairwise comparison joiner.
+
+    ``order`` is accepted for signature uniformity with the other
+    joiners and ignored — NLJ needs no attribute order.
+    """
 
     name = "NLJ"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        order: Optional[AttributeOrder] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(order=order, registry=registry)
         self._stored: list[Document] = []
 
-    def add(self, document: Document) -> None:
+    def _insert(self, document: Document) -> None:
         if document.doc_id is None:
             raise ValueError("stored documents need a doc_id")
         self._stored.append(document)
 
-    def probe(self, document: Document) -> list[int]:
+    def _probe(self, document: Document) -> list[int]:
         return [
             stored.doc_id  # type: ignore[misc]  # checked in add()
             for stored in self._stored

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.obs.registry import ObservabilitySnapshot
 
 
 @dataclass
@@ -31,9 +33,12 @@ class ExperimentSummary:
     repartition_rate: float
     windows: int
     join_pairs: int
+    #: instrumentation snapshot of the producing run, when it had
+    #: observability enabled (JSON-serializable via ``as_dict``)
+    observability: Optional[ObservabilitySnapshot] = None
 
-    def as_dict(self) -> dict[str, float]:
-        return {
+    def as_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
             "replication": self.replication,
             "gini": self.gini,
             "max_load": self.max_load,
@@ -41,9 +46,15 @@ class ExperimentSummary:
             "windows": float(self.windows),
             "join_pairs": float(self.join_pairs),
         }
+        if self.observability is not None:
+            data["observability"] = self.observability.as_dict()
+        return data
 
 
-def aggregate_metrics(per_window: Sequence[WindowMetrics]) -> ExperimentSummary:
+def aggregate_metrics(
+    per_window: Sequence[WindowMetrics],
+    observability: Optional[ObservabilitySnapshot] = None,
+) -> ExperimentSummary:
     """Average the per-window metrics, matching the paper's reporting.
 
     Replication / Gini / max load are averaged over windows; the
@@ -60,6 +71,7 @@ def aggregate_metrics(per_window: Sequence[WindowMetrics]) -> ExperimentSummary:
         repartition_rate=sum(1 for w in per_window if w.repartitioned) / n,
         windows=n,
         join_pairs=sum(w.join_pairs for w in per_window),
+        observability=observability,
     )
 
 

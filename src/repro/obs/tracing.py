@@ -1,0 +1,67 @@
+"""Trace spans: monotonic-clock timing of labelled code sections.
+
+A :class:`Span` is a context manager; entering stamps a monotonic start,
+exiting stamps the end and (when the span is bound to a registry)
+records itself — the registry keeps the most recent spans and feeds the
+duration into a ``trace.<name>_seconds`` histogram.  Spans are also
+usable standalone::
+
+    with trace("window.close") as span:
+        close_window()
+    print(span.duration)
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+
+class Span:
+    """One timed section of work, named and optionally attributed."""
+
+    __slots__ = ("name", "attributes", "start", "end", "_registry")
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[object] = None,
+        attributes: Optional[dict] = None,
+    ):
+        self.name = name
+        self.attributes = dict(attributes) if attributes else {}
+        self.start = 0.0
+        self.end = 0.0
+        self._registry = registry
+
+    def __enter__(self) -> "Span":
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = perf_counter()
+        if self._registry is not None:
+            self._registry.record_span(self)
+        return False  # never swallow exceptions
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 until the span has been exited)."""
+        if self.end < self.start:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"<Span {self.name} {self.duration:.6f}s>"
+
+
+def trace(name: str, registry: Optional[object] = None, **attributes) -> Span:
+    """Create a span; bind it to ``registry`` to have it recorded."""
+    return Span(name, registry=registry, attributes=attributes)

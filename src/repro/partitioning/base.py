@@ -18,6 +18,7 @@ from typing import Iterable, Optional, Protocol, Sequence
 
 from repro.core.document import AVPair, Document
 from repro.exceptions import PartitioningError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass
@@ -31,8 +32,14 @@ class Partition:
     estimated_load: int = 0
 
     def matches(self, document: Document) -> bool:
-        """A document matches iff it shares at least one AV-pair."""
-        return any(pair in self.pairs for pair in document.avpairs())
+        """A document matches iff it shares at least one AV-pair.
+
+        Uses a set intersection against the document's precomputed
+        AV-pair frozenset instead of iterating ``document.avpairs()``
+        per partition — a routing hot path touched once per
+        (document, partition) combination.
+        """
+        return not self.pairs.isdisjoint(document.avpair_set())
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -82,6 +89,15 @@ class Partitioner(ABC):
     #: short name used in experiment output ("AG", "SC", "DS", "HASH")
     name: str = "partitioner"
 
+    #: metrics registry partitioning events are recorded to; the no-op
+    #: default is replaced via :meth:`instrument`
+    registry: MetricsRegistry = NULL_REGISTRY
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Attach a metrics registry; (re)partitioning runs record
+        group-move counters and per-run spans through it."""
+        self.registry = registry
+
     @abstractmethod
     def create_partitions(
         self, documents: Sequence[Document], m: int
@@ -99,6 +115,7 @@ def assign_groups_to_partitions(
     groups: Sequence[PairGroup],
     m: int,
     capacities: Optional[Sequence[float]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> list[Partition]:
     """Greedy load-balanced assignment of pair groups to ``m`` partitions.
 
@@ -114,6 +131,11 @@ def assign_groups_to_partitions(
     heterogeneous machines: relative weights (e.g. ``[2, 1, 1]`` for one
     double-capacity node) under which "least loaded" means least
     *normalized* load, so target loads become proportional to capacity.
+
+    When a ``registry`` is supplied, every placement increments a
+    ``partitioning.group_moves`` counter and the group/non-empty
+    partition totals are exported as gauges — the signal future adaptive
+    repartitioning needs to judge churn.
     """
     if capacities is not None:
         if len(capacities) != m:
@@ -133,4 +155,10 @@ def assign_groups_to_partitions(
         target.estimated_load += group.load
         weight = capacities[index] if capacities is not None else 1.0
         heapq.heappush(heap, (target.estimated_load / weight, index))
+    if registry is not None and registry.enabled:
+        registry.counter("partitioning.group_moves").inc(len(groups))
+        registry.gauge("partitioning.groups").set(len(groups))
+        registry.gauge("partitioning.partitions_nonempty").set(
+            sum(1 for p in partitions if p.pairs)
+        )
     return partitions

@@ -5,6 +5,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Optional, Protocol
 
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import Span
+
 
 class Collector(Protocol):
     """Interface components use to emit tuples downstream."""
@@ -18,7 +21,15 @@ class Collector(Protocol):
 
 
 class ComponentContext:
-    """Execution context handed to a task at preparation time."""
+    """Execution context handed to a task at preparation time.
+
+    Besides the task's coordinates in the topology, the context is the
+    instrumentation entry point: ``ctx.metrics`` is the run's
+    :class:`~repro.obs.registry.MetricsRegistry` (the no-op
+    :data:`~repro.obs.registry.NULL_REGISTRY` unless observability was
+    enabled) and ``ctx.trace(name)`` opens a span attributed to this
+    component and task.
+    """
 
     def __init__(
         self,
@@ -26,15 +37,25 @@ class ComponentContext:
         task_index: int,
         parallelism: int,
         component_parallelism: dict[str, int],
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.component = component
         self.task_index = task_index
         self.parallelism = parallelism
         self._component_parallelism = dict(component_parallelism)
+        self.metrics: MetricsRegistry = (
+            registry if registry is not None else NULL_REGISTRY
+        )
 
     def parallelism_of(self, component: str) -> int:
         """Number of tasks of another component (e.g. count of Joiners)."""
         return self._component_parallelism[component]
+
+    def trace(self, name: str, **attributes) -> Span:
+        """Open a span tagged with this task's component and index."""
+        return self.metrics.trace(
+            name, component=self.component, task=self.task_index, **attributes
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         return f"<Context {self.component}[{self.task_index}/{self.parallelism}]>"

@@ -17,9 +17,11 @@ exactly-once guarantee is trivial), and spouts are finite.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Any, Optional
 
 from repro.exceptions import TopologyError, TupleProcessingError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.streaming.component import Bolt, ComponentContext, Spout
 from repro.streaming.topology import Topology
 from repro.streaming.tuples import StreamTuple
@@ -57,15 +59,26 @@ class LocalCluster:
         topology: Topology,
         max_tuples: int = 200_000_000,
         max_retries: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         """``max_retries`` > 0 enables Storm-style guaranteed delivery: a
         tuple whose processing raises is redelivered to the same task up
         to that many times (at-least-once semantics — bolts observing a
         redelivered tuple must tolerate their own partial effects).
-        Exceeding the budget raises :class:`TupleProcessingError`."""
+        Exceeding the budget raises :class:`TupleProcessingError`.
+
+        ``registry`` enables observability: the cluster records
+        per-component emitted/processed counters, an
+        ``executor.queue_depth_max`` gauge and per-component
+        ``executor.execute_seconds`` latency histograms, and every task's
+        :class:`ComponentContext` exposes the registry as
+        ``ctx.metrics``.  The default no-op registry keeps the hot path
+        at a single attribute lookup."""
         self.topology = topology
         self.max_tuples = max_tuples
         self.max_retries = max_retries
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._obs = self.registry.enabled
         self.failures = 0
         #: deepest the work queue ever got — a backpressure indicator
         self.max_queue_depth = 0
@@ -92,6 +105,20 @@ class LocalCluster:
         parallelism = {
             name: spec.parallelism for name, spec in self.topology.components.items()
         }
+        registry = self.registry
+        self._emit_counters = {
+            name: registry.counter("executor.emitted", component=name)
+            for name in self.topology.components
+        }
+        self._proc_counters = {
+            name: registry.counter("executor.processed", component=name)
+            for name in self.topology.components
+        }
+        self._exec_hists = {
+            name: registry.histogram("executor.execute_seconds", component=name)
+            for name in self.topology.components
+        }
+        self._queue_gauge = registry.gauge("executor.queue_depth_max")
         for name, spec in self.topology.components.items():
             instances = []
             for task_index in range(spec.parallelism):
@@ -101,6 +128,7 @@ class LocalCluster:
                     task_index=task_index,
                     parallelism=spec.parallelism,
                     component_parallelism=parallelism,
+                    registry=registry,
                 )
                 if spec.is_spout:
                     if not isinstance(instance, Spout):
@@ -124,6 +152,8 @@ class LocalCluster:
     def _route(self, tup: StreamTuple) -> None:
         self.emitted += 1
         self._component_emitted[tup.source] += 1
+        if self._obs:
+            self._emit_counters[tup.source].inc()
         if self.emitted > self.max_tuples:
             raise TopologyError(
                 f"tuple budget of {self.max_tuples} exceeded — "
@@ -136,15 +166,23 @@ class LocalCluster:
                 self._queue.append((bolt_name, task_index, tup))
         if len(self._queue) > self.max_queue_depth:
             self.max_queue_depth = len(self._queue)
+            if self._obs:
+                self._queue_gauge.set(self.max_queue_depth)
 
     def _drain(self) -> None:
         retry_counts: dict[int, int] = {}
+        obs = self._obs
         while self._queue:
             component, task_index, tup = self._queue.popleft()
             task = self._tasks[component][task_index]
             assert isinstance(task, Bolt)
             try:
-                task.process(tup, self._collectors[(component, task_index)])
+                if obs:
+                    start = perf_counter()
+                    task.process(tup, self._collectors[(component, task_index)])
+                    self._exec_hists[component].observe(perf_counter() - start)
+                else:
+                    task.process(tup, self._collectors[(component, task_index)])
             except Exception as exc:
                 self.failures += 1
                 attempts = retry_counts.get(id(tup), 0)
@@ -158,6 +196,8 @@ class LocalCluster:
                 continue
             self.processed += 1
             self._component_processed[component] += 1
+            if obs:
+                self._proc_counters[component].inc()
 
     def pump(self) -> None:
         """Advance every spout until it reports no data, then return.

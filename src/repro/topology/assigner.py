@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.document import AVPair
+from repro.obs.registry import NULL_REGISTRY
 from repro.partitioning.router import DocumentRouter
 from repro.streaming.component import Bolt, Collector, ComponentContext
 from repro.streaming.tuples import StreamTuple
@@ -46,6 +47,12 @@ class AssignerBolt(Bolt):
         self._unseen_counts: dict[AVPair, int] = {}
         self._requested: set[AVPair] = set()
         self._repartition_pending = False
+        self._metrics = NULL_REGISTRY
+        self._obs = False
+        self._update_counter = NULL_REGISTRY.counter("assigner.update_requests")
+        self._repartition_counter = NULL_REGISTRY.counter(
+            "assigner.repartition_triggers"
+        )
         self._reset_window_counters()
 
     def _reset_window_counters(self) -> None:
@@ -58,6 +65,20 @@ class AssignerBolt(Bolt):
         self._task_index = context.task_index
         self._n_joiners = context.parallelism_of(msg.JOINER)
         self._all_joiners = tuple(range(self._n_joiners))
+        metrics = context.metrics
+        self._metrics = metrics
+        self._obs = metrics.enabled
+        # Replication counters: one per target machine (how many document
+        # copies each partition attracted), plus routing-wide totals.
+        self._doc_counter = metrics.counter("assigner.documents")
+        self._assignment_counter = metrics.counter("assigner.assignments")
+        self._broadcast_counter = metrics.counter("assigner.broadcasts")
+        self._machine_counters = [
+            metrics.counter("assigner.machine_docs", machine=i)
+            for i in range(self._n_joiners)
+        ]
+        self._update_counter = metrics.counter("assigner.update_requests")
+        self._repartition_counter = metrics.counter("assigner.repartition_triggers")
         self._reset_window_counters()
 
     # ------------------------------------------------------------------
@@ -86,6 +107,13 @@ class AssignerBolt(Bolt):
         self._docs += 1
         self._assignments += len(targets)
         self._broadcasts += 1 if broadcast else 0
+        if self._obs:
+            self._doc_counter.inc()
+            self._assignment_counter.inc(len(targets))
+            if broadcast:
+                self._broadcast_counter.inc()
+            for target in targets:
+                self._machine_counters[target].inc()
         for target in targets:
             self._machine_counts[target] += 1
             collector.emit(
@@ -101,6 +129,7 @@ class AssignerBolt(Bolt):
             if count >= self.delta:
                 self._requested.add(pair)
                 del self._unseen_counts[pair]
+                self._update_counter.inc()
                 co_pairs = tuple(
                     p for p in document.avpairs() if p != pair
                 )
@@ -135,6 +164,7 @@ class AssignerBolt(Bolt):
             )
             if replication_degraded or load_degraded:
                 triggered = True
+                self._repartition_counter.inc()
                 collector.emit(
                     msg.CONTROL,
                     (msg.ControlMessage(kind="repartition", window_id=window_id),),

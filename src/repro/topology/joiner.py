@@ -17,6 +17,7 @@ from repro.join.binary import BinaryJoinPair, BinaryStreamJoiner
 from repro.join.fptree_join import FPTreeJoiner
 from repro.join.ordering import AttributeOrder
 from repro.join.sliding import SlidingFPTreeJoiner
+from repro.obs.registry import NULL_REGISTRY
 from repro.streaming.component import Bolt, Collector, ComponentContext
 from repro.streaming.tuples import StreamTuple
 from repro.topology import messages as msg
@@ -70,6 +71,7 @@ class JoinerBolt(Bolt):
         self._seen_doc_ids: set[int] = set()
         self._done_markers: dict[int, int] = {}
         self._order: Optional[AttributeOrder] = None
+        self._metrics = NULL_REGISTRY
 
     def _fresh_joiner(self) -> Optional[FPTreeJoiner | SlidingFPTreeJoiner]:
         if not self.compute_joins:
@@ -79,14 +81,18 @@ class JoinerBolt(Bolt):
         # derived incrementally, which is slower but equally correct.
         if self.binary:
             order = self._order
-            return BinaryStreamJoiner(lambda: FPTreeJoiner(order))
+            registry = self._metrics
+            return BinaryStreamJoiner(
+                lambda: FPTreeJoiner(order, registry=registry)
+            )
         if self.sliding_size is not None:
             return SlidingFPTreeJoiner(self.sliding_size, order=self._order)
-        return FPTreeJoiner(self._order)
+        return FPTreeJoiner(self._order, registry=self._metrics)
 
     def prepare(self, context: ComponentContext) -> None:
         self._task_index = context.task_index
         self._n_assigners = context.parallelism_of(msg.ASSIGNER)
+        self._metrics = context.metrics
         self._joiner = self._fresh_joiner()
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.partitioning.base import (
 )
 from repro.join.ordering import AttributeOrder
 from repro.metrics.estimation import estimate_on_sample
+from repro.obs.registry import NULL_REGISTRY
 from repro.partitioning.expansion import ExpansionPlan, plan_expansion
 from repro.streaming.component import Bolt, Collector, ComponentContext
 from repro.streaming.tuples import StreamTuple
@@ -70,12 +71,17 @@ class MergerBolt(Bolt):
         self._broadcasts: dict[int, int] = {}
         self._sample_sizes: dict[int, int] = {}
         self._orders: dict[int, AttributeOrder] = {}
+        self._metrics = NULL_REGISTRY
+        self._trace = NULL_REGISTRY.trace
 
     def prepare(self, context: ComponentContext) -> None:
         if context.parallelism != 1:
             raise ValueError("the Merger must run as a single instance")
         self._m = context.parallelism_of(msg.JOINER)
         self._n_creators = context.parallelism_of(msg.CREATOR)
+        self._metrics = context.metrics
+        self._trace = context.trace
+        self.partitioner.instrument(context.metrics)
 
     # ------------------------------------------------------------------
     def process(self, tup: StreamTuple, collector: Collector) -> None:
@@ -136,19 +142,24 @@ class MergerBolt(Bolt):
         plan = self._plans.pop(window_id, None)
         del self._groups_received[window_id]
 
-        if isinstance(self.partitioner, AssociationGroupPartitioner):
-            consolidated = consolidate_association_groups([groups])
-            partitions = assign_groups_to_partitions(consolidated, self._m)
-        else:
-            sample = [
-                Document({p.attribute: p.value for p in pair_set})
-                for pair_set, count in sample_sets.items()
-                for _ in range(count)
-            ]
-            if sample:
-                partitions = self.partitioner.create_partitions(sample, self._m).partitions
+        with self._trace("merger.build_partitions", window=window_id):
+            if isinstance(self.partitioner, AssociationGroupPartitioner):
+                consolidated = consolidate_association_groups([groups])
+                partitions = assign_groups_to_partitions(
+                    consolidated, self._m, registry=self._metrics
+                )
             else:
-                partitions = [Partition(index=i) for i in range(self._m)]
+                sample = [
+                    Document({p.attribute: p.value for p in pair_set})
+                    for pair_set, count in sample_sets.items()
+                    for _ in range(count)
+                ]
+                if sample:
+                    partitions = self.partitioner.create_partitions(
+                        sample, self._m
+                    ).partitions
+                else:
+                    partitions = [Partition(index=i) for i in range(self._m)]
 
         baseline_replication, baseline_max_load = self._measure_baseline(
             partitions, sample_sets, broadcast_count, sample_size
@@ -167,6 +178,17 @@ class MergerBolt(Bolt):
             created_at_window=window_id,
             attribute_order=self._orders.pop(window_id, None),
         )
+        if self._metrics.enabled:
+            metrics = self._metrics
+            metrics.counter("merger.repartitions").inc()
+            metrics.gauge("merger.partition_version").set(self._version)
+            metrics.gauge("merger.baseline_replication").set(baseline_replication)
+            metrics.gauge("merger.baseline_max_load").set(baseline_max_load)
+            metrics.gauge("merger.owned_pairs").set(len(self._owned_pairs))
+            for partition in partitions:
+                metrics.gauge(
+                    "merger.partition_pairs", partition=partition.index
+                ).set(len(partition.pairs))
         collector.emit(msg.PARTITIONS, (partition_set,))
         collector.emit(msg.REPARTITION_EVENT, (window_id, self._version == 1))
 
@@ -237,6 +259,7 @@ class MergerBolt(Bolt):
         )
         target.pairs.add(pair)
         self._owned_pairs.add(pair)
+        self._metrics.counter("merger.partition_updates").inc()
         collector.emit(msg.PARTITION_UPDATE, (pair, target.index))
 
 

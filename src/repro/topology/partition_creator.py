@@ -26,6 +26,7 @@ from collections import Counter
 from typing import Optional
 
 from repro.core.document import Document
+from repro.obs.registry import NULL_REGISTRY
 from repro.partitioning.association import mine_association_groups
 from repro.partitioning.expansion import ExpansionPlan
 from repro.streaming.component import Bolt, Collector, ComponentContext
@@ -49,9 +50,15 @@ class PartitionCreatorBolt(Bolt):
         self._buffer: list[Document] = []
         self._sampling = True  # bootstrap: the first window always samples
         self._task_index = 0
+        self._trace = NULL_REGISTRY.trace
+        self._sampled_counter = NULL_REGISTRY.counter("creator.sampled_docs")
+        self._mined_counter = NULL_REGISTRY.counter("creator.mined_groups")
 
     def prepare(self, context: ComponentContext) -> None:
         self._task_index = context.task_index
+        self._trace = context.trace
+        self._sampled_counter = context.metrics.counter("creator.sampled_docs")
+        self._mined_counter = context.metrics.counter("creator.mined_groups")
 
     def process(self, tup: StreamTuple, collector: Collector) -> None:
         if tup.stream == msg.DOCS:
@@ -81,14 +88,17 @@ class PartitionCreatorBolt(Bolt):
         self, window_id: int, plan: Optional[ExpansionPlan], collector: Collector
     ) -> None:
         sample = self._buffer
+        self._sampled_counter.inc(len(sample))
         if plan is not None:
             sample = plan.transform_sample(sample)
         if self.distributed_mining and sample:
-            groups = mine_association_groups(sample)
+            with self._trace("creator.mine_groups", window=window_id):
+                groups = mine_association_groups(sample)
         else:
             # Centralized baselines ship no mined groups; the Merger runs
             # the full algorithm on the sample pair-sets below.
             groups = []
+        self._mined_counter.inc(len(groups))
         # The (transformed) sample itself, as distinct pair-sets with
         # multiplicities: the Merger both feeds centralized partitioners
         # with it and computes the θ-baseline replication / max load by

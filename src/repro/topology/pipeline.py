@@ -9,6 +9,11 @@ from repro.core.document import Document
 from repro.exceptions import PartitioningError
 from repro.join.base import JoinPair
 from repro.metrics.report import ExperimentSummary, WindowMetrics, aggregate_metrics
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    ObservabilitySnapshot,
+)
 from repro.partitioning.association import AssociationGroupPartitioner
 from repro.partitioning.base import Partitioner
 from repro.partitioning.disjoint import DisjointSetPartitioner
@@ -66,6 +71,10 @@ class StreamJoinConfig:
     #: True -> two-stream (R x S) join: documents arrive tagged with a
     #: stream side and only cross-stream pairs are produced
     binary: bool = False
+    #: True -> run with a live :class:`~repro.obs.MetricsRegistry`; the
+    #: result then carries an :class:`~repro.obs.ObservabilitySnapshot`.
+    #: Off by default: the hot path pays one attribute lookup only.
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in PARTITIONERS:
@@ -86,6 +95,8 @@ class StreamJoinResult:
     repartition_windows: list[int]
     join_pairs: frozenset[JoinPair] = field(default_factory=frozenset)
     tuple_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: populated iff the run had ``config.observability`` on
+    observability: Optional[ObservabilitySnapshot] = None
 
     def summary(self, include_bootstrap: bool = False) -> ExperimentSummary:
         """Average metrics, excluding the bootstrap window by default.
@@ -97,7 +108,7 @@ class StreamJoinResult:
         windows = self.per_window
         if not include_bootstrap and len(windows) > 1:
             windows = windows[1:]
-        return aggregate_metrics(windows)
+        return aggregate_metrics(windows, observability=self.observability)
 
 
 def build_topology(
@@ -192,8 +203,28 @@ def run_stream_join(
     return _execute(config, topology)
 
 
+def run(
+    config: Optional[StreamJoinConfig] = None,
+    windows: Sequence[Sequence[Document]] = (),
+    **overrides,
+) -> StreamJoinResult:
+    """Top-level facade: run a stream-join topology over ``windows``.
+
+    ``run(windows=w, m=4, observability=True)`` is shorthand for
+    ``run_stream_join(StreamJoinConfig(m=4, observability=True), w)``;
+    keyword overrides are applied on top of ``config`` when both are
+    given.
+    """
+    if config is None:
+        config = StreamJoinConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    return run_stream_join(config, windows)
+
+
 def _execute(config: StreamJoinConfig, topology: Topology) -> StreamJoinResult:
-    cluster = LocalCluster(topology)
+    registry = MetricsRegistry() if config.observability else NULL_REGISTRY
+    cluster = LocalCluster(topology, registry=registry)
     cluster.run()
     sink = cluster.tasks(msg.SINK)[0]
     assert isinstance(sink, MetricsSinkBolt)
@@ -212,4 +243,5 @@ def _execute(config: StreamJoinConfig, topology: Topology) -> StreamJoinResult:
         repartition_windows=sink.repartition_windows(),
         join_pairs=frozenset(sink.join_pairs),
         tuple_stats=cluster.stats(),
+        observability=registry.snapshot() if config.observability else None,
     )

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.core.document import Document
 from repro.metrics.report import WindowMetrics
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.streaming.component import Collector, Spout
 from repro.streaming.executor import LocalCluster
 from repro.topology import messages as msg
@@ -63,7 +64,10 @@ class StreamJoinSession:
         self._spout = BufferSpout()
         topology = build_topology(config, [])
         topology.components[msg.READER].factory = lambda: self._made_spout()
-        self._cluster = LocalCluster(topology)
+        self._registry = (
+            MetricsRegistry() if config.observability else NULL_REGISTRY
+        )
+        self._cluster = LocalCluster(topology, registry=self._registry)
         self._next_window_id = 0
         self._closed = False
 
@@ -114,6 +118,9 @@ class StreamJoinSession:
             repartition_windows=sink.repartition_windows(),
             join_pairs=frozenset(sink.join_pairs),
             tuple_stats=self._cluster.stats(),
+            observability=(
+                self._registry.snapshot() if self.config.observability else None
+            ),
         )
 
     @property

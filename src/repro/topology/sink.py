@@ -7,6 +7,7 @@ from typing import Optional
 from repro.join.base import JoinPair
 from repro.metrics.gini import gini_coefficient
 from repro.metrics.report import WindowMetrics
+from repro.obs.registry import NULL_REGISTRY
 from repro.streaming.component import Bolt, Collector, ComponentContext
 from repro.streaming.tuples import StreamTuple
 from repro.topology import messages as msg
@@ -22,6 +23,11 @@ class MetricsSinkBolt(Bolt):
     slice.
     """
 
+    #: bucket bounds for the per-window quality histograms — replication
+    #: ranges over [1, m], Gini and max load over [0, 1]
+    REPLICATION_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0)
+    RATIO_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
     def __init__(self) -> None:
         self._n_assigners = 0
         self._n_joiners = 0
@@ -31,10 +37,24 @@ class MetricsSinkBolt(Bolt):
         self.repartition_events: dict[int, bool] = {}
         self.windows: list[WindowMetrics] = []
         self.join_pairs: set[JoinPair] = set()
+        self._metrics = NULL_REGISTRY
 
     def prepare(self, context: ComponentContext) -> None:
         self._n_assigners = context.parallelism_of(msg.ASSIGNER)
         self._n_joiners = context.parallelism_of(msg.JOINER)
+        metrics = context.metrics
+        self._metrics = metrics
+        self._window_counter = metrics.counter("sink.windows")
+        self._pair_counter = metrics.counter("sink.join_pairs")
+        self._replication_hist = metrics.histogram(
+            "window.replication", buckets=self.REPLICATION_BUCKETS
+        )
+        self._gini_hist = metrics.histogram(
+            "window.gini", buckets=self.RATIO_BUCKETS
+        )
+        self._max_load_hist = metrics.histogram(
+            "window.max_load", buckets=self.RATIO_BUCKETS
+        )
 
     def process(self, tup: StreamTuple, collector: Collector) -> None:
         if tup.stream == msg.ASSIGNER_STATS:
@@ -88,6 +108,12 @@ class MetricsSinkBolt(Bolt):
                 documents=0,
                 repartitioned=self._was_repartitioned(window_id),
             )
+        if self._metrics.enabled:
+            self._window_counter.inc()
+            self._pair_counter.inc(metrics.join_pairs)
+            self._replication_hist.observe(metrics.replication)
+            self._gini_hist.observe(metrics.gini)
+            self._max_load_hist.observe(metrics.max_load)
         self.windows.append(metrics)
         self.windows.sort(key=lambda w: w.window)
 

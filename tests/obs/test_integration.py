@@ -1,0 +1,78 @@
+"""Integration: an instrumented topology run produces the promised series."""
+
+import json
+
+import pytest
+
+from repro import StreamJoinConfig, run, run_stream_join
+from repro.data.serverlogs import ServerLogGenerator
+
+
+@pytest.fixture(scope="module")
+def instrumented_result():
+    generator = ServerLogGenerator(seed=11)
+    windows = [generator.next_window(100) for _ in range(3)]
+    return run(
+        windows=windows,
+        m=3,
+        n_assigners=2,
+        compute_joins=True,
+        observability=True,
+    )
+
+
+class TestInstrumentedRun:
+    def test_snapshot_attached(self, instrumented_result):
+        assert instrumented_result.observability is not None
+
+    def test_joiner_probe_counters_nonzero(self, instrumented_result):
+        counters = instrumented_result.observability.counters
+        assert counters["joiner.probes{algorithm=FPJ}"] > 0
+        assert counters["joiner.inserts{algorithm=FPJ}"] > 0
+
+    def test_executor_latency_buckets_populated(self, instrumented_result):
+        histograms = instrumented_result.observability.histograms
+        for component in ("assigner", "joiner", "merger"):
+            hist = histograms[
+                f"executor.execute_seconds{{component={component}}}"
+            ]
+            assert hist["count"] > 0
+            assert sum(hist["counts"]) == hist["count"]
+
+    def test_per_component_tuple_counts(self, instrumented_result):
+        counters = instrumented_result.observability.counters
+        assert counters["executor.processed{component=joiner}"] > 0
+        assert counters["executor.emitted{component=reader}"] > 0
+        assert counters["assigner.documents"] == 300
+
+    def test_per_machine_replication_counters(self, instrumented_result):
+        counters = instrumented_result.observability.counters
+        machine_totals = [
+            counters[f"assigner.machine_docs{{machine={i}}}"] for i in range(3)
+        ]
+        assert sum(machine_totals) == counters["assigner.assignments"]
+        assert all(total > 0 for total in machine_totals)
+
+    def test_snapshot_is_json_serializable(self, instrumented_result):
+        text = json.dumps(instrumented_result.observability.as_dict())
+        assert "joiner.probes" in text
+
+    def test_summary_carries_snapshot(self, instrumented_result):
+        summary = instrumented_result.summary()
+        assert summary.observability is instrumented_result.observability
+        assert "observability" in summary.as_dict()
+
+    def test_spans_recorded(self, instrumented_result):
+        names = {s["name"] for s in instrumented_result.observability.spans}
+        assert "creator.mine_groups" in names
+        assert "merger.build_partitions" in names
+
+
+class TestDisabledRun:
+    def test_no_snapshot_by_default(self):
+        generator = ServerLogGenerator(seed=11)
+        windows = [generator.next_window(60) for _ in range(2)]
+        result = run_stream_join(StreamJoinConfig(m=2, n_assigners=2), windows)
+        assert result.observability is None
+        assert result.summary().observability is None
+        assert "observability" not in result.summary().as_dict()

@@ -1,0 +1,186 @@
+"""Unit tests for the metrics registry, instruments and snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    ObservabilitySnapshot,
+    series_name,
+    trace,
+)
+
+
+class TestSeriesName:
+    def test_no_labels(self):
+        assert series_name("joiner.probes") == "joiner.probes"
+
+    def test_labels_sorted(self):
+        name = series_name("m", {"b": 2, "a": 1})
+        assert name == "m{a=1,b=2}"
+
+    def test_kwargs_via_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("m", b=2, a=1)
+        assert counter.name == "m{a=1,b=2}"
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", x=1) is registry.counter("c", x=1)
+        assert registry.counter("c", x=1) is not registry.counter("c", x=2)
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_set_max_keeps_running_maximum(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set_max(3.0)
+        gauge.set_max(1.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # 0.5 and 1.0 in <=1.0, 5.0 in <=10.0, 100.0 in +Inf
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_empty_histogram_as_dict(self):
+        data = Histogram("h", buckets=(1.0,)).as_dict()
+        assert data["count"] == 0
+        assert data["min"] is None and data["max"] is None
+        assert data["mean"] == 0.0
+
+
+class TestSpans:
+    def test_trace_records_into_registry(self):
+        registry = MetricsRegistry()
+        with registry.trace("work", window=3) as span:
+            pass
+        assert span.duration >= 0.0
+        assert list(registry.finished_spans) == [span]
+        assert registry.histogram("trace.work_seconds").count == 1
+        assert span.attributes == {"window": 3}
+
+    def test_standalone_trace(self):
+        with trace("unbound") as span:
+            pass
+        assert span.duration >= 0.0
+
+    def test_span_does_not_swallow_exceptions(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.trace("broken"):
+                raise RuntimeError("boom")
+        assert len(registry.finished_spans) == 1
+
+    def test_span_limit(self):
+        registry = MetricsRegistry(span_limit=2)
+        for i in range(5):
+            with registry.trace(f"s{i}"):
+                pass
+        assert [s.name for s in registry.finished_spans] == ["s3", "s4"]
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_noops(self):
+        registry = NullRegistry()
+        counter = registry.counter("c")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = registry.gauge("g")
+        gauge.set(5.0)
+        gauge.set_max(9.0)
+        assert gauge.value == 0.0
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        assert hist.count == 0
+
+    def test_shared_instrument_instances(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b", x=1)
+
+    def test_trace_is_noop(self):
+        registry = NullRegistry()
+        with registry.trace("work"):
+            pass
+        assert len(registry.finished_spans) == 0
+
+    def test_snapshot_is_empty(self):
+        snapshot = NullRegistry().snapshot()
+        assert snapshot.counters == {}
+        assert snapshot.gauges == {}
+        assert snapshot.histograms == {}
+        assert snapshot.spans == []
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c", machine=0).inc(3)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        with registry.trace("work", task=1):
+            pass
+        return registry
+
+    def test_snapshot_round_trips_through_json(self):
+        snapshot = self._populated().snapshot()
+        restored = ObservabilitySnapshot.from_dict(
+            json.loads(json.dumps(snapshot.as_dict()))
+        )
+        assert restored.counters == {"c{machine=0}": 3}
+        assert restored.gauges == {"g": 2.5}
+        assert restored.histograms["h"]["count"] == 1
+        assert restored.spans[0]["name"] == "work"
+        assert restored.spans[0]["attributes"] == {"task": 1}
+
+    def test_to_json(self):
+        text = self._populated().snapshot().to_json()
+        data = json.loads(text)
+        assert set(data) == {"counters", "gauges", "histograms", "spans"}
+
+    def test_series_flattening(self):
+        flat = self._populated().snapshot().series()
+        assert flat["c{machine=0}"] == 3
+        assert flat["g"] == 2.5
+        assert flat["h"]["count"] == 1
+
+    def test_snapshot_is_a_point_in_time_copy(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        registry.counter("c", machine=0).inc()
+        assert snapshot.counters["c{machine=0}"] == 3

@@ -29,6 +29,25 @@ class TestPartition:
     def test_len(self):
         assert len(Partition(index=0, pairs={AVPair("a", 1)})) == 1
 
+    def test_fast_path_agrees_with_per_pair_scan_on_ideal_data(self):
+        # regression guard for the frozenset-intersection fast path: on
+        # the ideal dataset (which injects unseen pairs every window) the
+        # set-based matches() must agree with the naive per-pair check
+        # for every (document, partition) combination
+        from repro.experiments.config import make_generator
+        from repro.partitioning.association import AssociationGroupPartitioner
+
+        generator = make_generator("idealData", seed=3, window_size=120)
+        documents = generator.next_window(120)
+        partitions = AssociationGroupPartitioner().create_partitions(
+            documents, 4
+        ).partitions
+        probe = generator.next_window(120)  # includes pairs unseen above
+        for document in probe:
+            for partition in partitions:
+                naive = any(p in partition.pairs for p in document.avpairs())
+                assert partition.matches(document) == naive
+
 
 class TestGreedyAssignment:
     def test_one_group_per_partition_when_counts_match(self):

@@ -97,6 +97,28 @@ class TestAnalyzeCommand:
         assert "attributes gained" in out
 
 
+class TestStatsCommand:
+    def test_prints_metric_series(self, capsys):
+        assert main(["stats", "--docs", "200", "--windows", "2", "-m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "joiner.probes{algorithm=FPJ}" in out
+        assert "executor.execute_seconds{component=joiner}" in out
+        assert "assigner.machine_docs{machine=0}" in out
+
+    def test_json_out_round_trips(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "stats.json"
+        code = main(
+            ["stats", "--docs", "200", "--windows", "2", "-m", "2",
+             "--json", "--out", str(target)]
+        )
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["counters"]["joiner.probes{algorithm=FPJ}"] > 0
+        assert set(data) == {"counters", "gauges", "histograms", "spans"}
+
+
 class TestIngestCommand:
     def test_generate_then_ingest_round_trip(self, tmp_path, capsys):
         path = tmp_path / "docs.jsonl"
