@@ -2,16 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke figures report examples clean
+.PHONY: install test test-parallel bench bench-smoke bench-scaling figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# tier-1: includes the parallel-backend smoke case; the heavyweight
+# multi-process suite is opt-in via `make test-parallel`
 test: bench-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
+test-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest -m parallel
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate results/ext_scaling.json: throughput vs m for both the
+# local and the parallel execution backend (one row per backend/m).
+bench-scaling:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_ext_scaling.py --benchmark-only
 
 # Instrumented smoke run: exercises the observability layer end to end
 # and persists the metric snapshot for the report tooling.

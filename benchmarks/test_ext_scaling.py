@@ -1,25 +1,48 @@
-"""Extension benchmark — end-to-end topology throughput.
+"""Extension benchmark — end-to-end topology throughput, both backends.
 
 The conclusion claims "the viability of the overall approach to handle
 large volumes of data in a resource-efficient manner".  This bench
 measures the in-process topology's document throughput (including
 partition mining, routing, dynamics, and the FP-tree joins) and how the
-per-machine work shrinks as machines are added.
+per-machine work shrinks as machines are added — once for the ``local``
+reference executor and once for the ``parallel`` process backend.
+
+Scaling caveat: total join work *grows* with m (replication rises from
+~2 copies/doc at m=2 to ~5.5 at m=8 on rwData), so absolute throughput
+versus m only bends upward when the parallel backend has real cores to
+spread that work over.  Each row therefore records the ``cpus`` the host
+exposes, and the speedup assertion is conditional on ``cpus >= 2``; on a
+single-core host the parallel backend is pure IPC overhead and only the
+per-machine *share* claim (which is backend-independent) is asserted.
 """
 
+import os
 import time
 
 from repro.data.serverlogs import ServerLogGenerator
 from repro.topology.pipeline import StreamJoinConfig, run_stream_join
 
-from conftest import publish
+from conftest import by, publish
+
+CPUS = os.cpu_count() or 1
+M_VALUES = (2, 4, 8)
 
 
-def _run(m: int, compute_joins: bool, n_windows: int = 4, window: int = 800):
+def _run(
+    m: int,
+    compute_joins: bool,
+    n_windows: int = 4,
+    window: int = 800,
+    backend: str = "local",
+):
     generator = ServerLogGenerator(seed=29)
     windows = [generator.next_window(window) for _ in range(n_windows)]
     config = StreamJoinConfig(
-        m=m, algorithm="AG", n_assigners=3, compute_joins=compute_joins
+        m=m,
+        algorithm="AG",
+        n_assigners=3,
+        compute_joins=compute_joins,
+        backend=backend,
     )
     start = time.perf_counter()
     result = run_stream_join(config, windows)
@@ -28,34 +51,48 @@ def _run(m: int, compute_joins: bool, n_windows: int = 4, window: int = 800):
     return elapsed, documents, result
 
 
-def test_topology_throughput(benchmark):
+def _scaling_rows(backend: str):
     rows = []
-    per_machine_share = {}
-    for m in (2, 4, 8):
-        elapsed, documents, result = _run(m, compute_joins=True)
+    for m in M_VALUES:
+        elapsed, documents, result = _run(m, compute_joins=True, backend=backend)
         # average share of the window each machine processes
         share = sum(w.max_load for w in result.per_window[1:]) / (
             len(result.per_window) - 1
         )
-        per_machine_share[m] = share
         rows.append(
             {
+                "backend": backend,
                 "m": m,
+                "cpus": CPUS,
                 "documents": documents,
                 "seconds": round(elapsed, 2),
                 "docs_per_sec": int(documents / elapsed),
                 "max_machine_share": round(share, 3),
             }
         )
+    return rows
+
+
+def test_topology_throughput(benchmark):
+    rows = _scaling_rows("local") + _scaling_rows("parallel")
     benchmark.pedantic(_run, args=(4, True), rounds=1, iterations=1)
     publish(
         "ext_scaling", "Extension — topology throughput vs machines", rows,
-        ("m", "documents", "seconds", "docs_per_sec", "max_machine_share"),
+        ("backend", "m", "cpus", "documents", "seconds", "docs_per_sec",
+         "max_machine_share"),
     )
-    # more machines -> no single machine carries as much of the window
-    assert per_machine_share[8] < per_machine_share[2]
+    for backend in ("local", "parallel"):
+        share = {row["m"]: row["max_machine_share"] for row in by(rows, backend=backend)}
+        # more machines -> no single machine carries as much of the window
+        assert share[8] < share[2], (backend, share)
     # the pipeline sustains a sane in-process rate even with joins on
-    assert all(row["docs_per_sec"] > 200 for row in rows), rows
+    assert all(row["docs_per_sec"] > 100 for row in rows), rows
+    if CPUS >= 2:
+        # with real cores, spreading the joiners over processes must beat
+        # single-process execution at the high end of m
+        local8 = by(rows, backend="local", m=8)[0]["docs_per_sec"]
+        par8 = by(rows, backend="parallel", m=8)[0]["docs_per_sec"]
+        assert par8 > local8, rows
 
 
 def test_routing_only_throughput(benchmark):

@@ -74,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--delta", type=int, default=3)
     topo.add_argument("--seed", type=int, default=7)
     topo.add_argument("--joins", action="store_true", help="also compute the joins")
+    topo.add_argument(
+        "--backend", choices=("local", "parallel"), default="local",
+        help="execution backend: inline single-process or Joiners in "
+             "forked worker processes",
+    )
+    topo.add_argument(
+        "--workers", type=int, default=None,
+        help="worker process count for --backend parallel (default: one per core)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=sorted(FIGURES) + ["all"])
@@ -101,6 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--algorithm", choices=("AG", "SC", "DS", "HASH", "KL"),
                         default="AG")
     ingest.add_argument("--joins", action="store_true", help="also compute joins")
+    ingest.add_argument(
+        "--backend", choices=("local", "parallel"), default="local",
+        help="execution backend for the session's cluster",
+    )
 
     gen = sub.add_parser("generate", help="write a dataset to JSONL")
     gen.add_argument("--dataset", choices=("rwData", "nbData"), default="rwData")
@@ -122,6 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="dump the snapshot as JSON"
     )
     stats.add_argument("--out", default=None, help="write the output to a file")
+    stats.add_argument(
+        "--backend", choices=("local", "parallel"), default="local",
+        help="execution backend (parallel merges per-worker snapshots)",
+    )
     return parser
 
 
@@ -166,6 +183,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         n_windows=args.windows,
         seed=args.seed,
         compute_joins=args.joins,
+        backend=args.backend,
+        parallel_workers=args.workers,
     )
     result = run_experiment(config, use_cache=False)
     rows = [
@@ -272,7 +291,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     session = StreamJoinSession(
         StreamJoinConfig(
             m=args.machines, algorithm=args.algorithm,
-            compute_joins=args.joins,
+            compute_joins=args.joins, backend=args.backend,
         )
     )
     window_frame = CountWindow(args.window_size)
@@ -315,6 +334,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         m=args.machines,
         compute_joins=True,
         observability=True,
+        backend=args.backend,
     )
     snapshot = result.observability
     assert snapshot is not None

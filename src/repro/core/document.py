@@ -266,6 +266,12 @@ class Document:
             self._hash = hash(frozenset(self._pairs.items()))
         return self._hash
 
+    def __reduce__(self) -> tuple:
+        # Pickle only the pairs and the id: the lazily computed hash and
+        # AV-pair-set caches would otherwise ship (and roughly double)
+        # every document crossing a process boundary.
+        return (Document, (self._pairs, self.doc_id))
+
     def __repr__(self) -> str:
         body = ", ".join(f"{a}: {v!r}" for a, v in sorted(self._pairs.items()))
         tag = f" id={self.doc_id}" if self.doc_id is not None else ""

@@ -68,6 +68,10 @@ class ExperimentConfig:
     seed: int = 7
     expansion_coverage: float | None = None
     compute_joins: bool = False
+    #: execution backend ("local" | "parallel"), passed through to
+    #: :class:`~repro.topology.pipeline.StreamJoinConfig`
+    backend: str = "local"
+    parallel_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:

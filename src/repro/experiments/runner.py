@@ -59,6 +59,8 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         n_assigners=config.n_assigners,
         expansion_coverage=config.coverage(),
         compute_joins=config.compute_joins,
+        backend=config.backend,
+        parallel_workers=config.parallel_workers,
     )
     stream_result = run_stream_join(stream_config, windows)
     result = ExperimentResult(

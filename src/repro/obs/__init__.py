@@ -21,6 +21,7 @@ from repro.obs.registry import (
     NULL_REGISTRY,
     NullRegistry,
     ObservabilitySnapshot,
+    merge_snapshots,
     series_name,
 )
 from repro.obs.tracing import Span, trace
@@ -34,6 +35,7 @@ __all__ = [
     "NullRegistry",
     "ObservabilitySnapshot",
     "Span",
+    "merge_snapshots",
     "series_name",
     "trace",
 ]

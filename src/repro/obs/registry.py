@@ -154,6 +154,57 @@ class ObservabilitySnapshot:
         return flat
 
 
+def merge_snapshots(
+    *snapshots: ObservabilitySnapshot, span_limit: int = SPAN_LIMIT
+) -> ObservabilitySnapshot:
+    """Combine snapshots recorded in separate address spaces.
+
+    The process-parallel executor records metrics in every worker's own
+    registry; merging them back yields one coherent view.  Semantics per
+    instrument kind: counters and histogram contents *add*; gauges keep
+    the **maximum** (every gauge the executors record is a high-water
+    mark); spans concatenate, newest kept, capped at ``span_limit``.
+    Histograms merged under the same name must share bucket bounds.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    spans: list[dict] = []
+    for snap in snapshots:
+        for name, value in snap.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.gauges.items():
+            gauges[name] = max(gauges[name], value) if name in gauges else value
+        for name, data in snap.histograms.items():
+            if name not in histograms:
+                histograms[name] = dict(data)
+                histograms[name]["buckets"] = list(data["buckets"])
+                histograms[name]["counts"] = list(data["counts"])
+                continue
+            merged = histograms[name]
+            if list(merged["buckets"]) != list(data["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge differing buckets"
+                )
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], data["counts"])
+            ]
+            merged["count"] += data["count"]
+            merged["sum"] += data["sum"]
+            mins = [v for v in (merged["min"], data["min"]) if v is not None]
+            maxes = [v for v in (merged["max"], data["max"]) if v is not None]
+            merged["min"] = min(mins) if mins else None
+            merged["max"] = max(maxes) if maxes else None
+            merged["mean"] = merged["sum"] / merged["count"] if merged["count"] else 0.0
+        spans.extend(snap.spans)
+    return ObservabilitySnapshot(
+        counters=dict(sorted(counters.items())),
+        gauges=dict(sorted(gauges.items())),
+        histograms=dict(sorted(histograms.items())),
+        spans=spans[-span_limit:],
+    )
+
+
 class MetricsRegistry:
     """Factory and store for metric instruments plus finished spans.
 

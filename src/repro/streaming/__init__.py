@@ -4,9 +4,11 @@ The paper realizes its topology on Apache Storm (Section III).  This
 package provides an in-process, deterministic equivalent: spouts and
 bolts wired by a :class:`TopologyBuilder` through the same four stream
 groupings Fig. 2 uses (shuffle, fields, all, direct), executed by a
-single-threaded FIFO :class:`LocalCluster`.  Determinism (round-robin
-shuffle, stable hashing, FIFO tuple delivery) makes every experiment
-replayable — the routing semantics are Storm's, without the cluster.
+single-threaded FIFO :class:`LocalCluster` or the multi-core
+:class:`ParallelCluster` (same per-window results, Joiners in forked
+workers).  Determinism (round-robin shuffle, stable hashing, FIFO tuple
+delivery) makes every experiment replayable — the routing semantics are
+Storm's, without the cluster.
 """
 
 from repro.streaming.component import Bolt, Collector, ComponentContext, Spout
@@ -18,13 +20,15 @@ from repro.streaming.grouping import (
     Grouping,
     ShuffleGrouping,
 )
-from repro.streaming.executor import LocalCluster
+from repro.streaming.executor import ClusterBase, LocalCluster
+from repro.streaming.parallel import ParallelCluster
 from repro.streaming.topology import Topology, TopologyBuilder
 from repro.streaming.tuples import StreamTuple
 
 __all__ = [
     "AllGrouping",
     "Bolt",
+    "ClusterBase",
     "Collector",
     "ComponentContext",
     "DirectGrouping",
@@ -32,6 +36,7 @@ __all__ = [
     "GlobalGrouping",
     "Grouping",
     "LocalCluster",
+    "ParallelCluster",
     "ShuffleGrouping",
     "Spout",
     "StreamTuple",

@@ -1,39 +1,64 @@
-"""Deterministic single-process topology executor.
+"""Deterministic topology executors.
 
-The :class:`LocalCluster` plays the role of a Storm cluster for the
-experiments: it instantiates every component's tasks, routes emitted
-tuples through the declared groupings, and processes them in strict FIFO
-order.  Between two spout emissions the work queue is fully drained, so
+:class:`ClusterBase` holds everything every execution backend shares:
+task instantiation, routing tables with pre-resolved groupings, FIFO
+work-queue draining, and Storm-style retry bookkeeping.  The
+single-process :class:`LocalCluster` is the reference backend — it
+executes every component inline, in strict FIFO order, so runs are
+exactly replayable.  The process-parallel backend
+(:class:`repro.streaming.parallel.ParallelCluster`) subclasses the same
+base and overrides only tuple *delivery*, shipping selected components'
+work to worker processes.
+
+Between two spout emissions the work queue is fully drained, so
 downstream effects of a tuple (including punctuation such as
 window-end markers) complete before the next source tuple enters the
 topology — which gives the windowed components exact, replayable
 semantics without distributed coordination.
 
-Simplifications versus Storm, by design: no threads (determinism), no
-acking protocol (an in-process call cannot lose a tuple, so the
-exactly-once guarantee is trivial), and spouts are finite.
+Simplifications versus Storm, by design: no acking protocol (an
+in-process call cannot lose a tuple, so the exactly-once guarantee is
+trivial) and spouts are finite.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.exceptions import TopologyError, TupleProcessingError
-from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, ObservabilitySnapshot
 from repro.streaming.component import Bolt, ComponentContext, Spout
+from repro.streaming.grouping import Grouping
 from repro.streaming.topology import Topology
 from repro.streaming.tuples import StreamTuple
 
+#: one pre-resolved routing edge: (bolt name, grouping.targets, parallelism)
+Route = tuple[str, Callable[[StreamTuple, int], Sequence[int]], int]
+
 
 class _TaskCollector:
-    """Collector bound to one producing task; routes straight to the queue."""
+    """Collector bound to one producing task.
 
-    def __init__(self, cluster: "LocalCluster", component: str, task_index: int):
+    Holds the producer's pre-resolved ``stream -> routes`` table so the
+    per-emit cost is a single small-dict lookup instead of a tuple-keyed
+    lookup against the whole topology's routing table.
+    """
+
+    __slots__ = ("_cluster", "_component", "_task_index", "_routes")
+
+    def __init__(
+        self,
+        cluster: "ClusterBase",
+        component: str,
+        task_index: int,
+        routes: dict[str, tuple[Route, ...]],
+    ):
         self._cluster = cluster
         self._component = component
         self._task_index = task_index
+        self._routes = routes
 
     def emit(
         self,
@@ -48,11 +73,24 @@ class _TaskCollector:
             source_task=self._task_index,
             direct_task=direct_task,
         )
-        self._cluster._route(tup)
+        self._cluster._route(tup, self._routes.get(stream, ()))
 
 
-class LocalCluster:
-    """Executes a :class:`~repro.streaming.topology.Topology` to completion."""
+class ClusterBase:
+    """Shared machinery of all execution backends.
+
+    Subclass hooks:
+
+    * :meth:`_deliver` — hand one tuple to a task.  The base enqueues
+      onto the in-process FIFO; a distributed backend may ship it to a
+      worker instead.
+    * :meth:`_on_idle` — called when the FIFO runs empty inside
+      :meth:`_drain`; return True if new local work arrived (the drain
+      loop continues).  Backends use this to flush batches and collect
+      remote results.
+    * :meth:`_finish` — called once after the spouts are exhausted, for
+      end-of-run barriers.
+    """
 
     def __init__(
         self,
@@ -82,20 +120,34 @@ class LocalCluster:
         self.failures = 0
         #: deepest the work queue ever got — a backpressure indicator
         self.max_queue_depth = 0
-        self._queue: deque[tuple[str, int, StreamTuple]] = deque()
+        #: FIFO of (delivery seq, bolt name, task index, tuple)
+        self._queue: deque[tuple[int, str, int, StreamTuple]] = deque()
+        #: monotonically increasing delivery sequence number; assigned at
+        #: enqueue time and used to key retry budgets (an ``id()`` key
+        #: could be recycled by the allocator mid-run)
+        self._seq = 0
         self._tasks: dict[str, list[Spout | Bolt]] = {}
         self._collectors: dict[tuple[str, int], _TaskCollector] = {}
         self.emitted = 0
         self.processed = 0
         self._component_emitted: dict[str, int] = {}
         self._component_processed: dict[str, int] = {}
-        # (source, stream) -> [(bolt_name, parallelism, grouping), ...]
-        self._routes: dict[tuple[str, str], list[tuple[str, int, Any]]] = {}
+        # (source, stream) -> pre-resolved routes; groupings are resolved
+        # to their bound ``targets`` method once, here, not per tuple
+        self._routes: dict[tuple[str, str], tuple[Route, ...]] = {}
+        grouped: dict[tuple[str, str], list[Route]] = {}
         for bolt in topology.bolts():
             for sub in bolt.subscriptions:
-                self._routes.setdefault((sub.source, sub.stream), []).append(
-                    (bolt.name, bolt.parallelism, sub.grouping)
+                grouped.setdefault((sub.source, sub.stream), []).append(
+                    (bolt.name, sub.grouping.targets, bolt.parallelism)
                 )
+        self._routes = {key: tuple(routes) for key, routes in grouped.items()}
+        # producer component -> {stream -> routes} (collector fast path)
+        self._routes_by_source: dict[str, dict[str, tuple[Route, ...]]] = {
+            name: {} for name in topology.components
+        }
+        for (source, stream), routes in self._routes.items():
+            self._routes_by_source[source][stream] = routes
         self._build_tasks()
 
     # ------------------------------------------------------------------
@@ -140,7 +192,7 @@ class LocalCluster:
                     instance.prepare(context)
                 instances.append(instance)
                 self._collectors[(name, task_index)] = _TaskCollector(
-                    self, name, task_index
+                    self, name, task_index, self._routes_by_source[name]
                 )
             self._tasks[name] = instances
             self._component_emitted[name] = 0
@@ -149,7 +201,15 @@ class LocalCluster:
     # ------------------------------------------------------------------
     # Routing and execution
     # ------------------------------------------------------------------
-    def _route(self, tup: StreamTuple) -> None:
+    def _route(self, tup: StreamTuple, routes: Optional[Sequence[Route]] = None) -> None:
+        """Account for an emission and deliver it along its routes.
+
+        ``routes`` is the pre-resolved route list for ``(tup.source,
+        tup.stream)``; callers without one at hand (e.g. re-injection of
+        remotely produced tuples) may pass None to look it up here.
+        """
+        if routes is None:
+            routes = self._routes.get((tup.source, tup.stream), ())
         self.emitted += 1
         self._component_emitted[tup.source] += 1
         if self._obs:
@@ -159,45 +219,66 @@ class LocalCluster:
                 f"tuple budget of {self.max_tuples} exceeded — "
                 "likely a control-message loop in the topology"
             )
-        for bolt_name, parallelism, grouping in self._routes.get(
-            (tup.source, tup.stream), ()
-        ):
-            for task_index in grouping.targets(tup, parallelism):
-                self._queue.append((bolt_name, task_index, tup))
-        if len(self._queue) > self.max_queue_depth:
-            self.max_queue_depth = len(self._queue)
+        for bolt_name, targets, parallelism in routes:
+            for task_index in targets(tup, parallelism):
+                self._deliver(bolt_name, task_index, tup)
+        depth = len(self._queue)
+        if depth > self.max_queue_depth:
+            # high-water mark moved: record it (and mirror to the gauge
+            # only then — the gauge is never touched on the fast path)
+            self.max_queue_depth = depth
             if self._obs:
-                self._queue_gauge.set(self.max_queue_depth)
+                self._queue_gauge.set(depth)
+
+    def _deliver(self, component: str, task_index: int, tup: StreamTuple) -> None:
+        """Hand one tuple to one task (base: enqueue on the local FIFO)."""
+        self._seq += 1
+        self._queue.append((self._seq, component, task_index, tup))
+
+    def _on_idle(self) -> bool:
+        """Hook: the local FIFO ran empty.  Return True if more local
+        work arrived (the drain loop continues)."""
+        return False
+
+    def _finish(self) -> None:
+        """Hook: the spouts are exhausted and the FIFO is drained."""
 
     def _drain(self) -> None:
         retry_counts: dict[int, int] = {}
+        queue = self._queue
         obs = self._obs
-        while self._queue:
-            component, task_index, tup = self._queue.popleft()
-            task = self._tasks[component][task_index]
-            assert isinstance(task, Bolt)
-            try:
+        while True:
+            while queue:
+                seq, component, task_index, tup = queue.popleft()
+                task = self._tasks[component][task_index]
+                try:
+                    if obs:
+                        start = perf_counter()
+                        task.process(tup, self._collectors[(component, task_index)])
+                        self._exec_hists[component].observe(perf_counter() - start)
+                    else:
+                        task.process(tup, self._collectors[(component, task_index)])
+                except Exception as exc:
+                    self.failures += 1
+                    attempts = retry_counts.get(seq, 0)
+                    if attempts >= self.max_retries:
+                        raise TupleProcessingError(
+                            component, task_index, attempts, exc
+                        ) from exc
+                    retry_counts[seq] = attempts + 1
+                    # redeliver immediately to the same task (replay)
+                    queue.appendleft((seq, component, task_index, tup))
+                    continue
+                if retry_counts:
+                    # the delivery succeeded: its retry budget is spent
+                    # state, not history — drop it
+                    retry_counts.pop(seq, None)
+                self.processed += 1
+                self._component_processed[component] += 1
                 if obs:
-                    start = perf_counter()
-                    task.process(tup, self._collectors[(component, task_index)])
-                    self._exec_hists[component].observe(perf_counter() - start)
-                else:
-                    task.process(tup, self._collectors[(component, task_index)])
-            except Exception as exc:
-                self.failures += 1
-                attempts = retry_counts.get(id(tup), 0)
-                if attempts >= self.max_retries:
-                    raise TupleProcessingError(
-                        component, task_index, attempts, exc
-                    ) from exc
-                retry_counts[id(tup)] = attempts + 1
-                # redeliver immediately to the same task (replay)
-                self._queue.appendleft((component, task_index, tup))
-                continue
-            self.processed += 1
-            self._component_processed[component] += 1
-            if obs:
-                self._proc_counters[component].inc()
+                    self._proc_counters[component].inc()
+            if not self._on_idle():
+                break
 
     def pump(self) -> None:
         """Advance every spout until it reports no data, then return.
@@ -215,6 +296,7 @@ class LocalCluster:
                 while spout.next_tuple(collector):
                     self._drain()
                 self._drain()
+        self._finish()
 
     def run(self) -> None:
         """Pump all spouts to exhaustion, draining between emissions."""
@@ -233,10 +315,26 @@ class LocalCluster:
                 self._drain()
                 if not has_more:
                     active.discard((name, task_index))
+        self._finish()
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Lifecycle and introspection
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (base: nothing to release)."""
+
+    def __enter__(self) -> "ClusterBase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def snapshot(self) -> ObservabilitySnapshot:
+        """All observability recorded by this run, across all backends'
+        address spaces (the base has only the one registry)."""
+        return self.registry.snapshot()
+
     def tasks(self, component: str) -> list[Spout | Bolt]:
         """The live task instances of a component (for post-run inspection)."""
         return self._tasks[component]
@@ -250,3 +348,12 @@ class LocalCluster:
             }
             for name in self.topology.components
         }
+
+
+class LocalCluster(ClusterBase):
+    """Single-process reference backend: every task executes inline.
+
+    No threads (determinism) and strict FIFO ordering; the work queue is
+    fully drained between spout emissions, giving exact, replayable
+    per-window semantics without any coordination.
+    """

@@ -1,0 +1,581 @@
+"""Process-parallel execution backend.
+
+:class:`ParallelCluster` executes selected components' tasks in forked
+worker processes so an m-machine topology can actually use m cores,
+while the remaining components (the control plane: spouts, partition
+mining, routing, metrics sinks) stay in the parent and keep the exact
+FIFO semantics of :class:`~repro.streaming.executor.LocalCluster`.
+
+Design, in terms of the Fig. 2 topology: the Joiners are pure "leaf"
+workers — they receive routed documents and punctuation and emit only
+per-window statistics — so the parent ships their input tuples to
+worker processes in **size/time-bounded batches** over pipes and merges
+the emissions back.  Three properties keep runs exact and replayable:
+
+* **Per-task FIFO.**  Every delivery to a remote task flows through its
+  worker's single pipe, so a task observes tuples in exactly the order
+  the local backend would have delivered them.
+* **Flush barrier on punctuation.**  When a tuple on a configured
+  *barrier stream* (the window-end markers) is shipped, the parent
+  flushes all pending batches at the next queue-idle point and blocks
+  until every in-flight batch is acknowledged.  Remote emissions are
+  stashed per batch and released in global batch order, so the parent
+  re-injects them deterministically before the next source tuple enters
+  the topology — per-window results are byte-identical to the local
+  backend.
+* **Failure propagation.**  Worker-side processing follows the same
+  retry budget as the base; a tuple that exhausts it — or a worker
+  process that dies — surfaces as
+  :class:`~repro.exceptions.TupleProcessingError` in the parent rather
+  than a hang.
+
+Observability: each worker records into its (forked copy of the) run's
+registry; :meth:`ParallelCluster.snapshot` fetches every worker's
+snapshot and merges it with the parent's via
+:func:`repro.obs.registry.merge_snapshots`.
+
+The backend requires the ``fork`` start method (workers inherit the
+prepared task instances); it is unavailable on platforms without it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from queue import Empty
+from time import monotonic, perf_counter
+from typing import Any, Optional, Sequence
+
+from repro.exceptions import TopologyError, TupleProcessingError
+from repro.obs.registry import (
+    MetricsRegistry,
+    ObservabilitySnapshot,
+    merge_snapshots,
+)
+from repro.streaming.executor import ClusterBase
+from repro.streaming.topology import Topology
+from repro.streaming.tuples import StreamTuple
+
+#: default number of tuples per shipped batch
+DEFAULT_BATCH_SIZE = 128
+#: default age (seconds) after which a partial batch is flushed anyway
+DEFAULT_LINGER_S = 0.005
+#: default bound on unacknowledged batches per worker before the parent
+#: blocks (backpressure; also keeps pipe buffers from deadlocking)
+DEFAULT_MAX_INFLIGHT = 16
+#: how long the parent waits on a barrier before declaring the run stuck
+DEFAULT_BARRIER_TIMEOUT_S = 120.0
+
+
+class _IdentityCodec:
+    """Pass-through wire codec (payloads pickle as-is)."""
+
+    def encode(self, stream: str, values: tuple) -> tuple:
+        return values
+
+    def decode(self, stream: str, values: tuple) -> tuple:
+        return values
+
+
+IDENTITY_CODEC = _IdentityCodec()
+
+
+class _WorkerCollector:
+    """Worker-side collector: buffers encoded emissions for the ack."""
+
+    __slots__ = ("_component", "_task_index", "_codec", "buffer")
+
+    def __init__(self, component: str, task_index: int, codec) -> None:
+        self._component = component
+        self._task_index = task_index
+        self._codec = codec
+        self.buffer: list = []
+
+    def emit(
+        self,
+        stream: str,
+        values: tuple[Any, ...],
+        direct_task: Optional[int] = None,
+    ) -> None:
+        self.buffer.append(
+            (
+                self._component,
+                self._task_index,
+                stream,
+                direct_task,
+                self._codec.encode(stream, values),
+            )
+        )
+
+
+def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -> None:
+    """Entry point of one forked worker: serve batches until told to stop."""
+    assigned = cluster._assignments[worker_index]
+    registry = cluster.registry
+    obs = registry.enabled
+    codec = cluster._codec
+    max_retries = cluster.max_retries
+    tasks = {key: cluster._tasks[key[0]][key[1]] for key in assigned}
+    collectors = {
+        (component, task_index): _WorkerCollector(component, task_index, codec)
+        for component, task_index in assigned
+    }
+    hists = {
+        component: registry.histogram("executor.execute_seconds", component=component)
+        for component, _ in assigned
+    }
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "batch":
+            seq, entries = message[1], message[2]
+            emissions: list = []
+            counts: dict[str, int] = {}
+            failures = 0
+            failed = None
+            for component, task_index, stream, source, source_task, direct, values in entries:
+                tup = StreamTuple(
+                    stream=stream,
+                    values=codec.decode(stream, values),
+                    source=source,
+                    source_task=source_task,
+                    direct_task=direct,
+                )
+                task = tasks[(component, task_index)]
+                collector = collectors[(component, task_index)]
+                collector.buffer = emissions
+                attempts = 0
+                while True:
+                    try:
+                        if obs:
+                            start = perf_counter()
+                            task.process(tup, collector)
+                            hists[component].observe(perf_counter() - start)
+                        else:
+                            task.process(tup, collector)
+                        break
+                    except Exception as exc:  # mirror the base retry budget
+                        failures += 1
+                        if attempts >= max_retries:
+                            failed = (component, task_index, attempts, exc)
+                            break
+                        attempts += 1
+                if failed is not None:
+                    break
+                counts[component] = counts.get(component, 0) + 1
+            if failed is not None:
+                component, task_index, attempts, exc = failed
+                try:  # exceptions are usually picklable; fall back to repr
+                    pickle.dumps(exc)
+                except Exception:
+                    exc = RuntimeError(repr(exc))
+                results.put(("error", worker_index, component, task_index, attempts, exc))
+                continue  # stay alive so the parent can stop us cleanly
+            results.put(
+                ("ack", seq, worker_index, tuple(counts.items()), failures, tuple(emissions))
+            )
+        elif kind == "snapshot":
+            results.put(("snapshot", worker_index, registry.snapshot().as_dict()))
+        elif kind == "stop":
+            results.put(("bye", worker_index))
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    __slots__ = (
+        "index",
+        "assigned",
+        "process",
+        "conn",
+        "pending",
+        "buffer",
+        "buffer_since",
+        "said_bye",
+        "snapshot",
+        "awaiting_snapshot",
+    )
+
+    def __init__(self, index: int, assigned: list[tuple[str, int]]):
+        self.index = index
+        self.assigned = assigned
+        self.process = None
+        self.conn = None
+        self.pending: set[int] = set()
+        self.buffer: list = []
+        self.buffer_since = 0.0
+        self.said_bye = False
+        self.snapshot: Optional[dict] = None
+        self.awaiting_snapshot = False
+
+
+class ParallelCluster(ClusterBase):
+    """Multi-core backend: remote components execute in forked workers.
+
+    Parameters beyond the base executor's:
+
+    remote_components:
+        Component names whose tasks run in worker processes.  Their
+        tasks are assigned round-robin over ``n_workers`` processes.
+    barrier_streams:
+        Streams acting as flush barriers: after shipping a tuple on one
+        of these, the parent synchronizes with all workers at the next
+        queue-idle point (see module docstring).
+    n_workers:
+        Worker process count; defaults to
+        ``min(#remote tasks, os.cpu_count())``.
+    batch_size / linger_s:
+        Size and age bounds of shipped batches.
+    max_inflight:
+        Per-worker cap on unacknowledged batches (backpressure).
+    codec:
+        Optional per-stream wire codec with ``encode(stream, values)`` /
+        ``decode(stream, values)`` (e.g.
+        :func:`repro.topology.messages.wire_codec`); defaults to
+        pass-through pickling.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        max_tuples: int = 200_000_000,
+        max_retries: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        remote_components: Sequence[str] = (),
+        barrier_streams: Sequence[str] = (),
+        n_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        linger_s: float = DEFAULT_LINGER_S,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+        codec=None,
+    ):
+        super().__init__(topology, max_tuples, max_retries, registry)
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - platform dependent
+            raise TopologyError(
+                "the parallel backend requires the 'fork' start method; "
+                "use the local backend on this platform"
+            ) from exc
+        if batch_size < 1:
+            raise TopologyError(f"batch_size must be >= 1, got {batch_size}")
+        if max_inflight < 1:
+            raise TopologyError(f"max_inflight must be >= 1, got {max_inflight}")
+        self._remote_components = tuple(remote_components)
+        self._barrier_streams = frozenset(barrier_streams)
+        self._batch_size = batch_size
+        self._linger_s = linger_s
+        self._max_inflight = max_inflight
+        self._barrier_timeout_s = barrier_timeout_s
+        self._codec = codec if codec is not None else IDENTITY_CODEC
+        remote_tasks: list[tuple[str, int]] = []
+        for name in self._remote_components:
+            spec = topology.components.get(name)
+            if spec is None:
+                raise TopologyError(f"unknown remote component {name!r}")
+            if spec.is_spout:
+                raise TopologyError(
+                    f"spout {name!r} cannot run remotely — spouts drive the run"
+                )
+            remote_tasks.extend((name, i) for i in range(spec.parallelism))
+        if n_workers is None:
+            n_workers = min(len(remote_tasks), os.cpu_count() or 1)
+        n_workers = max(1, min(n_workers, len(remote_tasks))) if remote_tasks else 0
+        self.n_workers = n_workers
+        self._assignments: list[list[tuple[str, int]]] = [
+            [] for _ in range(n_workers)
+        ]
+        for i, key in enumerate(remote_tasks):
+            self._assignments[i % n_workers].append(key)
+        self._workers: list[_WorkerHandle] = [
+            _WorkerHandle(i, assigned) for i, assigned in enumerate(self._assignments)
+        ]
+        self._placement: dict[tuple[str, int], _WorkerHandle] = {}
+        for handle in self._workers:
+            for key in handle.assigned:
+                self._placement[key] = handle
+        self._results = None
+        self._batch_seq = 0
+        self._barrier_pending = False
+        #: acknowledged-but-unreleased emissions, keyed by batch seq
+        self._stash: dict[int, tuple] = {}
+        self._started = False
+        self._closed = False
+        self._merged_snapshot: Optional[ObservabilitySnapshot] = None
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._started or not self._workers:
+            return
+        if self._closed:
+            raise TopologyError("cluster is closed")
+        # Fork before the first tuple flows: the workers' registry copies
+        # then hold only zero-valued instruments, so merging their
+        # snapshots back never double-counts parent-side activity.
+        self._results = self._ctx.Queue()
+        for handle in self._workers:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(self, handle.index, child_conn, self._results),
+                daemon=True,
+                name=f"repro-joiner-worker-{handle.index}",
+            )
+            process.start()
+            child_conn.close()
+            handle.process = process
+            handle.conn = parent_conn
+        self._started = True
+
+    def run(self) -> None:
+        self._ensure_started()
+        super().run()
+
+    def pump(self) -> None:
+        self._ensure_started()
+        super().pump()
+
+    # ------------------------------------------------------------------
+    # Delivery / batching
+    # ------------------------------------------------------------------
+    def _deliver(self, component: str, task_index: int, tup: StreamTuple) -> None:
+        handle = self._placement.get((component, task_index))
+        if handle is None:
+            super()._deliver(component, task_index, tup)
+            return
+        if not handle.buffer:
+            handle.buffer_since = monotonic()
+        handle.buffer.append(
+            (
+                component,
+                task_index,
+                tup.stream,
+                tup.source,
+                tup.source_task,
+                tup.direct_task,
+                self._codec.encode(tup.stream, tup.values),
+            )
+        )
+        if tup.stream in self._barrier_streams:
+            self._barrier_pending = True
+        if len(handle.buffer) >= self._batch_size:
+            self._flush(handle)
+
+    def _flush(self, handle: _WorkerHandle) -> None:
+        if not handle.buffer:
+            return
+        if not self._started:
+            raise TopologyError(
+                "remote tuples can only flow inside run()/pump()"
+            )
+        self._batch_seq += 1
+        seq = self._batch_seq
+        handle.pending.add(seq)
+        handle.conn.send(("batch", seq, handle.buffer))
+        handle.buffer = []
+        deadline = monotonic() + self._barrier_timeout_s
+        while len(handle.pending) >= self._max_inflight:  # backpressure
+            self._poll_results(timeout=0.05)
+            self._check_workers(deadline)
+
+    def _flush_all(self) -> None:
+        for handle in self._workers:
+            self._flush(handle)
+
+    def _on_idle(self) -> bool:
+        if not self._started:
+            return False
+        if self._barrier_pending:
+            self._flush_all()
+            self._await_all_acks()
+            self._barrier_pending = False
+            return self._release_emissions()
+        now = monotonic()
+        for handle in self._workers:
+            if handle.buffer and now - handle.buffer_since >= self._linger_s:
+                self._flush(handle)
+        # opportunistic, non-blocking ack collection keeps the pipes
+        # drained; emissions stay stashed until the next barrier so the
+        # re-injection order stays deterministic
+        self._poll_results(timeout=0.0)
+        return False
+
+    def _finish(self) -> None:
+        if not self._started:
+            return
+        while True:
+            self._flush_all()
+            self._await_all_acks()
+            if self._release_emissions():
+                self._drain()
+                continue
+            if not self._queue and not any(h.buffer for h in self._workers):
+                break
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+    def _any_pending(self) -> bool:
+        return any(handle.pending for handle in self._workers)
+
+    def _await_all_acks(self) -> None:
+        deadline = monotonic() + self._barrier_timeout_s
+        while self._any_pending():
+            self._poll_results(timeout=0.05)
+            self._check_workers(deadline)
+
+    def _poll_results(self, timeout: float) -> int:
+        """Handle every currently available worker message."""
+        handled = 0
+        block = timeout > 0
+        while True:
+            try:
+                if block and handled == 0:
+                    message = self._results.get(timeout=timeout)
+                else:
+                    message = self._results.get_nowait()
+            except Empty:
+                return handled
+            self._handle_message(message)
+            handled += 1
+
+    def _handle_message(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "ack":
+            _, seq, worker_index, counts, failures, emissions = message
+            handle = self._workers[worker_index]
+            handle.pending.discard(seq)
+            self.failures += failures
+            for component, n in counts:
+                self.processed += n
+                self._component_processed[component] += n
+                if self._obs:
+                    self._proc_counters[component].inc(n)
+            self._stash[seq] = emissions
+        elif kind == "error":
+            _, worker_index, component, task_index, retries, cause = message
+            raise TupleProcessingError(component, task_index, retries, cause)
+        elif kind == "snapshot":
+            _, worker_index, data = message
+            handle = self._workers[worker_index]
+            handle.snapshot = data
+            handle.awaiting_snapshot = False
+        elif kind == "bye":
+            self._workers[message[1]].said_bye = True
+
+    def _check_workers(self, deadline: float) -> None:
+        for handle in self._workers:
+            if handle.pending and not handle.process.is_alive():
+                component, task_index = handle.assigned[0]
+                raise TupleProcessingError(
+                    component,
+                    task_index,
+                    0,
+                    RuntimeError(
+                        f"worker {handle.index} died with exit code "
+                        f"{handle.process.exitcode} and "
+                        f"{len(handle.pending)} batch(es) in flight"
+                    ),
+                )
+        if monotonic() > deadline:
+            raise TopologyError(
+                f"parallel barrier timed out after {self._barrier_timeout_s:.0f}s "
+                f"({sum(len(h.pending) for h in self._workers)} batches in flight)"
+            )
+
+    def _release_emissions(self) -> bool:
+        """Re-inject stashed remote emissions, in global batch order."""
+        if not self._stash:
+            return False
+        released = False
+        for seq in sorted(self._stash):
+            for component, task_index, stream, direct, values in self._stash[seq]:
+                tup = StreamTuple(
+                    stream=stream,
+                    values=self._codec.decode(stream, values),
+                    source=component,
+                    source_task=task_index,
+                    direct_task=direct,
+                )
+                self._route(tup)
+                released = True
+        self._stash.clear()
+        return released
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def tasks(self, component: str):
+        if component in self._remote_components:
+            raise TopologyError(
+                f"{component!r} tasks live in worker processes; observe "
+                "them through their emitted streams or stats()"
+            )
+        return super().tasks(component)
+
+    def snapshot(self) -> ObservabilitySnapshot:
+        """Parent registry merged with every worker's registry."""
+        if not self.registry.enabled or not self._started:
+            return self.registry.snapshot()
+        if self._merged_snapshot is not None:
+            return self._merged_snapshot
+        alive = [
+            h for h in self._workers if h.process is not None and h.process.is_alive()
+        ]
+        for handle in alive:
+            handle.awaiting_snapshot = True
+            handle.conn.send(("snapshot",))
+        deadline = monotonic() + self._barrier_timeout_s
+        while any(h.awaiting_snapshot for h in alive):
+            self._poll_results(timeout=0.05)
+            if monotonic() > deadline:
+                raise TopologyError("timed out collecting worker snapshots")
+        worker_snaps = [
+            ObservabilitySnapshot.from_dict(h.snapshot)
+            for h in self._workers
+            if h.snapshot is not None
+        ]
+        merged = merge_snapshots(self.registry.snapshot(), *worker_snaps)
+        self._merged_snapshot = merged
+        return merged
+
+    def close(self) -> None:
+        """Stop all workers and release IPC resources (idempotent)."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle.process.is_alive():
+                try:
+                    handle.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self._workers:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._results is not None:
+            self._results.close()
+            self._results.join_thread()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -146,3 +146,91 @@ class JoinerWindowStats:
     task_index: int
     documents: int
     join_pairs: int
+
+
+# Wire encoding ------------------------------------------------------------
+
+
+class WireCodec:
+    """Per-stream compact encodings for tuples crossing a process boundary.
+
+    The parallel executor pickles whole tuple batches; for streams not
+    registered here the payload passes through pickle unchanged.  The
+    two high-volume streams crossing the Joiner boundary get explicit
+    plain-tuple forms: rich objects (documents, stats dataclasses, pair
+    sets) are stripped to their constructor arguments, which shrinks the
+    pickle stream and keeps it independent of in-memory caches.
+    """
+
+    def __init__(self) -> None:
+        self._encoders: dict = {}
+        self._decoders: dict = {}
+
+    def register(self, stream: str, encode, decode) -> None:
+        self._encoders[stream] = encode
+        self._decoders[stream] = decode
+
+    def encode(self, stream: str, values: tuple) -> tuple:
+        encoder = self._encoders.get(stream)
+        return encoder(values) if encoder is not None else values
+
+    def decode(self, stream: str, values: tuple) -> tuple:
+        decoder = self._decoders.get(stream)
+        return decoder(values) if decoder is not None else values
+
+
+def _encode_assigned(values: tuple) -> tuple:
+    document, window_id, side = values
+    return (tuple(document.pairs.items()), document.doc_id, window_id, side)
+
+
+def _decode_assigned(values: tuple) -> tuple:
+    items, doc_id, window_id, side = values
+    from repro.core.document import Document
+
+    return (Document(dict(items), doc_id=doc_id), window_id, side)
+
+
+def _encode_join_stats(values: tuple) -> tuple:
+    from repro.join.binary import BinaryJoinPair
+
+    stats, pairs = values
+    encoded_pairs = (
+        None
+        if pairs is None
+        else tuple(sorted((pair.left, pair.right) for pair in pairs))
+    )
+    binary = bool(pairs) and isinstance(next(iter(pairs)), BinaryJoinPair)
+    return (
+        stats.window_id,
+        stats.task_index,
+        stats.documents,
+        stats.join_pairs,
+        encoded_pairs,
+        binary,
+    )
+
+
+def _decode_join_stats(values: tuple) -> tuple:
+    from repro.join.base import JoinPair
+    from repro.join.binary import BinaryJoinPair
+
+    window_id, task_index, documents, join_pairs, encoded_pairs, binary = values
+    stats = JoinerWindowStats(
+        window_id=window_id,
+        task_index=task_index,
+        documents=documents,
+        join_pairs=join_pairs,
+    )
+    if encoded_pairs is None:
+        return (stats, None)
+    pair_cls = BinaryJoinPair if binary else JoinPair
+    return (stats, frozenset(pair_cls(left, right) for left, right in encoded_pairs))
+
+
+def wire_codec() -> WireCodec:
+    """The codec the stream-join topology ships across worker processes."""
+    codec = WireCodec()
+    codec.register(ASSIGNED, _encode_assigned, _decode_assigned)
+    codec.register(JOIN_STATS, _encode_join_stats, _decode_join_stats)
+    return codec

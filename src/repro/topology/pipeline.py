@@ -20,7 +20,8 @@ from repro.partitioning.disjoint import DisjointSetPartitioner
 from repro.partitioning.graph import KernighanLinPartitioner
 from repro.partitioning.hashing import HashPartitioner
 from repro.partitioning.setcover import SetCoverPartitioner
-from repro.streaming.executor import LocalCluster
+from repro.streaming.executor import ClusterBase, LocalCluster
+from repro.streaming.parallel import ParallelCluster
 from repro.streaming.grouping import (
     AllGrouping,
     DirectGrouping,
@@ -29,6 +30,7 @@ from repro.streaming.grouping import (
 )
 from repro.streaming.topology import Topology, TopologyBuilder
 from repro.topology import messages as msg
+from repro.topology.messages import wire_codec
 from repro.topology.assigner import AssignerBolt
 from repro.topology.joiner import JoinerBolt
 from repro.topology.json_reader import DocumentSpout, TwoStreamSpout
@@ -44,6 +46,9 @@ PARTITIONERS: dict[str, Callable[[], Partitioner]] = {
     "HASH": HashPartitioner,
     "KL": KernighanLinPartitioner,
 }
+
+#: recognized execution backends (see :func:`make_cluster`)
+BACKENDS = ("local", "parallel")
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,14 @@ class StreamJoinConfig:
     #: result then carries an :class:`~repro.obs.ObservabilitySnapshot`.
     #: Off by default: the hot path pays one attribute lookup only.
     observability: bool = False
+    #: execution backend: ``"local"`` runs every task inline in one
+    #: process (the deterministic reference); ``"parallel"`` runs the
+    #: Joiner tasks in forked worker processes (same per-window results,
+    #: see :mod:`repro.streaming.parallel`)
+    backend: str = "local"
+    #: worker process count for the parallel backend; None -> one per
+    #: core, capped at the Joiner task count
+    parallel_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in PARTITIONERS:
@@ -84,6 +97,10 @@ class StreamJoinConfig:
             )
         if self.m < 1:
             raise PartitioningError(f"m must be >= 1, got {self.m}")
+        if self.backend not in BACKENDS:
+            raise PartitioningError(
+                f"unknown backend {self.backend!r}; choose from {sorted(BACKENDS)}"
+            )
 
 
 @dataclass
@@ -222,26 +239,54 @@ def run(
     return run_stream_join(config, windows)
 
 
+def make_cluster(
+    config: StreamJoinConfig,
+    topology: Topology,
+    registry: Optional[MetricsRegistry] = None,
+) -> ClusterBase:
+    """Instantiate the execution backend ``config.backend`` names.
+
+    ``"local"`` gives the single-process reference executor;
+    ``"parallel"`` places the Joiner tasks (the only CPU-heavy leaf of
+    Fig. 2) in forked worker processes, with window-end punctuation as
+    the flush barrier so per-window results match the local backend
+    byte for byte.
+    """
+    if config.backend == "parallel":
+        return ParallelCluster(
+            topology,
+            registry=registry,
+            remote_components=(msg.JOINER,),
+            barrier_streams=(msg.WINDOW_DONE,),
+            n_workers=config.parallel_workers,
+            codec=wire_codec(),
+        )
+    return LocalCluster(topology, registry=registry)
+
+
 def _execute(config: StreamJoinConfig, topology: Topology) -> StreamJoinResult:
     registry = MetricsRegistry() if config.observability else NULL_REGISTRY
-    cluster = LocalCluster(topology, registry=registry)
-    cluster.run()
-    sink = cluster.tasks(msg.SINK)[0]
-    assert isinstance(sink, MetricsSinkBolt)
-    # The merger's repartition event for window w is emitted after the
-    # sink has already finalized w's metrics (the partition protocol runs
-    # later in the punctuation drain), so the flags are stamped here.
-    recomputed = {
-        w for w, initial in sink.repartition_events.items() if not initial
-    }
-    for window in sink.windows:
-        if window.window in recomputed:
-            window.repartitioned = True
-    return StreamJoinResult(
-        config=config,
-        per_window=list(sink.windows),
-        repartition_windows=sink.repartition_windows(),
-        join_pairs=frozenset(sink.join_pairs),
-        tuple_stats=cluster.stats(),
-        observability=registry.snapshot() if config.observability else None,
-    )
+    cluster = make_cluster(config, topology, registry)
+    try:
+        cluster.run()
+        sink = cluster.tasks(msg.SINK)[0]
+        assert isinstance(sink, MetricsSinkBolt)
+        # The merger's repartition event for window w is emitted after the
+        # sink has already finalized w's metrics (the partition protocol runs
+        # later in the punctuation drain), so the flags are stamped here.
+        recomputed = {
+            w for w, initial in sink.repartition_events.items() if not initial
+        }
+        for window in sink.windows:
+            if window.window in recomputed:
+                window.repartitioned = True
+        return StreamJoinResult(
+            config=config,
+            per_window=list(sink.windows),
+            repartition_windows=sink.repartition_windows(),
+            join_pairs=frozenset(sink.join_pairs),
+            tuple_stats=cluster.stats(),
+            observability=cluster.snapshot() if config.observability else None,
+        )
+    finally:
+        cluster.close()

@@ -23,12 +23,12 @@ from repro.core.document import Document
 from repro.metrics.report import WindowMetrics
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.streaming.component import Collector, Spout
-from repro.streaming.executor import LocalCluster
 from repro.topology import messages as msg
 from repro.topology.pipeline import (
     StreamJoinConfig,
     StreamJoinResult,
     build_topology,
+    make_cluster,
 )
 from repro.topology.sink import MetricsSinkBolt
 
@@ -67,7 +67,7 @@ class StreamJoinSession:
         self._registry = (
             MetricsRegistry() if config.observability else NULL_REGISTRY
         )
-        self._cluster = LocalCluster(topology, registry=self._registry)
+        self._cluster = make_cluster(config, topology, self._registry)
         self._next_window_id = 0
         self._closed = False
 
@@ -112,16 +112,18 @@ class StreamJoinSession:
         for window in sink.windows:
             if window.window in recomputed:
                 window.repartitioned = True
-        return StreamJoinResult(
+        result = StreamJoinResult(
             config=self.config,
             per_window=list(sink.windows),
             repartition_windows=sink.repartition_windows(),
             join_pairs=frozenset(sink.join_pairs),
             tuple_stats=self._cluster.stats(),
             observability=(
-                self._registry.snapshot() if self.config.observability else None
+                self._cluster.snapshot() if self.config.observability else None
             ),
         )
+        self._cluster.close()
+        return result
 
     @property
     def windows_processed(self) -> int:

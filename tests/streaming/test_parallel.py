@@ -1,0 +1,196 @@
+"""Tests for the process-parallel execution backend.
+
+The small smoke case runs in tier-1; the heavier cases carry the
+``parallel`` marker and run via ``make test-parallel`` (or
+``pytest -m parallel``).
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import TopologyError, TupleProcessingError
+from repro.obs.registry import MetricsRegistry
+from repro.streaming.component import Bolt, Spout
+from repro.streaming.executor import LocalCluster
+from repro.streaming.grouping import AllGrouping, FieldsGrouping, GlobalGrouping
+from repro.streaming.parallel import ParallelCluster
+from repro.streaming.topology import TopologyBuilder
+
+
+class NumberSpout(Spout):
+    def __init__(self, n: int):
+        self.n, self._i = n, 0
+
+    def next_tuple(self, collector) -> bool:
+        if self._i >= self.n:
+            return False
+        collector.emit("numbers", (self._i,))
+        self._i += 1
+        return self._i < self.n
+
+
+class SquareBolt(Bolt):
+    """The remote worker: squares numbers, with optional instrumentation."""
+
+    def prepare(self, context) -> None:
+        self._counter = context.metrics.counter(
+            "square.seen", task=str(context.task_index)
+        )
+
+    def process(self, tup, collector) -> None:
+        self._counter.inc()
+        collector.emit("squares", (tup.values[0] ** 2,))
+
+
+class CollectBolt(Bolt):
+    """The local sink: accumulates everything it receives."""
+
+    def __init__(self):
+        self.values: list[int] = []
+
+    def process(self, tup, collector) -> None:
+        self.values.append(tup.values[0])
+
+
+class ExplodingBolt(Bolt):
+    def process(self, tup, collector) -> None:
+        raise ValueError(f"cannot process {tup.values[0]}")
+
+
+class DyingBolt(Bolt):
+    """Kills its whole process — simulates a worker crash, not a bug."""
+
+    def process(self, tup, collector) -> None:
+        if tup.values[0] == 3:
+            os._exit(17)
+
+
+def _square_topology(n: int, collector: CollectBolt, worker_cls=SquareBolt):
+    builder = TopologyBuilder()
+    builder.set_spout("src", lambda: NumberSpout(n))
+    builder.set_bolt("square", worker_cls, parallelism=2).subscribe(
+        "src", "numbers", FieldsGrouping(key=0)
+    )
+    builder.set_bolt("collect", lambda: collector).subscribe(
+        "square", "squares", GlobalGrouping()
+    )
+    return builder.build()
+
+
+class TestParallelSmoke:
+    """Tier-1 smoke: the backend works and matches the local executor."""
+
+    def test_results_and_stats_match_local(self):
+        n = 20
+        local_sink = CollectBolt()
+        local = LocalCluster(_square_topology(n, local_sink))
+        local.run()
+
+        par_sink = CollectBolt()
+        with ParallelCluster(
+            _square_topology(n, par_sink),
+            remote_components=("square",),
+            n_workers=2,
+            batch_size=4,
+        ) as cluster:
+            cluster.run()
+            assert sorted(par_sink.values) == sorted(local_sink.values)
+            assert cluster.stats() == local.stats()
+
+    def test_remote_tasks_are_not_inspectable(self):
+        cluster = ParallelCluster(
+            _square_topology(3, CollectBolt()), remote_components=("square",)
+        )
+        with pytest.raises(TopologyError):
+            cluster.tasks("square")
+        cluster.close()
+
+
+@pytest.mark.parallel
+class TestParallelBackend:
+    def test_barrier_stream_flushes_batches(self):
+        # with a huge batch size and no linger pressure, only the
+        # barrier forces the partial batch out
+        sink = CollectBolt()
+        with ParallelCluster(
+            _square_topology(10, sink),
+            remote_components=("square",),
+            barrier_streams=("numbers",),
+            n_workers=2,
+            batch_size=10_000,
+        ) as cluster:
+            cluster.run()
+        assert sorted(sink.values) == [i**2 for i in range(10)]
+
+    def test_worker_snapshots_merge_into_parent(self):
+        registry = MetricsRegistry()
+        with ParallelCluster(
+            _square_topology(12, CollectBolt()),
+            remote_components=("square",),
+            n_workers=2,
+            registry=registry,
+        ) as cluster:
+            cluster.run()
+            snapshot = cluster.snapshot()
+        seen = sum(
+            value
+            for name, value in snapshot.counters.items()
+            if name.startswith("square.seen")
+        )
+        assert seen == 12  # worker-side instruments survive the merge
+        assert snapshot.counters["executor.processed{component=square}"] == 12
+        hist = snapshot.histograms["executor.execute_seconds{component=square}"]
+        assert hist["count"] == 12
+
+    def test_spout_cannot_run_remotely(self):
+        with pytest.raises(TopologyError):
+            ParallelCluster(
+                _square_topology(3, CollectBolt()), remote_components=("src",)
+            )
+
+    def test_retry_exhaustion_surfaces_from_worker(self):
+        cluster = ParallelCluster(
+            _square_topology(5, CollectBolt(), worker_cls=ExplodingBolt),
+            remote_components=("square",),
+            max_retries=2,
+        )
+        try:
+            with pytest.raises(TupleProcessingError) as excinfo:
+                cluster.run()
+            assert excinfo.value.component == "square"
+            assert excinfo.value.retries == 2
+        finally:
+            cluster.close()
+
+    def test_worker_crash_raises_instead_of_hanging(self):
+        cluster = ParallelCluster(
+            _square_topology(8, CollectBolt(), worker_cls=DyingBolt),
+            remote_components=("square",),
+            n_workers=2,
+            batch_size=1,
+        )
+        try:
+            with pytest.raises(TupleProcessingError) as excinfo:
+                cluster.run()
+            assert excinfo.value.component == "square"
+            assert "died" in str(excinfo.value.__cause__ or excinfo.value)
+        finally:
+            cluster.close()
+
+    def test_broadcast_grouping_reaches_remote_tasks(self):
+        builder = TopologyBuilder()
+        builder.set_spout("src", lambda: NumberSpout(4))
+        builder.set_bolt("square", SquareBolt, parallelism=3).subscribe(
+            "src", "numbers", AllGrouping()
+        )
+        sink = CollectBolt()
+        builder.set_bolt("collect", lambda: sink).subscribe(
+            "square", "squares", GlobalGrouping()
+        )
+        with ParallelCluster(
+            builder.build(), remote_components=("square",), n_workers=2
+        ) as cluster:
+            cluster.run()
+        # every task saw every number
+        assert sorted(sink.values) == sorted([i**2 for i in range(4)] * 3)

@@ -1,0 +1,98 @@
+"""The parallel backend must reproduce the local backend exactly.
+
+The determinism contract (docs/architecture.md, "Execution backends"):
+for any configuration, the two backends produce byte-identical
+per-window metrics, join-pair sets and tuple accounting.  These tests
+pin that contract across partitioners and datasets.
+
+All cases here carry the ``parallel`` marker (they fork real worker
+processes and run full topologies); tier-1 coverage of the backend
+lives in ``tests/streaming/test_parallel.py``.
+"""
+
+import pytest
+
+from repro.data.nobench import NoBenchGenerator
+from repro.data.serverlogs import ServerLogGenerator
+from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+pytestmark = pytest.mark.parallel
+
+
+def _windows(dataset: str, n_windows: int = 3, size: int = 120):
+    generator = (
+        ServerLogGenerator(seed=23)
+        if dataset == "rwData"
+        else NoBenchGenerator(seed=23)
+    )
+    return [generator.next_window(size) for _ in range(n_windows)]
+
+
+def _run(dataset: str, algorithm: str, backend: str, **overrides):
+    config = StreamJoinConfig(
+        m=4,
+        algorithm=algorithm,
+        n_creators=2,
+        n_assigners=3,
+        compute_joins=True,
+        collect_pairs=True,
+        backend=backend,
+        parallel_workers=2 if backend == "parallel" else None,
+        **overrides,
+    )
+    return run_stream_join(config, _windows(dataset))
+
+
+@pytest.mark.parametrize("algorithm", ["AG", "HASH"])
+@pytest.mark.parametrize("dataset", ["rwData", "nbData"])
+class TestBackendEquivalence:
+    def test_results_are_byte_identical(self, dataset, algorithm):
+        local = _run(dataset, algorithm, "local")
+        par = _run(dataset, algorithm, "parallel")
+        assert par.per_window == local.per_window
+        assert par.join_pairs == local.join_pairs
+        assert par.repartition_windows == local.repartition_windows
+        assert par.tuple_stats == local.tuple_stats
+
+    def test_summary_metrics_are_identical(self, dataset, algorithm):
+        local = _run(dataset, algorithm, "local").summary()
+        par = _run(dataset, algorithm, "parallel").summary()
+        assert par.replication == local.replication
+        assert par.gini == local.gini
+        assert par.max_load == local.max_load
+        assert par.repartition_rate == local.repartition_rate
+        assert par.join_pairs == local.join_pairs
+
+
+def test_observability_counters_match_local():
+    local = _run("rwData", "AG", "local", observability=True)
+    par = _run("rwData", "AG", "parallel", observability=True)
+    assert par.observability is not None and local.observability is not None
+    # spans and latency histograms carry wall-clock values and legitimately
+    # differ; the discrete series (counters) must agree exactly
+    assert par.observability.counters == local.observability.counters
+    assert set(par.observability.histograms) == set(local.observability.histograms)
+
+
+def test_session_supports_parallel_backend():
+    from repro.topology.session import StreamJoinSession
+
+    windows = _windows("rwData", n_windows=2)
+    results = {}
+    for backend in ("local", "parallel"):
+        session = StreamJoinSession(
+            StreamJoinConfig(
+                m=4,
+                n_assigners=3,
+                compute_joins=True,
+                collect_pairs=True,
+                backend=backend,
+                parallel_workers=2 if backend == "parallel" else None,
+            )
+        )
+        for window in windows:
+            session.push_window(window)
+        results[backend] = session.result()
+    assert results["parallel"].per_window == results["local"].per_window
+    assert results["parallel"].join_pairs == results["local"].join_pairs
+    assert results["parallel"].tuple_stats == results["local"].tuple_stats
