@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel bench bench-smoke bench-scaling figures report examples clean
+.PHONY: install test test-parallel bench bench-smoke bench-scaling bench-hotpath bench-check figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,15 @@ bench:
 # local and the parallel execution backend (one row per backend/m).
 bench-scaling:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_ext_scaling.py --benchmark-only
+
+# Regenerate BENCH_hotpath.json: per-document probe/insert/route
+# latencies of the dictionary-encoded hot paths (see docs/performance.md)
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/test_micro_hotpath.py
+
+# Fail on >25% per-metric regression vs the committed BENCH_hotpath.json
+bench-check:
+	PYTHONPATH=src $(PYTHON) scripts/check_bench.py
 
 # Instrumented smoke run: exercises the observability layer end to end
 # and persists the metric snapshot for the report tooling.

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Guard the hot-path micro-benchmark against regressions.
+
+Re-runs ``benchmarks/test_micro_hotpath.py``'s workload and compares
+every metric against the committed ``BENCH_hotpath.json``: a metric that
+is more than ``--threshold`` (default 25%) *slower* than the committed
+value fails the check.  Improvements never fail — refresh the committed
+file with ``make bench-hotpath`` when they should become the new bar.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench.py            # run + compare
+    PYTHONPATH=src python scripts/check_bench.py --current results/fresh.json
+
+``--current`` skips the measurement and compares a previously written
+report instead (useful when iterating on the threshold or in CI jobs
+that split measuring from checking).  Wired as ``make bench-check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def load_metrics(path: Path) -> dict[str, float]:
+    report = json.loads(path.read_text())
+    metrics = report.get("metrics", report)
+    if not isinstance(metrics, dict) or not metrics:
+        raise SystemExit(f"{path}: no metrics found")
+    return metrics
+
+
+def compare(
+    committed: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Human-readable failure lines, empty when the check passes."""
+    failures = []
+    for key, base in sorted(committed.items()):
+        now = current.get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if base > 0 and now > base * (1.0 + threshold):
+            failures.append(
+                f"{key}: {now:.1f} ns vs committed {base:.1f} ns "
+                f"(+{(now / base - 1.0) * 100.0:.0f}%, limit +{threshold * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="committed benchmark report to compare against",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        help="pre-measured report; omitted -> run the benchmark now",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per metric (default 0.25)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=2,
+        help="collection passes to min-merge when measuring (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no committed baseline at {args.baseline}; run `make bench-hotpath`")
+        return 2
+    committed = load_metrics(args.baseline)
+
+    if args.current is not None:
+        current = load_metrics(args.current)
+    else:
+        from test_micro_hotpath import collect_metrics, merge_min
+
+        print("measuring hot-path metrics (this takes a few minutes)...")
+        current = merge_min(*(collect_metrics() for _ in range(args.runs)))
+
+    failures = compare(committed, current, args.threshold)
+    if failures:
+        print(f"bench-check FAILED: {len(failures)} metric(s) regressed")
+        for line in failures:
+            print(f"  {line}")
+        print(
+            "If the slowdown is intended, regenerate the baseline with "
+            "`make bench-hotpath` and commit BENCH_hotpath.json."
+        )
+        return 1
+    print(f"bench-check OK: {len(committed)} metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro.core.document import AVPair, Document
+from repro.core.interning import EncodedDocument, PairInterner
 from repro.core.window import CountWindow, TimeWindow
 from repro.exceptions import (
     DocumentError,
@@ -80,6 +81,7 @@ __all__ = [
     "Document",
     "DocumentError",
     "DocumentRouter",
+    "EncodedDocument",
     "ExpansionPlan",
     "FPTree",
     "FPTreeJoiner",
@@ -95,6 +97,7 @@ __all__ = [
     "NullRegistry",
     "ObservabilitySnapshot",
     "PARTITIONERS",
+    "PairInterner",
     "Partition",
     "Partitioner",
     "PartitioningError",

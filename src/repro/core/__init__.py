@@ -1,11 +1,14 @@
-"""Core data model: schema-free documents and window definitions."""
+"""Core data model: schema-free documents, interning, window definitions."""
 
 from repro.core.document import AVPair, Document, flatten_json
+from repro.core.interning import EncodedDocument, PairInterner
 from repro.core.window import CountWindow, TimeWindow, tumbling_count_windows
 
 __all__ = [
     "AVPair",
     "Document",
+    "EncodedDocument",
+    "PairInterner",
     "flatten_json",
     "CountWindow",
     "TimeWindow",

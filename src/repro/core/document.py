@@ -107,7 +107,7 @@ class Document:
         ingest; ad-hoc documents may omit it.
     """
 
-    __slots__ = ("_pairs", "doc_id", "_hash", "_avpair_set")
+    __slots__ = ("_pairs", "doc_id", "_hash", "_avpair_set", "_encoded")
 
     def __init__(
         self,
@@ -130,6 +130,9 @@ class Document:
         self.doc_id = doc_id
         self._hash: Optional[int] = None
         self._avpair_set: Optional[frozenset[AVPair]] = None
+        #: last dictionary-encoded view of this document, tagged with the
+        #: interner that produced it (see :mod:`repro.core.interning`)
+        self._encoded = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -198,9 +201,7 @@ class Document:
     # ------------------------------------------------------------------
     def shared_attributes(self, other: "Document") -> set[str]:
         """Attributes present in both documents."""
-        if len(self._pairs) > len(other._pairs):
-            self, other = other, self
-        return {a for a in self._pairs if a in other._pairs}
+        return self._pairs.keys() & other._pairs.keys()
 
     def conflicts_with(self, other: "Document") -> bool:
         """True if any shared attribute carries different values."""

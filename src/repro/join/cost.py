@@ -72,16 +72,24 @@ def predict_nlj_hbj_winner(
 
 
 def measure_nlj_hbj_winner(documents: Sequence[Document]) -> str:
-    """Measure which baseline actually wins on this data (ground truth)."""
+    """Measure which baseline actually wins on this data (ground truth).
+
+    The reference (non-interned) joiners are measured: the model's
+    threshold assumes the per-posting-entry and per-verification costs of
+    the string-comparing implementations, which is the cost structure the
+    paper's Fig. 11 crossover describes.  Dictionary encoding shifts both
+    constants (see ``docs/performance.md``) and with it the empirical
+    crossover point, but not the model's asymptotics.
+    """
     from repro.join.base import join_window
     from repro.join.hash_join import HashJoiner
     from repro.join.nested_loop import NestedLoopJoiner
 
     start = time.perf_counter()
-    join_window(NestedLoopJoiner(), documents)
+    join_window(NestedLoopJoiner(interned=False), documents)
     nlj = time.perf_counter() - start
     start = time.perf_counter()
-    join_window(HashJoiner(), documents)
+    join_window(HashJoiner(interned=False), documents)
     hbj = time.perf_counter() - start
     return "NLJ" if nlj < hbj else "HBJ"
 

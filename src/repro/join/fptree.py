@@ -9,6 +9,17 @@ prefix share tree nodes, which is what makes probing cheap.
 
 As in the original FP-tree, a header table links all nodes carrying the
 same label.  Every branch (terminal node) receives a unique ``branch_id``.
+
+Two storage modes share this class.  Without an interner (the
+string-keyed reference mode) child lookups are keyed by ``AVPair``.
+With a :class:`~repro.core.interning.PairInterner` attached, children
+are keyed by the dense **pair id** and every node carries its
+``pair_id``/``attr_id``, so both construction and the FPTreeJoin
+traversal compare machine integers instead of hashing strings.  Node
+labels and the header table stay ``AVPair``-based in both modes — they
+are introspection surfaces, not hot paths.  The interner outlives the
+tree: a joiner keeps one dictionary for its whole lifetime and hands it
+to each fresh tree at window turnover.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from itertools import count
 from typing import Iterable, Iterator, Optional
 
 from repro.core.document import AVPair, Document
+from repro.core.interning import PairInterner
 from repro.join.ordering import AttributeOrder
 
 
@@ -28,17 +40,30 @@ class FPNode:
     root).  ``doc_ids`` holds the ids of documents whose ordered pair list
     ends exactly at this node.  ``node_link`` chains nodes with equal
     labels, mirroring the header-table links of the original FP-tree.
+    In interned trees ``pair_id``/``attr_id`` carry the node's dense ids
+    (they stay ``None`` in the reference mode).
     """
 
-    __slots__ = ("label", "parent", "children", "doc_ids", "node_link", "branch_id")
+    __slots__ = (
+        "label",
+        "parent",
+        "children",
+        "doc_ids",
+        "node_link",
+        "branch_id",
+        "pair_id",
+        "attr_id",
+    )
 
     def __init__(self, label: Optional[AVPair], parent: Optional["FPNode"]):
         self.label = label
         self.parent = parent
-        self.children: dict[AVPair, FPNode] = {}
+        self.children: dict = {}
         self.doc_ids: list[int] = []
         self.node_link: Optional[FPNode] = None
         self.branch_id: Optional[int] = None
+        self.pair_id: Optional[int] = None
+        self.attr_id: Optional[int] = None
 
     def path_pairs(self) -> list[AVPair]:
         """AV-pairs along the root-to-this-node path (root excluded)."""
@@ -61,11 +86,13 @@ class FPTree:
     The tree is built incrementally: the Joiner probes each arriving
     document against the current tree and then inserts it, so it can be
     matched with forthcoming documents.  The entire tree is evicted when
-    the tumbling window closes.
+    the tumbling window closes (the interner, if any, is not — pair ids
+    are component-lifetime state).
     """
 
-    def __init__(self, order: AttributeOrder):
+    def __init__(self, order: AttributeOrder, interner: Optional[PairInterner] = None):
         self.order = order
+        self.interner = interner
         self.root = FPNode(None, None)
         #: header table: label -> first node of the equal-label chain
         self.header: dict[AVPair, FPNode] = {}
@@ -77,6 +104,12 @@ class FPTree:
         #: doc_id -> terminal node, enabling O(depth) removal for
         #: sliding-window eviction
         self._terminals: dict[int, FPNode] = {}
+        #: per-attr-id sort keys (interned mode), grown lazily to match
+        #: the interner so inserts sort by precomputed (rank, name) keys
+        self._aid_keys: list[tuple[int, str]] = []
+        #: memoized ubiquitous-prefix length, maintained incrementally by
+        #: ``insert``; None -> full recompute on next query
+        self._ubiq_len: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -103,18 +136,40 @@ class FPTree:
         if document.doc_id is None:
             raise ValueError("documents stored in the FP-tree need a doc_id")
         node = self.root
-        # Plain (attribute, value) tuples hash and compare equal to AVPair
-        # (a NamedTuple), so the hot path skips AVPair construction.
-        sort_key = self.order.sort_key
-        items = sorted(document.pairs.items(), key=lambda kv: sort_key(kv[0]))
-        for pair in items:
-            child = node.children.get(pair)
-            if child is None:
-                child = FPNode(AVPair(*pair), node)
-                node.children[child.label] = child
-                self.node_count += 1
-                self._link_header(child)
-            node = child
+        interner = self.interner
+        if interner is not None:
+            encoded = interner.encode(document)
+            keys = self._aid_keys
+            if len(keys) < interner.attr_count:
+                self._sync_aid_keys()
+            # (sort key, pair id, attr id): keys are unique per attribute,
+            # so the sort never falls through to comparing the ids
+            path = sorted(
+                (keys[aid], pid, aid) for aid, pid in encoded.attr_to_pair.items()
+            )
+            for _, pid, aid in path:
+                child = node.children.get(pid)
+                if child is None:
+                    child = FPNode(interner.pair(pid), node)
+                    child.pair_id = pid
+                    child.attr_id = aid
+                    node.children[pid] = child
+                    self.node_count += 1
+                    self._link_header(child)
+                node = child
+        else:
+            # Plain (attribute, value) tuples hash and compare equal to
+            # AVPair (a NamedTuple), so this path skips AVPair construction.
+            sort_key = self.order.sort_key
+            items = sorted(document.pairs.items(), key=lambda kv: sort_key(kv[0]))
+            for pair in items:
+                child = node.children.get(pair)
+                if child is None:
+                    child = FPNode(AVPair(*pair), node)
+                    node.children[child.label] = child
+                    self.node_count += 1
+                    self._link_header(child)
+                node = child
         if node.branch_id is None:
             node.branch_id = next(self._branch_ids)
         if document.doc_id in self._terminals:
@@ -123,6 +178,23 @@ class FPTree:
         self._terminals[document.doc_id] = node
         self.doc_count += 1
         self._attr_doc_count.update(document.pairs.keys())
+        # Maintain the ubiquitous-prefix cache incrementally: inserting
+        # into a non-empty tree can only shrink the prefix, to the leading
+        # order attributes the new document itself carries.  Keeps the
+        # fast-path precondition O(prefix) on insert and O(1) on probe.
+        if self.doc_count == 1:
+            self._ubiq_len = None  # 0 (empty tree) no longer applies
+        else:
+            current = self._ubiq_len
+            if current:
+                pairs = document.pairs
+                length = 0
+                for attribute in self.order.attributes[:current]:
+                    if attribute in pairs:
+                        length += 1
+                    else:
+                        break
+                self._ubiq_len = length
         return node
 
     def remove(self, doc_id: int) -> bool:
@@ -139,12 +211,14 @@ class FPTree:
             return False
         node.doc_ids.remove(doc_id)
         self.doc_count -= 1
+        self._ubiq_len = None
         for pair in node.path_pairs():
             remaining = self._attr_doc_count[pair.attribute] - 1
             if remaining:
                 self._attr_doc_count[pair.attribute] = remaining
             else:
                 del self._attr_doc_count[pair.attribute]
+        interned = self.interner is not None
         while (
             node is not self.root
             and not node.doc_ids
@@ -152,11 +226,20 @@ class FPTree:
         ):
             parent = node.parent
             assert parent is not None and node.label is not None
-            del parent.children[node.label]
+            del parent.children[node.pair_id if interned else node.label]
             self._unlink_header(node)
             self.node_count -= 1
             node = parent
         return True
+
+    def _sync_aid_keys(self) -> None:
+        """Extend the per-attr-id sort-key cache to the interner's size."""
+        assert self.interner is not None
+        keys = self._aid_keys
+        attribute = self.interner.attribute
+        sort_key = self.order.sort_key
+        for aid in range(len(keys), self.interner.attr_count):
+            keys.append(sort_key(attribute(aid)))
 
     def _link_header(self, node: FPNode) -> None:
         assert node.label is not None
@@ -199,16 +282,21 @@ class FPTree:
 
         These attributes are guaranteed to occupy the first levels of the
         tree, enabling the FPTreeJoin fast path (Algorithm 2).  Returns 0
-        for an empty tree.
+        for an empty tree.  Memoized between mutations — probes hit the
+        cached value.
         """
-        if self.doc_count == 0:
-            return 0
+        if self._ubiq_len is not None:
+            return self._ubiq_len
         length = 0
-        for attribute in self.order.attributes:
-            if self._attr_doc_count.get(attribute, 0) == self.doc_count:
-                length += 1
-            else:
-                break
+        if self.doc_count:
+            doc_count = self.doc_count
+            counts = self._attr_doc_count
+            for attribute in self.order.attributes:
+                if counts.get(attribute, 0) == doc_count:
+                    length += 1
+                else:
+                    break
+        self._ubiq_len = length
         return length
 
     def ubiquitous_attributes(self) -> tuple[str, ...]:

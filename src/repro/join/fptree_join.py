@@ -13,6 +13,16 @@ level (any sibling conflicts by construction), pruning the bulk of the
 tree without inspection.  If the probe lacks one of these ubiquitous
 attributes no conflict on it is possible and the algorithm falls back to
 the general traversal from the root, which is always correct.
+
+:func:`fptree_join` dispatches on the tree's storage mode.  Interned
+trees (the default used by :class:`FPTreeJoiner`) run a traversal whose
+fast path jumps through the int-keyed child dicts (one pair-id lookup
+per ubiquitous level, no ``AVPair`` allocation) and whose DFS splits
+into a "no pair shared yet" stack and a "collecting" stack so no
+per-node ``(node, shared)`` tuples are allocated.  Plain trees run the
+original seed traversal, kept as the measurement reference; results are
+set-identical (DFS visit order may differ between the modes, which
+callers must not rely on).
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.document import AVPair, Document
+from repro.core.interning import PairInterner
 from repro.join.base import LocalJoiner
 from repro.join.fptree import FPTree
 from repro.join.ordering import AttributeOrder
@@ -37,6 +48,15 @@ def fptree_join(
     (Algorithm 2, lines 2-6) and runs the plain pruning DFS; results are
     identical — the flag exists for the ablation benchmark.
     """
+    if tree.interner is not None:
+        return _fptree_join_encoded(tree, document, use_fast_path)
+    return _fptree_join_plain(tree, document, use_fast_path)
+
+
+def _fptree_join_plain(
+    tree: FPTree, document: Document, use_fast_path: bool
+) -> list[int]:
+    """Reference traversal over a string-keyed tree (seed implementation)."""
     result: list[int] = []
     pairs = document.pairs
     start = tree.root
@@ -75,6 +95,104 @@ def fptree_join(
     return result
 
 
+def _fptree_join_encoded(
+    tree: FPTree, document: Document, use_fast_path: bool
+) -> list[int]:
+    """Traversal over a pair-id-keyed tree.
+
+    The probe is *not* encoded: conflict checks read the probe's raw
+    attribute -> value mapping through the node labels (CPython's
+    string-keyed dicts are as fast as lookups get), and only the fast
+    path resolves pair ids — one dictionary lookup per ubiquitous level —
+    to jump through the int-keyed child dicts.  The ubiquity precheck of
+    Algorithm 2 is merged into the descent itself: a probe missing some
+    ubiquitous attribute abandons the descent and falls back to the
+    general traversal, so the overwhelmingly common full-hit case touches
+    each ubiquitous attribute once instead of twice.  The DFS carries no
+    per-node ``(node, shared)`` tuples: nodes that have not shared a pair
+    yet live on a ``pending`` stack, and once a path is collecting, its
+    subtree is scanned by iterating child dicts directly — only internal
+    nodes whose subtree survives are ever pushed, leaves are consumed in
+    the child loop.
+    """
+    pairs = document.pairs
+    pairs_get = pairs.get
+    result: list[int] = []
+    extend = result.extend
+    start = tree.root
+    collecting_from_start = False
+
+    if use_fast_path:
+        num = tree._ubiq_len
+        if num is None:
+            num = tree.ubiquitous_prefix_length()
+        if num:
+            pair_ids_get = tree.interner._pair_ids.get  # type: ignore[union-attr]
+            attributes = tree.order.attributes
+            node = tree.root
+            level = 0
+            while level < num:
+                attribute = attributes[level]
+                value = pairs_get(attribute, _MISSING)
+                if value is _MISSING:
+                    # The probe lacks this ubiquitous attribute, so no
+                    # conflict on it is possible: abandon the descent and
+                    # run the general traversal (always correct).
+                    del result[:]
+                    node = None
+                    break
+                pid = pair_ids_get((attribute, value))
+                child = None if pid is None else node.children.get(pid)
+                if child is None:
+                    # Every stored document carries this attribute with a
+                    # different value, i.e. conflicts with the probe.  (A
+                    # pair the interner has never seen cannot be stored.)
+                    return result
+                if child.doc_ids:
+                    extend(child.doc_ids)
+                node = child
+                level += 1
+            if node is not None:
+                start = node
+                collecting_from_start = True
+
+    # General traversal (Algorithm 3).  ``stack`` holds nodes already on
+    # a collecting path whose children remain to be scanned.
+    if collecting_from_start:
+        stack = [start] if start.children else []
+    else:
+        stack = []
+        pending = list(start.children.values())
+        while pending:
+            node = pending.pop()
+            attribute, value = node.label  # type: ignore[misc]  # never root
+            probe_value = pairs_get(attribute, _MISSING)
+            if probe_value is _MISSING:
+                # Absent from the probe: neither shared nor conflict.
+                pending.extend(node.children.values())
+            elif probe_value == value:
+                # First shared pair on this path: collect from here down.
+                if node.doc_ids:
+                    extend(node.doc_ids)
+                if node.children:
+                    stack.append(node)
+            # else: conflict — prune the subtree.
+    while stack:
+        parent = stack.pop()
+        for node in parent.children.values():
+            attribute, value = node.label  # type: ignore[misc]  # never root
+            probe_value = pairs_get(attribute, _MISSING)
+            # Test order favors the common matching node: one comparison
+            # when the probe shares the pair, two to prune a conflict.
+            if probe_value != value and probe_value is not _MISSING:
+                continue  # conflict: prune
+            if node.doc_ids:
+                extend(node.doc_ids)
+            if node.children:
+                stack.append(node)
+    return result
+
+
 class FPTreeJoiner(LocalJoiner):
     """Windowed join operator backed by an FP-tree (the paper's FPJ).
 
@@ -90,6 +208,11 @@ class FPTreeJoiner(LocalJoiner):
         recorded through the shared :class:`LocalJoiner` hook.
     use_fast_path:
         Forwarded to :func:`fptree_join`; disable for ablation runs.
+    interned:
+        Use dictionary-encoded trees (default).  The joiner owns one
+        :class:`~repro.core.interning.PairInterner` for its lifetime and
+        hands it to every tree, including across :meth:`reset` — window
+        eviction drops the tree, never the dictionary.
     """
 
     name = "FPJ"
@@ -99,10 +222,16 @@ class FPTreeJoiner(LocalJoiner):
         order: Optional[AttributeOrder] = None,
         registry: Optional[MetricsRegistry] = None,
         use_fast_path: bool = True,
+        interned: bool = True,
     ):
         super().__init__(order=order, registry=registry)
         self.use_fast_path = use_fast_path
-        self.tree = FPTree(order if order is not None else AttributeOrder(()))
+        self.interned = interned
+        self._interner: Optional[PairInterner] = PairInterner() if interned else None
+        self.tree = FPTree(
+            order if order is not None else AttributeOrder(()),
+            interner=self._interner,
+        )
 
     @classmethod
     def with_sample_order(
@@ -110,24 +239,31 @@ class FPTreeJoiner(LocalJoiner):
         sample,
         use_fast_path: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        interned: bool = True,
     ) -> "FPTreeJoiner":
         """Build a joiner whose order is computed from a document sample."""
         return cls(
             AttributeOrder.from_documents(sample),
             registry=registry,
             use_fast_path=use_fast_path,
+            interned=interned,
         )
 
     def _insert(self, document: Document) -> None:
         self.tree.insert(document)
 
     def _probe(self, document: Document) -> list[int]:
-        return fptree_join(self.tree, document, use_fast_path=self.use_fast_path)
+        # Dispatch directly on the storage mode (one call fewer than
+        # going through :func:`fptree_join` — this is the hot path).
+        tree = self.tree
+        if tree.interner is not None:
+            return _fptree_join_encoded(tree, document, self.use_fast_path)
+        return _fptree_join_plain(tree, document, self.use_fast_path)
 
     def reset(self) -> None:
         """Evict the whole tree — the tumbling-window eviction of §V-A."""
         order = self.order if self.order is not None else self.tree.order
-        self.tree = FPTree(order)
+        self.tree = FPTree(order, interner=self._interner)
 
     def __len__(self) -> int:
         return self.tree.doc_count

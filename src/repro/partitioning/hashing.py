@@ -16,6 +16,7 @@ import hashlib
 from typing import Sequence
 
 from repro.core.document import AVPair, Document
+from repro.core.interning import PairInterner
 from repro.partitioning.base import Partition, Partitioner, PartitioningResult
 
 
@@ -48,9 +49,18 @@ class HashPartitioner(Partitioner):
                     continue
                 seen.add(pair)
                 partitions[stable_pair_hash(pair) % m].pairs.add(pair)
+        # Load estimation: a document loads every partition it shares a
+        # pair with.  Done on dictionary-encoded pair-id sets — the m×n
+        # disjointness tests then intersect small int sets instead of
+        # re-hashing every AV-pair string m times.
+        interner = PairInterner()
+        partition_pair_ids = [
+            interner.encode_pairs(partition.pairs) for partition in partitions
+        ]
         for doc in documents:
-            for partition in partitions:
-                if partition.matches(doc):
+            doc_pair_ids = interner.encode(doc).pair_set
+            for partition, pair_ids in zip(partitions, partition_pair_ids):
+                if not pair_ids.isdisjoint(doc_pair_ids):
                     partition.estimated_load += 1
         return PartitioningResult(
             partitions=partitions, algorithm=self.name, group_count=len(seen)

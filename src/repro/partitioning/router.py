@@ -5,6 +5,15 @@ component: a document is forwarded to every partition it shares an
 AV-pair with; documents matching no partition (unseen AV-pairs, or
 broadcast-flagged by an expansion plan) are emitted to *all* machines so
 the join result stays exact (Section VI-A).
+
+Routing runs on the dictionary-encoded view of the document: partition
+contents are pre-resolved to dense pair ids with the owning machines
+stored as ready-made tuples, so the per-document work is one id-keyed
+dict lookup per pair instead of hashing ``(attribute, value)`` strings.
+The interner is typically owned by the enclosing component (the
+Assigner) and shared across successive routers, so documents encoded for
+one partitioning generation keep their cached encodings through a
+repartitioning.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from __future__ import annotations
 from typing import NamedTuple, Optional, Sequence
 
 from repro.core.document import AVPair, Document
+from repro.core.interning import PairInterner
 from repro.partitioning.base import Partition
 from repro.partitioning.expansion import ExpansionPlan
 
@@ -43,23 +53,38 @@ class DocumentRouter:
     expansion:
         Optional expansion plan; incoming documents are transformed
         before matching, exactly as the partition sample was.
+    interner:
+        Pair dictionary used to encode partitions and documents.  Pass
+        the owning component's interner so encodings survive router
+        replacement at repartitioning; a private one is created if
+        omitted.
     """
 
     def __init__(
         self,
         partitions: Sequence[Partition],
         expansion: Optional[ExpansionPlan] = None,
+        interner: Optional[PairInterner] = None,
     ):
         if not partitions:
             raise ValueError("router needs at least one partition")
         self.partitions = list(partitions)
         self.expansion = expansion
+        self.interner = interner if interner is not None else PairInterner()
         self.m = len(partitions)
         self._all = tuple(range(self.m))
-        self._pair_index: dict[AVPair, set[int]] = {}
+        #: pair id -> owning machine indices; sets are the mutable truth
+        #: (``add_pair``), tuples the read-optimized routing view
+        self._owner_sets: dict[int, set[int]] = {}
+        pair_id = self.interner.pair_id
         for partition in partitions:
             for pair in partition.pairs:
-                self._pair_index.setdefault(pair, set()).add(partition.index)
+                self._owner_sets.setdefault(pair_id(*pair), set()).add(
+                    partition.index
+                )
+        self._owners: dict[int, tuple[int, ...]] = {
+            pid: tuple(owners) for pid, owners in self._owner_sets.items()
+        }
 
     def route(self, document: Document) -> RoutingDecision:
         """Decide the target machines for ``document``.
@@ -75,24 +100,33 @@ class DocumentRouter:
             document, broadcast = self.expansion.transform(document)
             if broadcast:
                 return RoutingDecision(self._all, broadcast=True)
+        encoded = self.interner.encode(document)
         targets: set[int] = set()
-        unseen: list[AVPair] = []
-        for pair in document.avpairs():
-            owners = self._pair_index.get(pair)
+        unseen: list[int] = []
+        owner_map = self._owners
+        for pid in encoded.pair_ids:
+            owners = owner_map.get(pid)
             if owners:
                 targets.update(owners)
             else:
-                unseen.append(pair)
+                unseen.append(pid)
         if unseen or not targets:
+            pair = self.interner.pair
             return RoutingDecision(
-                self._all, broadcast=True, unseen_pairs=tuple(unseen)
+                self._all,
+                broadcast=True,
+                unseen_pairs=tuple(pair(pid) for pid in unseen),
             )
         return RoutingDecision(tuple(sorted(targets)), broadcast=False)
 
     def add_pair(self, pair: AVPair, partition_index: int) -> None:
         """Apply a partition *update*: graft one pair onto a partition."""
         self.partitions[partition_index].pairs.add(pair)
-        self._pair_index.setdefault(pair, set()).add(partition_index)
+        pid = self.interner.pair_id(*pair)
+        owners = self._owner_sets.setdefault(pid, set())
+        owners.add(partition_index)
+        self._owners[pid] = tuple(owners)
 
     def owns(self, pair: AVPair) -> bool:
-        return pair in self._pair_index
+        pid = self.interner.peek_pair_id(*pair)
+        return pid is not None and pid in self._owners

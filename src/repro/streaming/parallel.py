@@ -114,6 +114,10 @@ def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -
     assigned = cluster._assignments[worker_index]
     registry = cluster.registry
     obs = registry.enabled
+    #: decodes parent->worker traffic; the forked copy's state matches the
+    #: parent-side encoder of this link (same object at fork, FIFO pipe)
+    link_codec = cluster._link_codecs[worker_index]
+    #: encodes worker->parent emissions (shared, stateless base codec)
     codec = cluster._codec
     max_retries = cluster.max_retries
     tasks = {key: cluster._tasks[key[0]][key[1]] for key in assigned}
@@ -140,7 +144,7 @@ def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -
             for component, task_index, stream, source, source_task, direct, values in entries:
                 tup = StreamTuple(
                     stream=stream,
-                    values=codec.decode(stream, values),
+                    values=link_codec.decode(stream, values),
                     source=source,
                     source_task=source_task,
                     direct_task=direct,
@@ -238,7 +242,12 @@ class ParallelCluster(ClusterBase):
         Optional per-stream wire codec with ``encode(stream, values)`` /
         ``decode(stream, values)`` (e.g.
         :func:`repro.topology.messages.wire_codec`); defaults to
-        pass-through pickling.
+        pass-through pickling.  If the codec exposes ``link_codec()``,
+        one instance per worker link is created *before* forking:
+        parent-side encoding and worker-side decoding of that link then
+        share (initially identical) state, which lets stateful codecs
+        dictionary-compress repeated payloads over the link's FIFO pipe.
+        Worker->parent emissions always use the shared base codec.
     """
 
     def __init__(
@@ -297,6 +306,13 @@ class ParallelCluster(ClusterBase):
             self._assignments[i % n_workers].append(key)
         self._workers: list[_WorkerHandle] = [
             _WorkerHandle(i, assigned) for i, assigned in enumerate(self._assignments)
+        ]
+        # One codec per parent->worker link, created pre-fork so both
+        # sides of a stateful codec start from the same (empty) state.
+        link_factory = getattr(self._codec, "link_codec", None)
+        self._link_codecs = [
+            link_factory() if link_factory is not None else self._codec
+            for _ in range(n_workers)
         ]
         self._placement: dict[tuple[str, int], _WorkerHandle] = {}
         for handle in self._workers:
@@ -363,7 +379,7 @@ class ParallelCluster(ClusterBase):
                 tup.source,
                 tup.source_task,
                 tup.direct_task,
-                self._codec.encode(tup.stream, tup.values),
+                self._link_codecs[handle.index].encode(tup.stream, tup.values),
             )
         )
         if tup.stream in self._barrier_streams:

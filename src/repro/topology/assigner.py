@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.document import AVPair
+from repro.core.interning import PairInterner
 from repro.obs.registry import NULL_REGISTRY
 from repro.partitioning.router import DocumentRouter
 from repro.streaming.component import Bolt, Collector, ComponentContext
@@ -43,6 +44,9 @@ class AssignerBolt(Bolt):
         self._n_joiners = 0
         self._all_joiners: tuple[int, ...] = ()
         self._router: Optional[DocumentRouter] = None
+        #: component-lifetime pair dictionary, shared by every router this
+        #: Assigner creates so document encodings survive repartitionings
+        self._interner = PairInterner()
         self._current: Optional[msg.PartitionSet] = None
         self._unseen_counts: dict[AVPair, int] = {}
         self._requested: set[AVPair] = set()
@@ -190,7 +194,9 @@ class AssignerBolt(Bolt):
         (partition_set,) = tup.values
         self._current = partition_set
         self._router = DocumentRouter(
-            partition_set.partitions, expansion=partition_set.expansion
+            partition_set.partitions,
+            expansion=partition_set.expansion,
+            interner=self._interner,
         )
         self._unseen_counts.clear()
         self._requested.clear()

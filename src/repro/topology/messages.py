@@ -178,6 +178,18 @@ class WireCodec:
         decoder = self._decoders.get(stream)
         return decoder(values) if decoder is not None else values
 
+    def link_codec(self) -> "WireCodec":
+        """Codec instance for one parent->worker link.
+
+        Stateless codecs are safely shared, so the base implementation
+        returns ``self``.  Stateful codecs (see
+        :class:`DictionaryWireCodec`) override this to hand out one
+        instance per link: the executor calls it once per worker *before*
+        forking, so encoder (parent) and decoder (child) start from the
+        same empty state and stay in sync over the link's FIFO pipe.
+        """
+        return self
+
 
 def _encode_assigned(values: tuple) -> tuple:
     document, window_id, side = values
@@ -228,9 +240,81 @@ def _decode_join_stats(values: tuple) -> tuple:
     return (stats, frozenset(pair_cls(left, right) for left, right in encoded_pairs))
 
 
+class _DictionaryLink(WireCodec):
+    """Stateful codec for one parent->worker link.
+
+    The ``assigned`` stream is dictionary-compressed: the first time an
+    AV-pair crosses this link it is shipped in full inside a *delta* and
+    assigned the next dense wire id; afterwards only the id travels.
+    Both sides grow their dictionary in message order, which the link's
+    FIFO pipe guarantees matches assignment order.
+
+    Wire ids key by ``(type(value), attribute, value)`` — unlike the
+    in-process :class:`~repro.core.interning.PairInterner`, which mirrors
+    the joiners' value-equality semantics, the wire must reconstruct
+    documents *faithfully*, so ``True`` and ``1`` (equal in Python) get
+    distinct ids and decode back to their original types.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.register(ASSIGNED, self._encode_assigned_interned, self._decode_assigned_interned)
+        self.register(JOIN_STATS, _encode_join_stats, _decode_join_stats)
+        #: encoder side: typed pair key -> wire id
+        self._wire_ids: dict = {}
+        #: decoder side: wire id -> (attribute, value), grown by deltas
+        self._wire_pairs: list = []
+
+    def _encode_assigned_interned(self, values: tuple) -> tuple:
+        document, window_id, side = values
+        known = self._wire_ids
+        ids = []
+        delta = []
+        append = ids.append
+        for attribute, value in document.pairs.items():
+            key = (value.__class__, attribute, value)
+            wire_id = known.get(key)
+            if wire_id is None:
+                wire_id = len(known)
+                known[key] = wire_id
+                delta.append((attribute, value))
+            append(wire_id)
+        return (tuple(ids), tuple(delta), document.doc_id, window_id, side)
+
+    def _decode_assigned_interned(self, values: tuple) -> tuple:
+        from repro.core.document import Document
+
+        ids, delta, doc_id, window_id, side = values
+        table = self._wire_pairs
+        table.extend(delta)
+        return (
+            Document(dict(table[wire_id] for wire_id in ids), doc_id=doc_id),
+            window_id,
+            side,
+        )
+
+
+class DictionaryWireCodec(WireCodec):
+    """Wire codec whose per-link instances dictionary-compress ``assigned``.
+
+    The shared instance itself behaves exactly like :func:`wire_codec`
+    (worker->parent traffic is encoded statelessly); only the
+    parent->worker links returned by :meth:`link_codec` carry dictionary
+    state.  Repeatedly shipped AV-pairs — every pair of every broadcast
+    document, under heavy-replication routing — cross the pipe as one
+    integer instead of an (attribute, value) string pair.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.register(ASSIGNED, _encode_assigned, _decode_assigned)
+        self.register(JOIN_STATS, _encode_join_stats, _decode_join_stats)
+
+    def link_codec(self) -> WireCodec:
+        return _DictionaryLink()
+
+
 def wire_codec() -> WireCodec:
     """The codec the stream-join topology ships across worker processes."""
-    codec = WireCodec()
-    codec.register(ASSIGNED, _encode_assigned, _decode_assigned)
-    codec.register(JOIN_STATS, _encode_join_stats, _decode_join_stats)
+    codec = DictionaryWireCodec()
     return codec

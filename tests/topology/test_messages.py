@@ -1,6 +1,13 @@
-"""Unit tests for the topology message payloads."""
+"""Unit tests for the topology message payloads and wire codecs."""
 
-from repro.topology.messages import AttributeStats, ControlMessage
+from repro.core.document import Document
+from repro.topology.messages import (
+    ASSIGNED,
+    AttributeStats,
+    ControlMessage,
+    DictionaryWireCodec,
+    wire_codec,
+)
 
 
 class TestAttributeStats:
@@ -48,3 +55,65 @@ class TestControlMessage:
         b = ControlMessage(kind="repartition", window_id=3)
         assert a == b
         assert hash(a) == hash(b)
+
+
+def roundtrip(codec, doc, window_id=0, side=None):
+    return codec.decode(ASSIGNED, codec.encode(ASSIGNED, (doc, window_id, side)))
+
+
+class TestDictionaryWireCodec:
+    def test_default_codec_compresses_per_link(self):
+        assert isinstance(wire_codec(), DictionaryWireCodec)
+
+    def test_assigned_roundtrip(self):
+        link = DictionaryWireCodec().link_codec()
+        doc = Document({"user": "A", "severity": "warn", "code": 7}, doc_id=3)
+        decoded, window_id, side = roundtrip(link, doc, window_id=2, side="L")
+        assert decoded.pairs == doc.pairs
+        assert decoded.doc_id == 3
+        assert (window_id, side) == (2, "L")
+
+    def test_delta_ships_each_pair_once(self):
+        link = DictionaryWireCodec().link_codec()
+        doc = Document({"a": 1, "b": 2}, doc_id=0)
+        first = link.encode(ASSIGNED, (doc, 0, None))
+        assert first[1] == (("a", 1), ("b", 2))  # full pairs on first sight
+        link.decode(ASSIGNED, first)  # the link decodes in FIFO order
+        repeat = Document({"a": 1, "b": 2, "c": 3}, doc_id=1)
+        second = link.encode(ASSIGNED, (repeat, 0, None))
+        assert second[1] == (("c", 3),)  # known pairs travel as ids only
+        assert second[0][:2] == first[0]
+        decoded, _, _ = link.decode(ASSIGNED, second)
+        assert decoded.pairs == repeat.pairs
+
+    def test_wire_ids_preserve_value_types(self):
+        # The joiners may conflate 1/True/1.0 (value equality); the wire
+        # must not — documents reconstruct with their original types.
+        link = DictionaryWireCodec().link_codec()
+        for value in (1, True, 1.0, "1"):
+            decoded, _, _ = roundtrip(link, Document({"k": value}, doc_id=0))
+            assert decoded.pairs["k"] is not None
+            assert type(decoded.pairs["k"]) is type(value)
+            assert decoded.pairs["k"] == value
+
+    def test_links_are_independent(self):
+        # One dictionary per parent->worker link: ids assigned on one
+        # link must not leak into (or desync) another.
+        codec = DictionaryWireCodec()
+        left, right = codec.link_codec(), codec.link_codec()
+        assert left is not right
+        doc_a = Document({"a": 1}, doc_id=0)
+        doc_b = Document({"b": 2}, doc_id=1)
+        left.encode(ASSIGNED, (doc_a, 0, None))  # advances only left's ids
+        decoded, _, _ = roundtrip(right, doc_b)
+        assert decoded.pairs == {"b": 2}
+
+    def test_shared_instance_stays_stateless(self):
+        # The shared codec itself (worker->parent traffic) encodes the
+        # seed's plain-tuple form and is safe to reuse across links.
+        codec = DictionaryWireCodec()
+        doc = Document({"a": 1}, doc_id=0)
+        encoded = codec.encode(ASSIGNED, (doc, 1, None))
+        assert encoded == ((("a", 1),), 0, 1, None)
+        decoded, _, _ = roundtrip(codec, doc)
+        assert decoded.pairs == doc.pairs
