@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel bench bench-smoke bench-scaling bench-hotpath bench-check figures report examples clean
+.PHONY: install test test-parallel test-chaos verify bench bench-smoke bench-scaling bench-hotpath bench-check figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,14 @@ test: bench-smoke
 
 test-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest -m parallel
+
+# seeded fault-injection suite (worker kills, poison tuples, delayed
+# acks); the coreutils timeout is a hard stop should recovery ever hang
+test-chaos:
+	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m chaos
+
+# the full pre-merge gate: tier-1, the forked backend suite, and chaos
+verify: test test-parallel test-chaos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -33,7 +33,9 @@ from repro.exceptions import (
     ReproError,
     TopologyError,
     WindowError,
+    WorkerCrashError,
 )
+from repro.faults import FaultPlan, InjectedFault
 from repro.join.base import JoinPair, LocalJoiner, join_window
 from repro.join.fptree import FPTree
 from repro.join.fptree_join import FPTreeJoiner, fptree_join
@@ -58,6 +60,7 @@ from repro.obs import (
 from repro.partitioning.joinmatrix import JoinMatrixRouter
 from repro.partitioning.router import DocumentRouter, RoutingDecision
 from repro.partitioning.setcover import SetCoverPartitioner
+from repro.streaming.recovery import DeadLetter, DeadLetterQueue, RestartPolicy
 from repro.topology.pipeline import (
     PARTITIONERS,
     StreamJoinConfig,
@@ -77,6 +80,8 @@ __all__ = [
     "BinaryJoinPair",
     "BinaryStreamJoiner",
     "CountWindow",
+    "DeadLetter",
+    "DeadLetterQueue",
     "DisjointSetPartitioner",
     "Document",
     "DocumentError",
@@ -85,8 +90,10 @@ __all__ = [
     "ExpansionPlan",
     "FPTree",
     "FPTreeJoiner",
+    "FaultPlan",
     "HashJoiner",
     "HashPartitioner",
+    "InjectedFault",
     "JoinConflictError",
     "JoinMatrixRouter",
     "JoinPair",
@@ -103,6 +110,7 @@ __all__ = [
     "PartitioningError",
     "PartitioningResult",
     "ReproError",
+    "RestartPolicy",
     "RoutingDecision",
     "SetCoverPartitioner",
     "SlidingFPTreeJoiner",
@@ -114,6 +122,7 @@ __all__ = [
     "TimeWindow",
     "TopologyError",
     "WindowError",
+    "WorkerCrashError",
     "fptree_join",
     "join_window",
     "plan_expansion",

@@ -83,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker process count for --backend parallel (default: one per core)",
     )
+    topo.add_argument(
+        "--max-retries", type=int, default=0,
+        help="redeliveries of a failing tuple before it counts as poisoned",
+    )
+    topo.add_argument(
+        "--dead-letters", action="store_true",
+        help="quarantine poisoned tuples instead of aborting the run",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=sorted(FIGURES) + ["all"])
@@ -113,6 +121,14 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--backend", choices=("local", "parallel"), default="local",
         help="execution backend for the session's cluster",
+    )
+    ingest.add_argument(
+        "--max-retries", type=int, default=0,
+        help="redeliveries of a failing tuple before it counts as poisoned",
+    )
+    ingest.add_argument(
+        "--dead-letters", action="store_true",
+        help="quarantine poisoned tuples instead of aborting the run",
     )
 
     gen = sub.add_parser("generate", help="write a dataset to JSONL")
@@ -185,6 +201,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         compute_joins=args.joins,
         backend=args.backend,
         parallel_workers=args.workers,
+        max_retries=args.max_retries,
+        dead_letters=args.dead_letters,
     )
     result = run_experiment(config, use_cache=False)
     rows = [
@@ -210,7 +228,24 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         f"gini={summary.gini:.3f} max_load={summary.max_load:.3f} "
         f"repartition_rate={summary.repartition_rate:.0%}"
     )
+    _print_dead_letters(result.stream_result)
     return 0
+
+
+def _print_dead_letters(result) -> None:
+    """Summarize quarantined tuples on stderr-adjacent output, if any."""
+    total = result.tuple_stats.get("dead_letters", 0)
+    if not total:
+        return
+    print(f"\n{total} tuple(s) quarantined (dead letters):")
+    for letter in result.dead_letters[:5]:
+        where = f"{letter.component}[{letter.task_index}]"
+        if letter.worker is not None:
+            where += f" on worker {letter.worker}"
+        print(f"  {where} stream={letter.stream} after "
+              f"{letter.attempts + 1} attempt(s): {letter.cause}")
+    if total > len(result.dead_letters[:5]):
+        print(f"  ... and {total - len(result.dead_letters[:5])} more")
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -292,6 +327,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         StreamJoinConfig(
             m=args.machines, algorithm=args.algorithm,
             compute_joins=args.joins, backend=args.backend,
+            max_retries=args.max_retries, dead_letters=args.dead_letters,
         )
     )
     window_frame = CountWindow(args.window_size)
@@ -308,11 +344,13 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if total == 0:
         print("no documents found")
         return 1
-    summary = session.result().summary()
+    final = session.result()
+    summary = final.summary()
     print(
         f"\n{total} documents total; replication {summary.replication:.3f}, "
         f"gini {summary.gini:.3f}, max load {summary.max_load:.3f}"
     )
+    _print_dead_letters(final)
     return 0
 
 

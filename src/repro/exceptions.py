@@ -42,13 +42,53 @@ class WindowError(ReproError):
 
 
 class TupleProcessingError(TopologyError):
-    """A bolt kept failing on a tuple after exhausting its retry budget."""
+    """A bolt kept failing on a tuple after exhausting its retry budget.
 
-    def __init__(self, component: str, task_index: int, retries: int, cause: Exception):
+    ``worker`` and ``batch_seq`` locate the failure when it happened in a
+    forked worker process of the parallel backend: which worker raised
+    and which shipped batch carried the poison tuple.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        task_index: int,
+        retries: int,
+        cause: Exception,
+        worker: "int | None" = None,
+        batch_seq: "int | None" = None,
+    ):
         self.component = component
         self.task_index = task_index
         self.retries = retries
         self.cause = cause
+        self.worker = worker
+        self.batch_seq = batch_seq
+        where = ""
+        if worker is not None:
+            where = f" (worker {worker}"
+            where += f", batch seq {batch_seq})" if batch_seq is not None else ")"
         super().__init__(
-            f"{component}[{task_index}] failed after {retries} retries: {cause!r}"
+            f"{component}[{task_index}] failed after {retries} retries{where}: "
+            f"{cause!r}"
+        )
+
+
+class WorkerCrashError(TopologyError):
+    """A worker process died and its restart budget is exhausted.
+
+    Raised by the parallel backend when a
+    :class:`~repro.streaming.recovery.RestartPolicy` is configured with
+    ``degrade=False`` (the default) and a worker keeps dying beyond
+    ``max_restarts_per_window``.  Without a restart policy, a worker
+    death surfaces as :class:`TupleProcessingError` instead.
+    """
+
+    def __init__(self, worker: int, exit_code: "int | None", restarts: int):
+        self.worker = worker
+        self.exit_code = exit_code
+        self.restarts = restarts
+        super().__init__(
+            f"worker {worker} died (exit code {exit_code}) and exhausted its "
+            f"restart budget of {restarts} restart(s) this window"
         )

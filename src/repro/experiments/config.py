@@ -72,6 +72,10 @@ class ExperimentConfig:
     #: :class:`~repro.topology.pipeline.StreamJoinConfig`
     backend: str = "local"
     parallel_workers: int | None = None
+    #: per-tuple redelivery budget before a tuple counts as poisoned
+    max_retries: int = 0
+    #: quarantine poisoned tuples instead of aborting the run
+    dead_letters: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:

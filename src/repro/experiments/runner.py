@@ -61,6 +61,8 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         compute_joins=config.compute_joins,
         backend=config.backend,
         parallel_workers=config.parallel_workers,
+        max_retries=config.max_retries,
+        dead_letters=config.dead_letters,
     )
     stream_result = run_stream_join(stream_config, windows)
     result = ExperimentResult(

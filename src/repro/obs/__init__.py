@@ -23,6 +23,7 @@ from repro.obs.registry import (
     ObservabilitySnapshot,
     merge_snapshots,
     series_name,
+    subtract_snapshot,
 )
 from repro.obs.tracing import Span, trace
 
@@ -37,5 +38,6 @@ __all__ = [
     "Span",
     "merge_snapshots",
     "series_name",
+    "subtract_snapshot",
     "trace",
 ]

@@ -22,6 +22,7 @@ from repro.streaming.grouping import (
 )
 from repro.streaming.executor import ClusterBase, LocalCluster
 from repro.streaming.parallel import ParallelCluster
+from repro.streaming.recovery import DeadLetter, DeadLetterQueue, RestartPolicy
 from repro.streaming.topology import Topology, TopologyBuilder
 from repro.streaming.tuples import StreamTuple
 
@@ -31,12 +32,15 @@ __all__ = [
     "ClusterBase",
     "Collector",
     "ComponentContext",
+    "DeadLetter",
+    "DeadLetterQueue",
     "DirectGrouping",
     "FieldsGrouping",
     "GlobalGrouping",
     "Grouping",
     "LocalCluster",
     "ParallelCluster",
+    "RestartPolicy",
     "ShuffleGrouping",
     "Spout",
     "StreamTuple",

@@ -28,9 +28,16 @@ from time import perf_counter
 from typing import Any, Callable, Optional, Sequence
 
 from repro.exceptions import TopologyError, TupleProcessingError
+from repro.faults import FaultPlan
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, ObservabilitySnapshot
 from repro.streaming.component import Bolt, ComponentContext, Spout
 from repro.streaming.grouping import Grouping
+from repro.streaming.recovery import (
+    DeadLetter,
+    DeadLetterQueue,
+    format_dead_letter_cause,
+    truncated_repr,
+)
 from repro.streaming.topology import Topology
 from repro.streaming.tuples import StreamTuple
 
@@ -98,12 +105,23 @@ class ClusterBase:
         max_tuples: int = 200_000_000,
         max_retries: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        *,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         """``max_retries`` > 0 enables Storm-style guaranteed delivery: a
         tuple whose processing raises is redelivered to the same task up
         to that many times (at-least-once semantics — bolts observing a
         redelivered tuple must tolerate their own partial effects).
-        Exceeding the budget raises :class:`TupleProcessingError`.
+        Exceeding the budget raises :class:`TupleProcessingError` —
+        unless ``dead_letters`` is configured, in which case the tuple is
+        *quarantined*: recorded on the queue (with component, task,
+        attempt count and cause), counted on the ``executor.dead_letters``
+        series and in ``stats()["dead_letters"]``, and skipped.
+
+        ``fault_plan`` wires deterministic fault injection
+        (:mod:`repro.faults`) into tuple processing — test machinery for
+        the recovery paths, inert when None.
 
         ``registry`` enables observability: the cluster records
         per-component emitted/processed counters, an
@@ -117,6 +135,16 @@ class ClusterBase:
         self.max_retries = max_retries
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._obs = self.registry.enabled
+        self.dead_letters = dead_letters
+        self._fault_plan = (
+            fault_plan if fault_plan is not None and not fault_plan.empty else None
+        )
+        #: parent-process fault state (worker processes derive their own)
+        self._fault_runtime = (
+            self._fault_plan.runtime() if self._fault_plan is not None else None
+        )
+        #: worker process replacements performed (parallel backend only)
+        self.worker_restarts = 0
         self.failures = 0
         #: deepest the work queue ever got — a backpressure indicator
         self.max_queue_depth = 0
@@ -247,11 +275,16 @@ class ClusterBase:
         retry_counts: dict[int, int] = {}
         queue = self._queue
         obs = self._obs
+        faults = self._fault_runtime
         while True:
             while queue:
                 seq, component, task_index, tup = queue.popleft()
                 task = self._tasks[component][task_index]
                 try:
+                    if faults is not None:
+                        faults.check_raise(
+                            component, tup.stream, seq, seq not in retry_counts
+                        )
                     if obs:
                         start = perf_counter()
                         task.process(tup, self._collectors[(component, task_index)])
@@ -262,6 +295,12 @@ class ClusterBase:
                     self.failures += 1
                     attempts = retry_counts.get(seq, 0)
                     if attempts >= self.max_retries:
+                        if self.dead_letters is not None:
+                            retry_counts.pop(seq, None)
+                            self._quarantine(
+                                component, task_index, tup, attempts, exc
+                            )
+                            continue
                         raise TupleProcessingError(
                             component, task_index, attempts, exc
                         ) from exc
@@ -279,6 +318,40 @@ class ClusterBase:
                     self._proc_counters[component].inc()
             if not self._on_idle():
                 break
+
+    def _quarantine(
+        self,
+        component: str,
+        task_index: int,
+        tup: StreamTuple,
+        attempts: int,
+        exc: Exception,
+        worker: Optional[int] = None,
+        batch_seq: Optional[int] = None,
+    ) -> None:
+        """Record a tuple that exhausted its retry budget and skip it."""
+        cause, traceback_text = format_dead_letter_cause(exc)
+        self._record_dead_letter(
+            DeadLetter(
+                component=component,
+                task_index=task_index,
+                stream=tup.stream,
+                attempts=attempts,
+                cause=cause,
+                traceback=traceback_text,
+                values_repr=truncated_repr(tup.values),
+                worker=worker,
+                batch_seq=batch_seq,
+            )
+        )
+
+    def _record_dead_letter(self, letter: DeadLetter) -> None:
+        assert self.dead_letters is not None
+        self.dead_letters.record(letter)
+        if self._obs:
+            self.registry.counter(
+                "executor.dead_letters", component=letter.component
+            ).inc()
 
     def pump(self) -> None:
         """Advance every spout until it reports no data, then return.
@@ -339,15 +412,24 @@ class ClusterBase:
         """The live task instances of a component (for post-run inspection)."""
         return self._tasks[component]
 
-    def stats(self) -> dict[str, dict[str, int]]:
-        """Per-component emitted/processed tuple counters."""
-        return {
+    def stats(self) -> dict[str, object]:
+        """Per-component emitted/processed tuple counters, plus the
+        run-level robustness counts: ``dead_letters`` (tuples quarantined
+        after exhausting their retry budget) and ``worker_restarts``
+        (worker processes replaced by the parallel backend's supervisor;
+        always 0 on the local backend)."""
+        stats: dict[str, object] = {
             name: {
                 "emitted": self._component_emitted[name],
                 "processed": self._component_processed[name],
             }
             for name in self.topology.components
         }
+        stats["dead_letters"] = (
+            self.dead_letters.total if self.dead_letters is not None else 0
+        )
+        stats["worker_restarts"] = self.worker_restarts
+        return stats
 
 
 class LocalCluster(ClusterBase):

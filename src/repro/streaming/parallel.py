@@ -23,16 +23,35 @@ the emissions back.  Three properties keep runs exact and replayable:
   re-injects them deterministically before the next source tuple enters
   the topology — per-window results are byte-identical to the local
   backend.
-* **Failure propagation.**  Worker-side processing follows the same
-  retry budget as the base; a tuple that exhausts it — or a worker
-  process that dies — surfaces as
-  :class:`~repro.exceptions.TupleProcessingError` in the parent rather
-  than a hang.
+* **Failure containment.**  Worker-side processing follows the same
+  retry budget as the base; a tuple that exhausts it is quarantined on
+  the configured :class:`~repro.streaming.recovery.DeadLetterQueue` or
+  surfaces as :class:`~repro.exceptions.TupleProcessingError` (with the
+  worker index and batch sequence) in the parent rather than a hang.
+
+Crash recovery (the upstream-backup story, ``docs/fault_tolerance.md``):
+the parent journals every batch shipped to a worker since the last
+barrier — with tumbling windows, a worker's state is exactly replayable
+from that journal, so no checkpointing is needed.  Under a
+:class:`~repro.streaming.recovery.RestartPolicy`, a dead worker is
+replaced by a fresh fork (the parent's task copies are pristine — it
+never executes remote tasks itself) and its journal is re-shipped.
+Acknowledged batches are replayed for state only: their re-acks are
+*suppressed* so emissions and counters are never double-applied and
+recovered runs stay byte-identical to clean ones.  Tuples on configured
+``sticky_streams`` (cross-window control broadcasts such as partition
+versions) are retained past barriers and replayed first.  When the
+per-window restart budget runs out the run aborts with
+:class:`~repro.exceptions.WorkerCrashError` — or, with
+``degrade=True``, the dead worker's tasks are reassigned to the parent
+and executed inline for the rest of the run.
 
 Observability: each worker records into its (forked copy of the) run's
 registry; :meth:`ParallelCluster.snapshot` fetches every worker's
 snapshot and merges it with the parent's via
-:func:`repro.obs.registry.merge_snapshots`.
+:func:`repro.obs.registry.merge_snapshots` (a replacement worker's
+inherited baseline is subtracted first, see
+:func:`repro.obs.registry.subtract_snapshot`).
 
 The backend requires the ``fork`` start method (workers inherit the
 prepared task instances); it is unavailable on platforms without it.
@@ -43,17 +62,28 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import random
+import traceback
 from queue import Empty
-from time import monotonic, perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Optional, Sequence
 
-from repro.exceptions import TopologyError, TupleProcessingError
+from repro.exceptions import TopologyError, TupleProcessingError, WorkerCrashError
+from repro.faults import FaultPlan
 from repro.obs.registry import (
     MetricsRegistry,
     ObservabilitySnapshot,
     merge_snapshots,
+    subtract_snapshot,
 )
 from repro.streaming.executor import ClusterBase
+from repro.streaming.recovery import (
+    DeadLetter,
+    DeadLetterQueue,
+    RestartPolicy,
+    format_dead_letter_cause,
+    truncated_repr,
+)
 from repro.streaming.topology import Topology
 from repro.streaming.tuples import StreamTuple
 
@@ -79,6 +109,10 @@ class _IdentityCodec:
 
 
 IDENTITY_CODEC = _IdentityCodec()
+
+
+class _WorkerLost(Exception):
+    """Internal: a replacement worker died while its journal was replaying."""
 
 
 class _WorkerCollector:
@@ -109,7 +143,13 @@ class _WorkerCollector:
         )
 
 
-def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -> None:
+def _worker_main(
+    cluster: "ParallelCluster",
+    worker_index: int,
+    conn,
+    results,
+    incarnation: int = 0,
+) -> None:
     """Entry point of one forked worker: serve batches until told to stop."""
     assigned = cluster._assignments[worker_index]
     registry = cluster.registry
@@ -120,6 +160,9 @@ def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -
     #: encodes worker->parent emissions (shared, stateless base codec)
     codec = cluster._codec
     max_retries = cluster.max_retries
+    quarantine = cluster.dead_letters is not None
+    plan = cluster._fault_plan
+    faults = plan.runtime(worker_index, incarnation) if plan is not None else None
     tasks = {key: cluster._tasks[key[0]][key[1]] for key in assigned}
     collectors = {
         (component, task_index): _WorkerCollector(component, task_index, codec)
@@ -137,11 +180,17 @@ def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -
         kind = message[0]
         if kind == "batch":
             seq, entries = message[1], message[2]
+            if faults is not None:
+                exit_code = faults.kill_on_batch()
+                if exit_code is not None:
+                    os._exit(exit_code)
             emissions: list = []
             counts: dict[str, int] = {}
             failures = 0
             failed = None
-            for component, task_index, stream, source, source_task, direct, values in entries:
+            dead: list[tuple] = []
+            for entry_index, entry in enumerate(entries):
+                component, task_index, stream, source, source_task, direct, values = entry
                 tup = StreamTuple(
                     stream=stream,
                     values=link_codec.decode(stream, values),
@@ -153,8 +202,13 @@ def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -
                 collector = collectors[(component, task_index)]
                 collector.buffer = emissions
                 attempts = 0
+                quarantined = False
                 while True:
                     try:
+                        if faults is not None:
+                            faults.check_raise(
+                                component, stream, (seq, entry_index), attempts == 0
+                            )
                         if obs:
                             start = perf_counter()
                             task.process(tup, collector)
@@ -165,22 +219,61 @@ def _worker_main(cluster: "ParallelCluster", worker_index: int, conn, results) -
                     except Exception as exc:  # mirror the base retry budget
                         failures += 1
                         if attempts >= max_retries:
+                            if quarantine:
+                                cause, tb_text = format_dead_letter_cause(exc)
+                                dead.append(
+                                    (
+                                        component,
+                                        task_index,
+                                        stream,
+                                        attempts,
+                                        cause,
+                                        tb_text,
+                                        truncated_repr(tup.values),
+                                    )
+                                )
+                                quarantined = True
+                                break
                             failed = (component, task_index, attempts, exc)
                             break
                         attempts += 1
                 if failed is not None:
                     break
+                if quarantined:
+                    continue
                 counts[component] = counts.get(component, 0) + 1
             if failed is not None:
                 component, task_index, attempts, exc = failed
-                try:  # exceptions are usually picklable; fall back to repr
+                try:  # exceptions are usually picklable; fall back to text
                     pickle.dumps(exc)
                 except Exception:
-                    exc = RuntimeError(repr(exc))
-                results.put(("error", worker_index, component, task_index, attempts, exc))
+                    # the original traceback would be lost with the
+                    # process — carry its formatted text across the pipe
+                    detail = "".join(
+                        traceback.format_exception(type(exc), exc, exc.__traceback__)
+                    ) or repr(exc)
+                    exc = RuntimeError(
+                        f"unpicklable worker exception {exc!r}; "
+                        f"worker-side traceback:\n{detail}"
+                    )
+                results.put(
+                    ("error", worker_index, seq, component, task_index, attempts, exc)
+                )
                 continue  # stay alive so the parent can stop us cleanly
+            if faults is not None:
+                delay = faults.ack_delay()
+                if delay > 0:
+                    sleep(delay)
             results.put(
-                ("ack", seq, worker_index, tuple(counts.items()), failures, tuple(emissions))
+                (
+                    "ack",
+                    seq,
+                    worker_index,
+                    tuple(counts.items()),
+                    failures,
+                    tuple(emissions),
+                    tuple(dead),
+                )
             )
         elif kind == "snapshot":
             results.put(("snapshot", worker_index, registry.snapshot().as_dict()))
@@ -204,6 +297,14 @@ class _WorkerHandle:
         "said_bye",
         "snapshot",
         "awaiting_snapshot",
+        "journal",
+        "sticky",
+        "sticky_mark",
+        "suppress",
+        "restarts_in_window",
+        "incarnation",
+        "degraded",
+        "fork_baseline",
     )
 
     def __init__(self, index: int, assigned: list[tuple[str, int]]):
@@ -212,11 +313,26 @@ class _WorkerHandle:
         self.process = None
         self.conn = None
         self.pending: set[int] = set()
+        #: raw (component, task_index, StreamTuple) entries not yet shipped
         self.buffer: list = []
         self.buffer_since = 0.0
         self.said_bye = False
         self.snapshot: Optional[dict] = None
         self.awaiting_snapshot = False
+        #: upstream backup: batch seq -> raw entries, everything shipped
+        #: since the last barrier (cleared at window end)
+        self.journal: dict[int, list] = {}
+        #: cross-window control entries (sticky streams), never cleared
+        self.sticky: list = []
+        #: prefix of ``sticky`` shipped before the current window began
+        self.sticky_mark = 0
+        #: replayed batch seqs whose re-acks must be dropped (their
+        #: original acks were already applied)
+        self.suppress: set[int] = set()
+        self.restarts_in_window = 0
+        self.incarnation = 0
+        self.degraded = False
+        self.fork_baseline: Optional[ObservabilitySnapshot] = None
 
 
 class ParallelCluster(ClusterBase):
@@ -230,7 +346,24 @@ class ParallelCluster(ClusterBase):
     barrier_streams:
         Streams acting as flush barriers: after shipping a tuple on one
         of these, the parent synchronizes with all workers at the next
-        queue-idle point (see module docstring).
+        queue-idle point (see module docstring).  Each completed barrier
+        is a *window boundary*: batch journals are cleared and restart
+        budgets reset.
+    sticky_streams:
+        Streams whose tuples carry cross-window control state (e.g.
+        partition-set broadcasts).  They are retained past barriers and
+        replayed into a replacement worker before its window journal, so
+        restarted workers see the control decisions made in earlier
+        windows.
+    restart_policy:
+        Enables worker supervision: a dead worker is replaced (bounded
+        restarts per window, exponential backoff with seeded jitter) and
+        its journal replayed.  On budget exhaustion the run aborts with
+        :class:`~repro.exceptions.WorkerCrashError`, or — with
+        ``degrade=True`` — the worker's tasks move into the parent and
+        run inline.  Without a policy, any worker death raises
+        :class:`~repro.exceptions.TupleProcessingError` (the pre-existing
+        fail-fast behavior).
     n_workers:
         Worker process count; defaults to
         ``min(#remote tasks, os.cpu_count())``.
@@ -247,7 +380,14 @@ class ParallelCluster(ClusterBase):
         parent-side encoding and worker-side decoding of that link then
         share (initially identical) state, which lets stateful codecs
         dictionary-compress repeated payloads over the link's FIFO pipe.
+        A replacement worker gets a fresh link codec (again created
+        before its fork), and its journal is re-encoded from the raw
+        tuples — so replay never depends on the dead link's state.
         Worker->parent emissions always use the shared base codec.
+    dead_letters / fault_plan:
+        As on :class:`~repro.streaming.executor.ClusterBase`; both are
+        honored inside worker processes (quarantined tuples travel back
+        with the batch ack, fault rules run in the worker loop).
     """
 
     def __init__(
@@ -259,14 +399,25 @@ class ParallelCluster(ClusterBase):
         *,
         remote_components: Sequence[str] = (),
         barrier_streams: Sequence[str] = (),
+        sticky_streams: Sequence[str] = (),
+        restart_policy: Optional[RestartPolicy] = None,
         n_workers: Optional[int] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         linger_s: float = DEFAULT_LINGER_S,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
         codec=None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
-        super().__init__(topology, max_tuples, max_retries, registry)
+        super().__init__(
+            topology,
+            max_tuples,
+            max_retries,
+            registry,
+            dead_letters=dead_letters,
+            fault_plan=fault_plan,
+        )
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - platform dependent
@@ -280,11 +431,16 @@ class ParallelCluster(ClusterBase):
             raise TopologyError(f"max_inflight must be >= 1, got {max_inflight}")
         self._remote_components = tuple(remote_components)
         self._barrier_streams = frozenset(barrier_streams)
+        self._sticky_streams = frozenset(sticky_streams)
+        self._restart_policy = restart_policy
+        self._rng = random.Random(restart_policy.seed if restart_policy else 0)
         self._batch_size = batch_size
         self._linger_s = linger_s
         self._max_inflight = max_inflight
         self._barrier_timeout_s = barrier_timeout_s
         self._codec = codec if codec is not None else IDENTITY_CODEC
+        #: dead workers whose tasks now execute inline in the parent
+        self.degraded_workers = 0
         remote_tasks: list[tuple[str, int]] = []
         for name in self._remote_components:
             spec = topology.components.get(name)
@@ -330,6 +486,22 @@ class ParallelCluster(ClusterBase):
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """Fork one worker process for ``handle`` over a fresh pipe."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self, handle.index, child_conn, self._results, handle.incarnation),
+            daemon=True,
+            name=f"repro-joiner-worker-{handle.index}.{handle.incarnation}",
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.said_bye = False
+        handle.snapshot = None
+
     def _ensure_started(self) -> None:
         if self._started or not self._workers:
             return
@@ -340,26 +512,26 @@ class ParallelCluster(ClusterBase):
         # snapshots back never double-counts parent-side activity.
         self._results = self._ctx.Queue()
         for handle in self._workers:
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(self, handle.index, child_conn, self._results),
-                daemon=True,
-                name=f"repro-joiner-worker-{handle.index}",
-            )
-            process.start()
-            child_conn.close()
-            handle.process = process
-            handle.conn = parent_conn
+            self._spawn(handle)
         self._started = True
 
     def run(self) -> None:
         self._ensure_started()
-        super().run()
+        try:
+            super().run()
+        except Exception:
+            # a mid-run failure must not leak forked processes and open
+            # pipes — only context-manager users would otherwise clean up
+            self.close()
+            raise
 
     def pump(self) -> None:
         self._ensure_started()
-        super().pump()
+        try:
+            super().pump()
+        except Exception:
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     # Delivery / batching
@@ -371,7 +543,17 @@ class ParallelCluster(ClusterBase):
             return
         if not handle.buffer:
             handle.buffer_since = monotonic()
-        handle.buffer.append(
+        # buffered raw: encoding happens at flush time, so a journal
+        # replay can re-encode with a replacement link's fresh codec
+        handle.buffer.append((component, task_index, tup))
+        if tup.stream in self._barrier_streams:
+            self._barrier_pending = True
+        if len(handle.buffer) >= self._batch_size:
+            self._flush(handle)
+
+    def _encode_batch(self, handle: _WorkerHandle, raw: list) -> list:
+        encode = self._link_codecs[handle.index].encode
+        return [
             (
                 component,
                 task_index,
@@ -379,16 +561,13 @@ class ParallelCluster(ClusterBase):
                 tup.source,
                 tup.source_task,
                 tup.direct_task,
-                self._link_codecs[handle.index].encode(tup.stream, tup.values),
+                encode(tup.stream, tup.values),
             )
-        )
-        if tup.stream in self._barrier_streams:
-            self._barrier_pending = True
-        if len(handle.buffer) >= self._batch_size:
-            self._flush(handle)
+            for component, task_index, tup in raw
+        ]
 
     def _flush(self, handle: _WorkerHandle) -> None:
-        if not handle.buffer:
+        if not handle.buffer or handle.degraded:
             return
         if not self._started:
             raise TopologyError(
@@ -396,9 +575,22 @@ class ParallelCluster(ClusterBase):
             )
         self._batch_seq += 1
         seq = self._batch_seq
-        handle.pending.add(seq)
-        handle.conn.send(("batch", seq, handle.buffer))
+        raw = handle.buffer
         handle.buffer = []
+        handle.journal[seq] = raw
+        if self._sticky_streams:
+            handle.sticky.extend(
+                entry for entry in raw if entry[2].stream in self._sticky_streams
+            )
+        handle.pending.add(seq)
+        try:
+            handle.conn.send(("batch", seq, self._encode_batch(handle, raw)))
+        except (BrokenPipeError, EOFError, OSError):
+            # the worker died while idle; recovery replays the journal
+            # (which already holds this batch) or degrades it to inline
+            self._on_worker_failure(handle)
+            if handle.degraded:
+                return
         deadline = monotonic() + self._barrier_timeout_s
         while len(handle.pending) >= self._max_inflight:  # backpressure
             self._poll_results(timeout=0.05)
@@ -415,6 +607,7 @@ class ParallelCluster(ClusterBase):
             self._flush_all()
             self._await_all_acks()
             self._barrier_pending = False
+            self._window_boundary()
             return self._release_emissions()
         now = monotonic()
         for handle in self._workers:
@@ -432,11 +625,22 @@ class ParallelCluster(ClusterBase):
         while True:
             self._flush_all()
             self._await_all_acks()
+            self._window_boundary()
             if self._release_emissions():
                 self._drain()
                 continue
             if not self._queue and not any(h.buffer for h in self._workers):
                 break
+
+    def _window_boundary(self) -> None:
+        """All batches acked at a barrier: the journals have served their
+        purpose (worker state tumbles with the window), restart budgets
+        reset, and sticky entries recorded so far become history that a
+        future replacement must replay before its window journal."""
+        for handle in self._workers:
+            handle.journal.clear()
+            handle.sticky_mark = len(handle.sticky)
+            handle.restarts_in_window = 0
 
     # ------------------------------------------------------------------
     # Result collection
@@ -468,9 +672,16 @@ class ParallelCluster(ClusterBase):
     def _handle_message(self, message: tuple) -> None:
         kind = message[0]
         if kind == "ack":
-            _, seq, worker_index, counts, failures, emissions = message
+            _, seq, worker_index, counts, failures, emissions, dead = message
             handle = self._workers[worker_index]
             handle.pending.discard(seq)
+            if seq in handle.suppress:
+                # a replayed batch that was already acknowledged by the
+                # dead incarnation: it rebuilt worker state, but its
+                # effects (emissions, counters, dead letters) were
+                # applied with the original ack — drop them
+                handle.suppress.discard(seq)
+                return
             self.failures += failures
             for component, n in counts:
                 self.processed += n
@@ -478,9 +689,32 @@ class ParallelCluster(ClusterBase):
                 if self._obs:
                     self._proc_counters[component].inc(n)
             self._stash[seq] = emissions
+            for component, task_index, stream, attempts, cause, tb_text, values in dead:
+                self._record_dead_letter(
+                    DeadLetter(
+                        component=component,
+                        task_index=task_index,
+                        stream=stream,
+                        attempts=attempts,
+                        cause=cause,
+                        traceback=tb_text,
+                        values_repr=values,
+                        worker=worker_index,
+                        batch_seq=seq,
+                    )
+                )
         elif kind == "error":
-            _, worker_index, component, task_index, retries, cause = message
-            raise TupleProcessingError(component, task_index, retries, cause)
+            _, worker_index, seq, component, task_index, retries, cause = message
+            # the batch died with the tuple — it will never be acked
+            self._workers[worker_index].pending.discard(seq)
+            raise TupleProcessingError(
+                component,
+                task_index,
+                retries,
+                cause,
+                worker=worker_index,
+                batch_seq=seq,
+            )
         elif kind == "snapshot":
             _, worker_index, data = message
             handle = self._workers[worker_index]
@@ -491,23 +725,227 @@ class ParallelCluster(ClusterBase):
 
     def _check_workers(self, deadline: float) -> None:
         for handle in self._workers:
-            if handle.pending and not handle.process.is_alive():
-                component, task_index = handle.assigned[0]
-                raise TupleProcessingError(
-                    component,
-                    task_index,
-                    0,
-                    RuntimeError(
-                        f"worker {handle.index} died with exit code "
-                        f"{handle.process.exitcode} and "
-                        f"{len(handle.pending)} batch(es) in flight"
-                    ),
-                )
+            if handle.degraded or handle.process is None or handle.said_bye:
+                continue
+            if handle.process.is_alive():
+                continue
+            if handle.pending or self._restart_policy is not None:
+                self._on_worker_failure(handle)
         if monotonic() > deadline:
             raise TopologyError(
                 f"parallel barrier timed out after {self._barrier_timeout_s:.0f}s "
                 f"({sum(len(h.pending) for h in self._workers)} batches in flight)"
             )
+
+    # ------------------------------------------------------------------
+    # Supervision and recovery
+    # ------------------------------------------------------------------
+    def _on_worker_failure(self, handle: _WorkerHandle) -> None:
+        """A worker process died: restart and replay, degrade, or abort."""
+        # collect whatever the worker managed to say before dying — any
+        # ack drained here shrinks the replay's pending set
+        self._poll_results(timeout=0.0)
+        exit_code = handle.process.exitcode if handle.process is not None else None
+        policy = self._restart_policy
+        if policy is None:
+            component, task_index = handle.assigned[0]
+            raise TupleProcessingError(
+                component,
+                task_index,
+                0,
+                RuntimeError(
+                    f"worker {handle.index} died with exit code {exit_code} "
+                    f"and {len(handle.pending)} batch(es) in flight"
+                ),
+                worker=handle.index,
+            )
+        while True:
+            if handle.restarts_in_window >= policy.max_restarts_per_window:
+                if policy.degrade:
+                    self._degrade(handle)
+                    return
+                raise WorkerCrashError(
+                    handle.index, exit_code, handle.restarts_in_window
+                )
+            attempt = handle.restarts_in_window
+            handle.restarts_in_window += 1
+            self.worker_restarts += 1
+            if self._obs:
+                self.registry.counter("executor.worker_restarts").inc()
+            delay = policy.delay(attempt, self._rng)
+            if delay > 0:
+                sleep(delay)
+            self._respawn(handle)
+            try:
+                self._replay(handle)
+                return
+            except _WorkerLost:
+                exit_code = handle.process.exitcode
+                continue
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        if handle.process is not None:
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Fork a replacement worker with a fresh link codec."""
+        self._reap(handle)
+        link_factory = getattr(self._codec, "link_codec", None)
+        if link_factory is not None:
+            self._link_codecs[handle.index] = link_factory()
+        handle.incarnation += 1
+        if self.registry.enabled:
+            # a mid-run fork inherits everything the parent registry has
+            # recorded so far; remember it so snapshot() can subtract it
+            handle.fork_baseline = self.registry.snapshot()
+        self._spawn(handle)
+
+    def _replay_send(self, handle: _WorkerHandle, seq: int, raw: list) -> None:
+        try:
+            handle.conn.send(("batch", seq, self._encode_batch(handle, raw)))
+        except (BrokenPipeError, EOFError, OSError):
+            raise _WorkerLost from None
+
+    def _replay(self, handle: _WorkerHandle) -> None:
+        """Re-ship sticky history plus the window journal to a fresh fork.
+
+        Batch seqs are preserved so the bookkeeping (pending set, stash)
+        lines up; seqs that were already acknowledged are marked for
+        suppression — their re-acks rebuild nothing parent-side.
+        """
+        sticky = handle.sticky[: handle.sticky_mark]
+        if sticky:
+            self._batch_seq += 1
+            seq = self._batch_seq
+            handle.pending.add(seq)
+            handle.suppress.add(seq)
+            try:
+                self._replay_send(handle, seq, sticky)
+            except _WorkerLost:
+                handle.pending.discard(seq)
+                handle.suppress.discard(seq)
+                raise
+        for seq in sorted(handle.journal):
+            if seq not in handle.pending:  # already acked: state-only replay
+                handle.pending.add(seq)
+                handle.suppress.add(seq)
+            self._replay_send(handle, seq, handle.journal[seq])
+
+    def _degrade(self, handle: _WorkerHandle) -> None:
+        """Reassign a dead worker's tasks to the parent, inline.
+
+        The parent's copies of the remote task instances are pristine —
+        it prepared them but never executes them — so they are rebuilt
+        to the dead worker's window state by replaying sticky history
+        and the window journal directly, with the same ack-suppression
+        rule: entries of already-acknowledged batches mutate task state
+        but their emissions, counters and dead letters are dropped.
+        From here on, placement falls through to the local FIFO.
+        """
+        self._reap(handle)
+        handle.process = None
+        handle.conn = None
+        handle.degraded = True
+        self.degraded_workers += 1
+        if self._obs:
+            self.registry.counter("executor.degraded_workers").inc()
+        for key in handle.assigned:
+            self._placement.pop(key, None)
+        handle.incarnation += 1
+        plan = self._fault_plan
+        faults = (
+            plan.runtime(handle.index, handle.incarnation) if plan is not None else None
+        )
+        for entry_index, (component, task_index, tup) in enumerate(
+            handle.sticky[: handle.sticky_mark]
+        ):
+            self._replay_inline(
+                handle, component, task_index, tup,
+                emissions=None, faults=faults,
+                key=("sticky", entry_index), batch_seq=None,
+            )
+        for seq in sorted(handle.journal):
+            acked = seq not in handle.pending
+            emissions: Optional[list] = None if acked else []
+            for entry_index, (component, task_index, tup) in enumerate(
+                handle.journal[seq]
+            ):
+                self._replay_inline(
+                    handle, component, task_index, tup,
+                    emissions=emissions, faults=faults,
+                    key=(seq, entry_index), batch_seq=seq,
+                )
+            if not acked:
+                self._stash[seq] = tuple(emissions or ())
+                handle.pending.discard(seq)
+        handle.journal.clear()
+        handle.suppress.clear()
+        # unsent buffered tuples simply fall through to the local FIFO
+        raw, handle.buffer = handle.buffer, []
+        for component, task_index, tup in raw:
+            ClusterBase._deliver(self, component, task_index, tup)
+
+    def _replay_inline(
+        self,
+        handle: _WorkerHandle,
+        component: str,
+        task_index: int,
+        tup: StreamTuple,
+        *,
+        emissions: Optional[list],
+        faults,
+        key,
+        batch_seq: Optional[int],
+    ) -> None:
+        """Process one journaled entry in the parent during degradation.
+
+        ``emissions=None`` marks a suppressed entry (sticky history or an
+        already-acknowledged batch): task state advances, everything else
+        is dropped.  Otherwise emissions are buffered in the worker ack
+        shape so :meth:`_release_emissions` treats them uniformly.
+        """
+        suppressed = emissions is None
+        task = self._tasks[component][task_index]
+        collector = _WorkerCollector(component, task_index, self._codec)
+        collector.buffer = [] if suppressed else emissions
+        attempts = 0
+        while True:
+            try:
+                if faults is not None:
+                    faults.check_raise(component, tup.stream, key, attempts == 0)
+                task.process(tup, collector)
+                break
+            except Exception as exc:
+                if not suppressed:
+                    self.failures += 1
+                if attempts >= self.max_retries:
+                    if suppressed:
+                        # the original ack already accounted this outcome
+                        return
+                    if self.dead_letters is not None:
+                        self._quarantine(
+                            component, task_index, tup, attempts, exc,
+                            worker=handle.index, batch_seq=batch_seq,
+                        )
+                        return
+                    raise TupleProcessingError(
+                        component, task_index, attempts, exc,
+                        worker=handle.index, batch_seq=batch_seq,
+                    ) from exc
+                attempts += 1
+        if not suppressed:
+            self.processed += 1
+            self._component_processed[component] += 1
+            if self._obs:
+                self._proc_counters[component].inc()
 
     def _release_emissions(self) -> bool:
         """Re-inject stashed remote emissions, in global batch order."""
@@ -556,11 +994,16 @@ class ParallelCluster(ClusterBase):
             self._poll_results(timeout=0.05)
             if monotonic() > deadline:
                 raise TopologyError("timed out collecting worker snapshots")
-        worker_snaps = [
-            ObservabilitySnapshot.from_dict(h.snapshot)
-            for h in self._workers
-            if h.snapshot is not None
-        ]
+        worker_snaps = []
+        for handle in self._workers:
+            if handle.snapshot is None:
+                continue
+            snap = ObservabilitySnapshot.from_dict(handle.snapshot)
+            if handle.fork_baseline is not None:
+                # a replacement forked mid-run: remove the parent-side
+                # activity it inherited at fork time
+                snap = subtract_snapshot(snap, handle.fork_baseline)
+            worker_snaps.append(snap)
         merged = merge_snapshots(self.registry.snapshot(), *worker_snaps)
         self._merged_snapshot = merged
         return merged
@@ -572,12 +1015,14 @@ class ParallelCluster(ClusterBase):
             return
         self._closed = True
         for handle in self._workers:
-            if handle.process.is_alive():
+            if handle.process is not None and handle.process.is_alive():
                 try:
                     handle.conn.send(("stop",))
                 except (BrokenPipeError, OSError):
                     pass
         for handle in self._workers:
+            if handle.process is None:
+                continue
             handle.process.join(timeout=5.0)
             if handle.process.is_alive():  # pragma: no cover - stuck worker
                 handle.process.terminate()

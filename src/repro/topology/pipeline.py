@@ -7,6 +7,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.document import Document
 from repro.exceptions import PartitioningError
+from repro.faults import FaultPlan
 from repro.join.base import JoinPair
 from repro.metrics.report import ExperimentSummary, WindowMetrics, aggregate_metrics
 from repro.obs.registry import (
@@ -22,6 +23,12 @@ from repro.partitioning.hashing import HashPartitioner
 from repro.partitioning.setcover import SetCoverPartitioner
 from repro.streaming.executor import ClusterBase, LocalCluster
 from repro.streaming.parallel import ParallelCluster
+from repro.streaming.recovery import (
+    DEFAULT_DEAD_LETTER_LIMIT,
+    DeadLetter,
+    DeadLetterQueue,
+    RestartPolicy,
+)
 from repro.streaming.grouping import (
     AllGrouping,
     DirectGrouping,
@@ -88,6 +95,21 @@ class StreamJoinConfig:
     #: worker process count for the parallel backend; None -> one per
     #: core, capped at the Joiner task count
     parallel_workers: Optional[int] = None
+    #: redeliveries of a failing tuple before it is considered poisoned
+    max_retries: int = 0
+    #: True -> quarantine poisoned tuples on a
+    #: :class:`~repro.streaming.recovery.DeadLetterQueue` (recorded on the
+    #: result) instead of aborting the run
+    dead_letters: bool = False
+    #: retained-entry bound of the dead-letter queue (the count in
+    #: ``tuple_stats["dead_letters"]`` is never truncated)
+    dead_letter_limit: Optional[int] = DEFAULT_DEAD_LETTER_LIMIT
+    #: worker supervision for the parallel backend: replace dead Joiner
+    #: workers and replay the window journal (``docs/fault_tolerance.md``)
+    restart_policy: Optional[RestartPolicy] = None
+    #: deterministic fault injection (testing/chaos only); rules run
+    #: inside the executors, see :mod:`repro.faults`
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in PARTITIONERS:
@@ -101,6 +123,10 @@ class StreamJoinConfig:
             raise PartitioningError(
                 f"unknown backend {self.backend!r}; choose from {sorted(BACKENDS)}"
             )
+        if self.max_retries < 0:
+            raise PartitioningError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
 
 
 @dataclass
@@ -111,9 +137,13 @@ class StreamJoinResult:
     per_window: list[WindowMetrics]
     repartition_windows: list[int]
     join_pairs: frozenset[JoinPair] = field(default_factory=frozenset)
-    tuple_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    tuple_stats: dict[str, object] = field(default_factory=dict)
     #: populated iff the run had ``config.observability`` on
     observability: Optional[ObservabilitySnapshot] = None
+    #: quarantined tuples, iff the run had ``config.dead_letters`` on
+    #: (bounded by ``config.dead_letter_limit``; the full count is in
+    #: ``tuple_stats["dead_letters"]``)
+    dead_letters: tuple[DeadLetter, ...] = ()
 
     def summary(self, include_bootstrap: bool = False) -> ExperimentSummary:
         """Average metrics, excluding the bootstrap window by default.
@@ -252,16 +282,35 @@ def make_cluster(
     the flush barrier so per-window results match the local backend
     byte for byte.
     """
+    dlq = (
+        DeadLetterQueue(limit=config.dead_letter_limit)
+        if config.dead_letters
+        else None
+    )
     if config.backend == "parallel":
         return ParallelCluster(
             topology,
+            max_retries=config.max_retries,
             registry=registry,
             remote_components=(msg.JOINER,),
             barrier_streams=(msg.WINDOW_DONE,),
+            # partition broadcasts carry cross-window control state (the
+            # attribute order Joiners key their trees on) — a replacement
+            # worker must see them before the window journal
+            sticky_streams=(msg.PARTITIONS,),
+            restart_policy=config.restart_policy,
             n_workers=config.parallel_workers,
             codec=wire_codec(),
+            dead_letters=dlq,
+            fault_plan=config.fault_plan,
         )
-    return LocalCluster(topology, registry=registry)
+    return LocalCluster(
+        topology,
+        max_retries=config.max_retries,
+        registry=registry,
+        dead_letters=dlq,
+        fault_plan=config.fault_plan,
+    )
 
 
 def _execute(config: StreamJoinConfig, topology: Topology) -> StreamJoinResult:
@@ -287,6 +336,11 @@ def _execute(config: StreamJoinConfig, topology: Topology) -> StreamJoinResult:
             join_pairs=frozenset(sink.join_pairs),
             tuple_stats=cluster.stats(),
             observability=cluster.snapshot() if config.observability else None,
+            dead_letters=(
+                cluster.dead_letters.entries
+                if cluster.dead_letters is not None
+                else ()
+            ),
         )
     finally:
         cluster.close()

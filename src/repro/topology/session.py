@@ -121,6 +121,11 @@ class StreamJoinSession:
             observability=(
                 self._cluster.snapshot() if self.config.observability else None
             ),
+            dead_letters=(
+                self._cluster.dead_letters.entries
+                if self._cluster.dead_letters is not None
+                else ()
+            ),
         )
         self._cluster.close()
         return result

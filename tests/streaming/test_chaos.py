@@ -1,0 +1,321 @@
+"""Seeded chaos suite: recovery must not change results.
+
+Every case injects deterministic faults through :mod:`repro.faults`
+(worker kills, poison tuples, delayed acks) and asserts the recovered
+run's output against a clean reference run.  All cases fork worker
+processes and carry the ``chaos`` marker; run them via
+``make test-chaos`` (or ``pytest -m chaos``).
+"""
+
+import pytest
+
+from repro.core.document import Document
+from repro.data.serverlogs import ServerLogGenerator
+from repro.exceptions import WorkerCrashError
+from repro.faults import FaultPlan
+from repro.streaming.component import Bolt, Spout
+from repro.streaming.executor import LocalCluster
+from repro.streaming.grouping import AllGrouping, FieldsGrouping, GlobalGrouping
+from repro.streaming.parallel import ParallelCluster
+from repro.streaming.recovery import DeadLetterQueue, RestartPolicy
+from repro.streaming.topology import TopologyBuilder
+from repro.topology import messages as msg
+from repro.topology.pipeline import StreamJoinConfig, run_stream_join
+
+pytestmark = pytest.mark.chaos
+
+#: zero-backoff policy so restart loops do not slow the suite down
+FAST_RESTART = RestartPolicy(
+    max_restarts_per_window=3, backoff_base_s=0.0, jitter=0.0
+)
+
+
+# ----------------------------------------------------------------------
+# Synthetic topology: numbers -> squares, with a periodic barrier tick
+# ----------------------------------------------------------------------
+class TickingNumberSpout(Spout):
+    """Emits 0..n-1 with a barrier tick every ``period`` numbers."""
+
+    def __init__(self, n: int, period: int = 10):
+        self.n, self.period, self._i = n, period, 0
+
+    def next_tuple(self, collector) -> bool:
+        if self._i >= self.n:
+            return False
+        collector.emit("numbers", (self._i,))
+        self._i += 1
+        if self._i % self.period == 0:
+            collector.emit("tick", (self._i,))
+        return self._i < self.n
+
+
+class SquareBolt(Bolt):
+    def process(self, tup, collector) -> None:
+        if tup.stream == "numbers":
+            collector.emit("squares", (tup.values[0] ** 2,))
+
+
+class CollectBolt(Bolt):
+    def __init__(self):
+        self.values: list[int] = []
+
+    def process(self, tup, collector) -> None:
+        self.values.append(tup.values[0])
+
+
+def _square_topology(collector: CollectBolt, n: int = 50):
+    builder = TopologyBuilder()
+    builder.set_spout("src", lambda: TickingNumberSpout(n))
+    square = builder.set_bolt("square", SquareBolt, parallelism=2)
+    square.subscribe("src", "numbers", FieldsGrouping(key=0))
+    square.subscribe("src", "tick", AllGrouping())
+    builder.set_bolt("collect", lambda: collector).subscribe(
+        "square", "squares", GlobalGrouping()
+    )
+    return builder.build()
+
+
+def _clean_reference(n: int = 50) -> list[int]:
+    collector = CollectBolt()
+    with LocalCluster(_square_topology(collector, n)) as cluster:
+        cluster.run()
+    return sorted(collector.values)
+
+
+def _parallel(collector: CollectBolt, n: int = 50, **kwargs) -> ParallelCluster:
+    return ParallelCluster(
+        _square_topology(collector, n),
+        remote_components=("square",),
+        barrier_streams=("tick",),
+        n_workers=2,
+        batch_size=4,
+        **kwargs,
+    )
+
+
+class TestSyntheticChaos:
+    def test_restart_replays_journal_byte_identical(self):
+        clean = _clean_reference()
+        collector = CollectBolt()
+        cluster = _parallel(
+            collector,
+            restart_policy=FAST_RESTART,
+            fault_plan=FaultPlan().kill_worker(0, after_batches=1),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["worker_restarts"] == 1
+        assert stats["dead_letters"] == 0
+
+    def test_repeated_kills_within_budget(self):
+        clean = _clean_reference()
+        collector = CollectBolt()
+        plan = (
+            FaultPlan()
+            .kill_worker(0, after_batches=1, incarnation=0)
+            .kill_worker(0, after_batches=1, incarnation=1)
+        )
+        cluster = _parallel(collector, restart_policy=FAST_RESTART, fault_plan=plan)
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["worker_restarts"] == 2
+
+    def test_budget_exhaustion_without_degrade_aborts(self):
+        collector = CollectBolt()
+        cluster = _parallel(
+            collector,
+            restart_policy=RestartPolicy(
+                max_restarts_per_window=0, backoff_base_s=0.0, jitter=0.0
+            ),
+            fault_plan=FaultPlan().kill_worker(0, after_batches=1),
+        )
+        with pytest.raises(WorkerCrashError) as err:
+            cluster.run()
+        assert "restart budget" in str(err.value)
+        assert err.value.worker == 0
+        cluster.close()
+
+    def test_budget_exhaustion_degrades_to_inline(self):
+        clean = _clean_reference()
+        collector = CollectBolt()
+        cluster = _parallel(
+            collector,
+            restart_policy=RestartPolicy(
+                max_restarts_per_window=0,
+                backoff_base_s=0.0,
+                jitter=0.0,
+                degrade=True,
+            ),
+            fault_plan=FaultPlan().kill_worker(0, after_batches=1),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert cluster.degraded_workers == 1
+        assert stats["worker_restarts"] == 0
+
+    def test_worker_side_quarantine_records_dead_letters(self):
+        collector = CollectBolt()
+        dlq = DeadLetterQueue()
+        cluster = _parallel(
+            collector,
+            dead_letters=dlq,
+            fault_plan=FaultPlan().raise_in("square", nth=5, stream="numbers"),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        # one poison per worker runtime (each worker counts its own 5th)
+        assert stats["dead_letters"] == 2
+        assert len(collector.values) == 50 - 2
+        for letter in dlq:
+            assert letter.component == "square"
+            assert letter.worker is not None
+            assert letter.batch_seq is not None
+            assert "injected fault" in letter.cause
+
+    def test_sticky_poison_survives_retries(self):
+        collector = CollectBolt()
+        dlq = DeadLetterQueue()
+        cluster = _parallel(
+            collector,
+            max_retries=2,
+            dead_letters=dlq,
+            fault_plan=FaultPlan().raise_in("square", nth=3, stream="numbers"),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert stats["dead_letters"] == 2
+        for letter in dlq:
+            assert letter.attempts == 2  # the full retry budget was spent
+
+    def test_transient_fault_heals_on_retry(self):
+        clean = _clean_reference()
+        collector = CollectBolt()
+        cluster = _parallel(
+            collector,
+            max_retries=1,
+            fault_plan=FaultPlan().raise_in(
+                "square", nth=5, stream="numbers", sticky=False
+            ),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["dead_letters"] == 0
+        # one transient failure per worker runtime, both healed on retry
+        assert cluster.failures == 2
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the full Fig. 2 topology under faults
+# ----------------------------------------------------------------------
+def _windows(n_windows: int = 3, size: int = 120):
+    generator = ServerLogGenerator(seed=23)
+    return [generator.next_window(size) for _ in range(n_windows)]
+
+
+def _config(**overrides) -> StreamJoinConfig:
+    return StreamJoinConfig(
+        m=4,
+        n_creators=2,
+        n_assigners=3,
+        compute_joins=True,
+        collect_pairs=True,
+        **overrides,
+    )
+
+
+#: a document sharing no AV-pair with any generated one: it joins with
+#: nothing, so quarantining some replicas and storing others cannot
+#: change the join results
+POISON = Document({"__chaos_poison__": "boom"}, doc_id=999_983)
+
+
+class TestTopologyChaos:
+    def test_kill_plus_poison_matches_clean_local_run(self):
+        """The acceptance scenario: one worker killed mid-window plus one
+        poison document, and per-window join results still match the
+        fault-free local run byte for byte."""
+        windows = _windows()
+        clean = run_stream_join(_config(), windows)
+        # the poison document leads window 0: during bootstrap every
+        # document is broadcast, so it is deterministically the first
+        # joiner delivery in every worker and nth=1 selects it
+        poisoned = [list(windows[0]), *map(list, windows[1:])]
+        poisoned[0].insert(0, POISON)
+        plan = (
+            FaultPlan()
+            .kill_worker(0, after_batches=1)
+            .raise_in(msg.JOINER, nth=1, stream=msg.ASSIGNED)
+        )
+        faulted = run_stream_join(
+            _config(
+                backend="parallel",
+                parallel_workers=2,
+                max_retries=1,
+                dead_letters=True,
+                restart_policy=FAST_RESTART,
+                fault_plan=plan,
+            ),
+            poisoned,
+        )
+        assert [w.join_pairs for w in faulted.per_window] == [
+            w.join_pairs for w in clean.per_window
+        ]
+        assert faulted.join_pairs == clean.join_pairs
+        assert faulted.tuple_stats["worker_restarts"] >= 1
+        assert faulted.tuple_stats["dead_letters"] >= 1
+        assert faulted.dead_letters  # entries surfaced on the result
+        assert all(d.component == msg.JOINER for d in faulted.dead_letters)
+
+    def test_kill_and_restart_is_fully_byte_identical(self):
+        """Without poison, recovery must preserve *all* outputs — metrics,
+        join pairs and tuple accounting (modulo the restart counter)."""
+        windows = _windows()
+        clean = run_stream_join(_config(), windows)
+        faulted = run_stream_join(
+            _config(
+                backend="parallel",
+                parallel_workers=2,
+                restart_policy=FAST_RESTART,
+                fault_plan=FaultPlan().kill_worker(0, after_batches=1),
+            ),
+            windows,
+        )
+        assert faulted.per_window == clean.per_window
+        assert faulted.join_pairs == clean.join_pairs
+        assert faulted.repartition_windows == clean.repartition_windows
+        clean_stats = dict(clean.tuple_stats)
+        faulted_stats = dict(faulted.tuple_stats)
+        assert faulted_stats.pop("worker_restarts") >= 1
+        clean_stats.pop("worker_restarts")
+        assert faulted_stats == clean_stats
+
+    def test_degrade_preserves_results_end_to_end(self):
+        windows = _windows(n_windows=2)
+        clean = run_stream_join(_config(), windows)
+        faulted = run_stream_join(
+            _config(
+                backend="parallel",
+                parallel_workers=2,
+                restart_policy=RestartPolicy(
+                    max_restarts_per_window=0,
+                    backoff_base_s=0.0,
+                    jitter=0.0,
+                    degrade=True,
+                ),
+                fault_plan=FaultPlan().kill_worker(0, after_batches=1),
+            ),
+            windows,
+        )
+        assert faulted.per_window == clean.per_window
+        assert faulted.join_pairs == clean.join_pairs
+        assert faulted.tuple_stats["worker_restarts"] == 0

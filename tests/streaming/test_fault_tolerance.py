@@ -1,11 +1,15 @@
-"""Tests for the executor's guaranteed-delivery retry mechanism."""
+"""Tests for the executor's guaranteed-delivery retry mechanism and the
+dead-letter quarantine that caps it."""
 
 import pytest
 
 from repro.exceptions import TupleProcessingError
+from repro.faults import FaultPlan, InjectedFault
+from repro.obs.registry import MetricsRegistry
 from repro.streaming.component import Bolt, Spout
 from repro.streaming.executor import LocalCluster
 from repro.streaming.grouping import GlobalGrouping
+from repro.streaming.recovery import DeadLetterQueue
 from repro.streaming.topology import TopologyBuilder
 
 
@@ -74,6 +78,80 @@ class TestRetries:
         cluster = LocalCluster(_build(flaky), max_retries=1)
         cluster.run()
         assert cluster.processed == 5  # retries do not inflate the count
+
+    def test_dead_letter_queue_quarantines_instead_of_raising(self):
+        flaky = FlakyBolt(failures_per_tuple=5)  # outlasts any retry budget
+        dlq = DeadLetterQueue()
+        cluster = LocalCluster(_build(flaky), max_retries=2, dead_letters=dlq)
+        cluster.run()  # no raise: poisoned tuples are skipped
+        assert flaky.seen == []  # every tuple kept failing
+        assert cluster.stats()["dead_letters"] == 5
+        letter = dlq.entries[0]
+        assert letter.component == "flaky"
+        assert letter.stream == "numbers"
+        assert letter.attempts == 2
+        assert "transient failure" in letter.cause
+        assert "RuntimeError" in letter.traceback  # full worker traceback
+        assert letter.worker is None  # quarantined in the parent process
+        assert letter.values_repr == "(0,)"
+
+    def test_dead_letters_skip_only_poisoned_tuples(self):
+        flaky = FlakyBolt(failures_per_tuple=1)
+        dlq = DeadLetterQueue()
+        cluster = LocalCluster(_build(flaky), dead_letters=dlq)  # no retries
+        cluster.run()
+        # with zero retries every first delivery fails and is quarantined
+        assert cluster.stats()["dead_letters"] == 5
+        assert cluster.processed == 0
+
+    def test_dead_letter_limit_bounds_entries_not_total(self):
+        flaky = FlakyBolt(failures_per_tuple=99)
+        dlq = DeadLetterQueue(limit=2)
+        cluster = LocalCluster(_build(flaky), dead_letters=dlq)
+        cluster.run()
+        assert dlq.total == 5  # the count keeps growing
+        assert len(dlq) == 2  # only the newest entries are retained
+        assert [letter.values_repr for letter in dlq] == ["(3,)", "(4,)"]
+
+    def test_dead_letters_counter_reaches_registry(self):
+        flaky = FlakyBolt(failures_per_tuple=99)
+        registry = MetricsRegistry()
+        cluster = LocalCluster(
+            _build(flaky), dead_letters=DeadLetterQueue(), registry=registry
+        )
+        cluster.run()
+        snapshot = registry.snapshot()
+        assert snapshot.counters["executor.dead_letters{component=flaky}"] == 5
+
+
+class TestLocalFaultInjection:
+    def test_fault_plan_raises_in_local_bolt(self):
+        flaky = FlakyBolt(failures_per_tuple=0)
+        plan = FaultPlan().raise_in("flaky", nth=2, sticky=False)
+        cluster = LocalCluster(_build(flaky), fault_plan=plan)
+        with pytest.raises(TupleProcessingError) as excinfo:
+            cluster.run()
+        assert isinstance(excinfo.value.cause, InjectedFault)
+
+    def test_sticky_fault_exhausts_retries_into_quarantine(self):
+        flaky = FlakyBolt(failures_per_tuple=0)
+        dlq = DeadLetterQueue()
+        plan = FaultPlan().raise_in("flaky", nth=2)  # sticky by default
+        cluster = LocalCluster(
+            _build(flaky), max_retries=3, dead_letters=dlq, fault_plan=plan
+        )
+        cluster.run()
+        assert dlq.total == 1
+        assert dlq.entries[0].attempts == 3
+        assert flaky.seen == [0, 2, 3, 4]  # only the poison tuple is lost
+
+    def test_non_sticky_fault_heals_on_retry(self):
+        flaky = FlakyBolt(failures_per_tuple=0)
+        plan = FaultPlan().raise_in("flaky", nth=2, sticky=False)
+        cluster = LocalCluster(_build(flaky), max_retries=1, fault_plan=plan)
+        cluster.run()
+        assert flaky.seen == [0, 1, 2, 3, 4]
+        assert cluster.failures == 1
 
     def test_stream_join_survives_transient_joiner_failures(self):
         """End-to-end: a Joiner that fails sporadically still yields the

@@ -10,6 +10,7 @@ import os
 import pytest
 
 from repro.exceptions import TopologyError, TupleProcessingError
+from repro.faults import FaultPlan
 from repro.obs.registry import MetricsRegistry
 from repro.streaming.component import Bolt, Spout
 from repro.streaming.executor import LocalCluster
@@ -64,6 +65,19 @@ class DyingBolt(Bolt):
     def process(self, tup, collector) -> None:
         if tup.values[0] == 3:
             os._exit(17)
+
+
+class UnpicklableError(Exception):
+    """Carries state the pickle module refuses to serialize."""
+
+    def __init__(self):
+        super().__init__("boom")
+        self.payload = lambda: None  # lambdas do not pickle
+
+
+class UnpicklableBolt(Bolt):
+    def process(self, tup, collector) -> None:
+        raise UnpicklableError()
 
 
 def _square_topology(n: int, collector: CollectBolt, worker_cls=SquareBolt):
@@ -194,3 +208,91 @@ class TestParallelBackend:
             cluster.run()
         # every task saw every number
         assert sorted(sink.values) == sorted([i**2 for i in range(4)] * 3)
+
+
+@pytest.mark.parallel
+class TestFailureSurfacing:
+    """Worker failures must arrive in the parent with full context and
+    without leaking processes or pipes."""
+
+    def test_error_carries_worker_and_batch_context(self):
+        cluster = ParallelCluster(
+            _square_topology(5, CollectBolt(), worker_cls=ExplodingBolt),
+            remote_components=("square",),
+            n_workers=2,
+            batch_size=1,
+        )
+        try:
+            with pytest.raises(TupleProcessingError) as excinfo:
+                cluster.run()
+            err = excinfo.value
+            assert err.worker is not None
+            assert err.batch_seq is not None
+            assert f"worker {err.worker}" in str(err)
+            assert f"batch seq {err.batch_seq}" in str(err)
+        finally:
+            cluster.close()
+
+    def test_unpicklable_cause_preserves_worker_traceback(self):
+        cluster = ParallelCluster(
+            _square_topology(5, CollectBolt(), worker_cls=UnpicklableBolt),
+            remote_components=("square",),
+            n_workers=2,
+        )
+        try:
+            with pytest.raises(TupleProcessingError) as excinfo:
+                cluster.run()
+            cause = excinfo.value.cause
+            assert isinstance(cause, RuntimeError)
+            text = str(cause)
+            assert "unpicklable worker exception" in text
+            assert "worker-side traceback" in text
+            # the original raise site survives the process boundary
+            assert "UnpicklableError" in text
+            assert "in process" in text
+        finally:
+            cluster.close()
+
+    def test_failed_run_leaves_no_live_workers(self):
+        cluster = ParallelCluster(
+            _square_topology(5, CollectBolt(), worker_cls=ExplodingBolt),
+            remote_components=("square",),
+            n_workers=2,
+        )
+        with pytest.raises(TupleProcessingError):
+            cluster.run()
+        # run() closed the cluster on the way out — nothing left running
+        assert all(
+            h.process is None or not h.process.is_alive()
+            for h in cluster._workers
+        )
+
+    def test_barrier_timeout_raises_topology_error(self):
+        cluster = ParallelCluster(
+            _square_topology(4, CollectBolt()),
+            remote_components=("square",),
+            barrier_streams=("numbers",),
+            n_workers=2,
+            batch_size=1,
+            barrier_timeout_s=0.2,
+            fault_plan=FaultPlan().delay_acks(0, seconds=1.0),
+        )
+        with pytest.raises(TopologyError, match="timed out"):
+            cluster.run()
+        cluster.close()
+
+    def test_close_is_idempotent_after_worker_death(self):
+        cluster = ParallelCluster(
+            _square_topology(8, CollectBolt(), worker_cls=DyingBolt),
+            remote_components=("square",),
+            n_workers=2,
+            batch_size=1,
+        )
+        with pytest.raises(TupleProcessingError):
+            cluster.run()
+        cluster.close()  # already closed by run(); must not raise
+        cluster.close()
+        assert all(
+            h.process is None or not h.process.is_alive()
+            for h in cluster._workers
+        )
