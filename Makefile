@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos verify bench bench-smoke bench-scaling bench-hotpath bench-check figures report examples clean
+.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-check figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,16 +12,25 @@ install:
 test: bench-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
+# socket legs of the backend matrix carry both markers and run under
+# test-distributed only
 test-parallel:
-	PYTHONPATH=src $(PYTHON) -m pytest -m parallel
+	PYTHONPATH=src $(PYTHON) -m pytest -m 'parallel and not distributed'
 
 # seeded fault-injection suite (worker kills, poison tuples, delayed
 # acks); the coreutils timeout is a hard stop should recovery ever hang
 test-chaos:
 	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m chaos
 
-# the full pre-merge gate: tier-1, the forked backend suite, and chaos
-verify: test test-parallel test-chaos
+# socket-transport suite (worker subprocesses over TCP, including the
+# chaos-over-socket acceptance scenario); the suite itself gates on no
+# orphaned `repro.worker` processes surviving it
+test-distributed:
+	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m distributed
+
+# the full pre-merge gate: tier-1, the forked backend suite, chaos,
+# and the socket-transport suite
+verify: test test-parallel test-chaos test-distributed
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -37,6 +37,40 @@ from repro.experiments.runner import run_experiment, save_rows
 from repro.experiments.timing import fig11_join_times, time_join
 from repro.metrics.report import format_table
 
+def _workers_argument(value: str):
+    """``--workers`` value: a count, or comma-separated host:port list."""
+    text = value.strip()
+    if ":" in text or "," in text:
+        addresses = tuple(part.strip() for part in text.split(",") if part.strip())
+        if not addresses:
+            raise argparse.ArgumentTypeError("empty worker address list")
+        return addresses
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers takes a count or host:port addresses, got {value!r}"
+        ) from None
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser, help_suffix: str) -> None:
+    parser.add_argument(
+        "--backend", choices=("local", "parallel"), default="local",
+        help=f"execution backend: {help_suffix}",
+    )
+    parser.add_argument(
+        "--transport", choices=("pipe", "socket"), default="pipe",
+        help="worker transport for --backend parallel: forked processes "
+             "over pipes, or python -m repro.worker subprocesses over TCP",
+    )
+    parser.add_argument(
+        "--workers", type=_workers_argument, default=None,
+        help="worker count for --backend parallel (default: one per core), "
+             "or a comma-separated host:port list with --transport socket "
+             "(tcp://host:port attaches to a pre-started worker)",
+    )
+
+
 FIGURES = {
     "fig6": ("Fig. 6 — replication (avg)", fig.fig06_replication),
     "fig7": ("Fig. 7 — load balance (Gini)", fig.fig07_load_balance),
@@ -74,14 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--delta", type=int, default=3)
     topo.add_argument("--seed", type=int, default=7)
     topo.add_argument("--joins", action="store_true", help="also compute the joins")
-    topo.add_argument(
-        "--backend", choices=("local", "parallel"), default="local",
-        help="execution backend: inline single-process or Joiners in "
-             "forked worker processes",
-    )
-    topo.add_argument(
-        "--workers", type=int, default=None,
-        help="worker process count for --backend parallel (default: one per core)",
+    _add_backend_arguments(
+        topo, "inline single-process or Joiners in worker processes"
     )
     topo.add_argument(
         "--max-retries", type=int, default=0,
@@ -118,10 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--algorithm", choices=("AG", "SC", "DS", "HASH", "KL"),
                         default="AG")
     ingest.add_argument("--joins", action="store_true", help="also compute joins")
-    ingest.add_argument(
-        "--backend", choices=("local", "parallel"), default="local",
-        help="execution backend for the session's cluster",
-    )
+    _add_backend_arguments(ingest, "the session's cluster")
     ingest.add_argument(
         "--max-retries", type=int, default=0,
         help="redeliveries of a failing tuple before it counts as poisoned",
@@ -151,10 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="dump the snapshot as JSON"
     )
     stats.add_argument("--out", default=None, help="write the output to a file")
-    stats.add_argument(
-        "--backend", choices=("local", "parallel"), default="local",
-        help="execution backend (parallel merges per-worker snapshots)",
-    )
+    _add_backend_arguments(stats, "parallel merges per-worker snapshots")
     return parser
 
 
@@ -200,7 +222,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         seed=args.seed,
         compute_joins=args.joins,
         backend=args.backend,
-        parallel_workers=args.workers,
+        transport=args.transport,
+        workers=args.workers,
         max_retries=args.max_retries,
         dead_letters=args.dead_letters,
     )
@@ -327,6 +350,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         StreamJoinConfig(
             m=args.machines, algorithm=args.algorithm,
             compute_joins=args.joins, backend=args.backend,
+            transport=args.transport, workers=args.workers,
             max_retries=args.max_retries, dead_letters=args.dead_letters,
         )
     )
@@ -373,6 +397,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         compute_joins=True,
         observability=True,
         backend=args.backend,
+        transport=args.transport,
+        workers=args.workers,
     )
     snapshot = result.observability
     assert snapshot is not None

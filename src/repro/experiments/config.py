@@ -12,6 +12,7 @@ multiplier) for full-scale runs.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 
 from repro.data.base import DatasetGenerator
@@ -71,6 +72,12 @@ class ExperimentConfig:
     #: execution backend ("local" | "parallel"), passed through to
     #: :class:`~repro.topology.pipeline.StreamJoinConfig`
     backend: str = "local"
+    #: worker transport of the parallel backend ("pipe" | "socket")
+    transport: str = "pipe"
+    #: worker count, or (socket transport) a tuple of host:port
+    #: addresses — threaded through to ``StreamJoinConfig.workers``
+    workers: int | tuple[str, ...] | None = None
+    #: deprecated spelling of ``workers`` as a count
     parallel_workers: int | None = None
     #: per-tuple redelivery budget before a tuple counts as poisoned
     max_retries: int = 0
@@ -84,6 +91,24 @@ class ExperimentConfig:
             )
         if self.w <= 0 or self.n_windows <= 0 or self.docs_per_minute <= 0:
             raise PartitioningError("w, n_windows and docs_per_minute must be positive")
+        if self.parallel_workers is not None:
+            warnings.warn(
+                "ExperimentConfig.parallel_workers is deprecated; pass "
+                "workers=<count> (or host:port addresses with "
+                "transport='socket') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.workers is None:
+                object.__setattr__(self, "workers", self.parallel_workers)
+            elif self.workers != self.parallel_workers:
+                raise PartitioningError(
+                    "parallel_workers (deprecated) and workers disagree; "
+                    "set only workers"
+                )
+        if isinstance(self.workers, list):
+            # configs are frozen and used as cache keys — keep them hashable
+            object.__setattr__(self, "workers", tuple(self.workers))
 
     @property
     def window_size(self) -> int:

@@ -60,7 +60,8 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         expansion_coverage=config.coverage(),
         compute_joins=config.compute_joins,
         backend=config.backend,
-        parallel_workers=config.parallel_workers,
+        transport=config.transport,
+        workers=config.workers,
         max_retries=config.max_retries,
         dead_letters=config.dead_letters,
     )

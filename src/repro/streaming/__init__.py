@@ -5,8 +5,9 @@ package provides an in-process, deterministic equivalent: spouts and
 bolts wired by a :class:`TopologyBuilder` through the same four stream
 groupings Fig. 2 uses (shuffle, fields, all, direct), executed by a
 single-threaded FIFO :class:`LocalCluster` or the multi-core
-:class:`ParallelCluster` (same per-window results, Joiners in forked
-workers).  Determinism (round-robin shuffle, stable hashing, FIFO tuple
+:class:`ParallelCluster` (same per-window results, Joiners in worker
+processes behind a pluggable :class:`Transport` — forked pipes or TCP
+sockets).  Determinism (round-robin shuffle, stable hashing, FIFO tuple
 delivery) makes every experiment replayable — the routing semantics are
 Storm's, without the cluster.
 """
@@ -24,6 +25,14 @@ from repro.streaming.executor import ClusterBase, LocalCluster
 from repro.streaming.parallel import ParallelCluster
 from repro.streaming.recovery import DeadLetter, DeadLetterQueue, RestartPolicy
 from repro.streaming.topology import Topology, TopologyBuilder
+from repro.streaming.transport import (
+    LinkDown,
+    Transport,
+    WorkerInit,
+    WorkerLink,
+    available_transports,
+    make_transport,
+)
 from repro.streaming.tuples import StreamTuple
 
 __all__ = [
@@ -38,6 +47,7 @@ __all__ = [
     "FieldsGrouping",
     "GlobalGrouping",
     "Grouping",
+    "LinkDown",
     "LocalCluster",
     "ParallelCluster",
     "RestartPolicy",
@@ -46,4 +56,9 @@ __all__ = [
     "StreamTuple",
     "Topology",
     "TopologyBuilder",
+    "Transport",
+    "WorkerInit",
+    "WorkerLink",
+    "available_transports",
+    "make_transport",
 ]

@@ -414,10 +414,16 @@ class ClusterBase:
 
     def stats(self) -> dict[str, object]:
         """Per-component emitted/processed tuple counters, plus the
-        run-level robustness counts: ``dead_letters`` (tuples quarantined
-        after exhausting their retry budget) and ``worker_restarts``
-        (worker processes replaced by the parallel backend's supervisor;
-        always 0 on the local backend)."""
+        run-level robustness counts.
+
+        The schema is uniform across backends so callers never have to
+        key-guard: ``dead_letters`` (tuples quarantined after exhausting
+        their retry budget), ``worker_restarts`` (worker processes
+        replaced by the parallel backend's supervisor), ``transport``
+        (the worker transport name, None when tasks run inline) and
+        ``reconnects`` (worker links established beyond the first per
+        slot).  On the local backend the last three are zero-valued.
+        """
         stats: dict[str, object] = {
             name: {
                 "emitted": self._component_emitted[name],
@@ -429,6 +435,8 @@ class ClusterBase:
             self.dead_letters.total if self.dead_letters is not None else 0
         )
         stats["worker_restarts"] = self.worker_restarts
+        stats["transport"] = None
+        stats["reconnects"] = 0
         return stats
 
 

@@ -1,20 +1,30 @@
 """Process-parallel execution backend.
 
-:class:`ParallelCluster` executes selected components' tasks in forked
-worker processes so an m-machine topology can actually use m cores,
-while the remaining components (the control plane: spouts, partition
-mining, routing, metrics sinks) stay in the parent and keep the exact
-FIFO semantics of :class:`~repro.streaming.executor.LocalCluster`.
+:class:`ParallelCluster` executes selected components' tasks in worker
+processes so an m-machine topology can actually use m cores, while the
+remaining components (the control plane: spouts, partition mining,
+routing, metrics sinks) stay in the parent and keep the exact FIFO
+semantics of :class:`~repro.streaming.executor.LocalCluster`.
+
+The cluster is a composition of :class:`~repro.streaming.executor.ClusterBase`
+(the deterministic topology executor) and a
+:class:`~repro.streaming.transport.Transport` (how workers are started
+and how messages move).  Two transports ship: ``"pipe"`` — forked
+workers over duplex pipes, the single-host default — and ``"socket"`` —
+``python -m repro.worker`` subprocesses speaking length-prefixed frames
+over TCP, including attach-mode addressing for workers on other hosts
+(``docs/distributed.md``).  Everything below the transport seam is
+transport-agnostic.
 
 Design, in terms of the Fig. 2 topology: the Joiners are pure "leaf"
 workers — they receive routed documents and punctuation and emit only
 per-window statistics — so the parent ships their input tuples to
-worker processes in **size/time-bounded batches** over pipes and merges
+workers in **size/time-bounded batches** over their links and merges
 the emissions back.  Three properties keep runs exact and replayable:
 
 * **Per-task FIFO.**  Every delivery to a remote task flows through its
-  worker's single pipe, so a task observes tuples in exactly the order
-  the local backend would have delivered them.
+  worker's single ordered link, so a task observes tuples in exactly
+  the order the local backend would have delivered them.
 * **Flush barrier on punctuation.**  When a tuple on a configured
   *barrier stream* (the window-end markers) is shipped, the parent
   flushes all pending batches at the next queue-idle point and blocks
@@ -34,39 +44,32 @@ the parent journals every batch shipped to a worker since the last
 barrier — with tumbling windows, a worker's state is exactly replayable
 from that journal, so no checkpointing is needed.  Under a
 :class:`~repro.streaming.recovery.RestartPolicy`, a dead worker is
-replaced by a fresh fork (the parent's task copies are pristine — it
-never executes remote tasks itself) and its journal is re-shipped.
-Acknowledged batches are replayed for state only: their re-acks are
-*suppressed* so emissions and counters are never double-applied and
-recovered runs stay byte-identical to clean ones.  Tuples on configured
-``sticky_streams`` (cross-window control broadcasts such as partition
-versions) are retained past barriers and replayed first.  When the
-per-window restart budget runs out the run aborts with
-:class:`~repro.exceptions.WorkerCrashError` — or, with
+replaced by a fresh spawn over a fresh link (the parent's task copies
+are pristine — it never executes remote tasks itself) and its journal
+is re-shipped.  Acknowledged batches are replayed for state only: their
+re-acks are *suppressed* so emissions and counters are never
+double-applied and recovered runs stay byte-identical to clean ones.
+Tuples on configured ``sticky_streams`` (cross-window control
+broadcasts such as partition versions) are retained past barriers and
+replayed first.  When the per-window restart budget runs out the run
+aborts with :class:`~repro.exceptions.WorkerCrashError` — or, with
 ``degrade=True``, the dead worker's tasks are reassigned to the parent
 and executed inline for the rest of the run.
 
-Observability: each worker records into its (forked copy of the) run's
+Observability: each worker records into its (shipped copy of the) run's
 registry; :meth:`ParallelCluster.snapshot` fetches every worker's
 snapshot and merges it with the parent's via
 :func:`repro.obs.registry.merge_snapshots` (a replacement worker's
 inherited baseline is subtracted first, see
 :func:`repro.obs.registry.subtract_snapshot`).
-
-The backend requires the ``fork`` start method (workers inherit the
-prepared task instances); it is unavailable on platforms without it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import pickle
 import random
-import traceback
-from queue import Empty
-from time import monotonic, perf_counter, sleep
-from typing import Any, Optional, Sequence
+from time import monotonic, sleep
+from typing import Any, Optional, Sequence, Union
 
 from repro.exceptions import TopologyError, TupleProcessingError, WorkerCrashError
 from repro.faults import FaultPlan
@@ -77,14 +80,18 @@ from repro.obs.registry import (
     subtract_snapshot,
 )
 from repro.streaming.executor import ClusterBase
-from repro.streaming.recovery import (
-    DeadLetter,
-    DeadLetterQueue,
-    RestartPolicy,
-    format_dead_letter_cause,
-    truncated_repr,
-)
+from repro.streaming.recovery import DeadLetter, DeadLetterQueue, RestartPolicy
 from repro.streaming.topology import Topology
+from repro.streaming.transport import (
+    IDENTITY_CODEC,
+    LinkDown,
+    Transport,
+    WorkerCollector,
+    WorkerInit,
+    WorkerLink,
+    make_transport,
+)
+from repro.streaming.transport.framing import parse_address
 from repro.streaming.tuples import StreamTuple
 
 #: default number of tuples per shipped batch
@@ -92,205 +99,23 @@ DEFAULT_BATCH_SIZE = 128
 #: default age (seconds) after which a partial batch is flushed anyway
 DEFAULT_LINGER_S = 0.005
 #: default bound on unacknowledged batches per worker before the parent
-#: blocks (backpressure; also keeps pipe buffers from deadlocking)
+#: blocks (backpressure; also keeps link buffers from deadlocking)
 DEFAULT_MAX_INFLIGHT = 16
 #: how long the parent waits on a barrier before declaring the run stuck
 DEFAULT_BARRIER_TIMEOUT_S = 120.0
-
-
-class _IdentityCodec:
-    """Pass-through wire codec (payloads pickle as-is)."""
-
-    def encode(self, stream: str, values: tuple) -> tuple:
-        return values
-
-    def decode(self, stream: str, values: tuple) -> tuple:
-        return values
-
-
-IDENTITY_CODEC = _IdentityCodec()
 
 
 class _WorkerLost(Exception):
     """Internal: a replacement worker died while its journal was replaying."""
 
 
-class _WorkerCollector:
-    """Worker-side collector: buffers encoded emissions for the ack."""
-
-    __slots__ = ("_component", "_task_index", "_codec", "buffer")
-
-    def __init__(self, component: str, task_index: int, codec) -> None:
-        self._component = component
-        self._task_index = task_index
-        self._codec = codec
-        self.buffer: list = []
-
-    def emit(
-        self,
-        stream: str,
-        values: tuple[Any, ...],
-        direct_task: Optional[int] = None,
-    ) -> None:
-        self.buffer.append(
-            (
-                self._component,
-                self._task_index,
-                stream,
-                direct_task,
-                self._codec.encode(stream, values),
-            )
-        )
-
-
-def _worker_main(
-    cluster: "ParallelCluster",
-    worker_index: int,
-    conn,
-    results,
-    incarnation: int = 0,
-) -> None:
-    """Entry point of one forked worker: serve batches until told to stop."""
-    assigned = cluster._assignments[worker_index]
-    registry = cluster.registry
-    obs = registry.enabled
-    #: decodes parent->worker traffic; the forked copy's state matches the
-    #: parent-side encoder of this link (same object at fork, FIFO pipe)
-    link_codec = cluster._link_codecs[worker_index]
-    #: encodes worker->parent emissions (shared, stateless base codec)
-    codec = cluster._codec
-    max_retries = cluster.max_retries
-    quarantine = cluster.dead_letters is not None
-    plan = cluster._fault_plan
-    faults = plan.runtime(worker_index, incarnation) if plan is not None else None
-    tasks = {key: cluster._tasks[key[0]][key[1]] for key in assigned}
-    collectors = {
-        (component, task_index): _WorkerCollector(component, task_index, codec)
-        for component, task_index in assigned
-    }
-    hists = {
-        component: registry.histogram("executor.execute_seconds", component=component)
-        for component, _ in assigned
-    }
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        kind = message[0]
-        if kind == "batch":
-            seq, entries = message[1], message[2]
-            if faults is not None:
-                exit_code = faults.kill_on_batch()
-                if exit_code is not None:
-                    os._exit(exit_code)
-            emissions: list = []
-            counts: dict[str, int] = {}
-            failures = 0
-            failed = None
-            dead: list[tuple] = []
-            for entry_index, entry in enumerate(entries):
-                component, task_index, stream, source, source_task, direct, values = entry
-                tup = StreamTuple(
-                    stream=stream,
-                    values=link_codec.decode(stream, values),
-                    source=source,
-                    source_task=source_task,
-                    direct_task=direct,
-                )
-                task = tasks[(component, task_index)]
-                collector = collectors[(component, task_index)]
-                collector.buffer = emissions
-                attempts = 0
-                quarantined = False
-                while True:
-                    try:
-                        if faults is not None:
-                            faults.check_raise(
-                                component, stream, (seq, entry_index), attempts == 0
-                            )
-                        if obs:
-                            start = perf_counter()
-                            task.process(tup, collector)
-                            hists[component].observe(perf_counter() - start)
-                        else:
-                            task.process(tup, collector)
-                        break
-                    except Exception as exc:  # mirror the base retry budget
-                        failures += 1
-                        if attempts >= max_retries:
-                            if quarantine:
-                                cause, tb_text = format_dead_letter_cause(exc)
-                                dead.append(
-                                    (
-                                        component,
-                                        task_index,
-                                        stream,
-                                        attempts,
-                                        cause,
-                                        tb_text,
-                                        truncated_repr(tup.values),
-                                    )
-                                )
-                                quarantined = True
-                                break
-                            failed = (component, task_index, attempts, exc)
-                            break
-                        attempts += 1
-                if failed is not None:
-                    break
-                if quarantined:
-                    continue
-                counts[component] = counts.get(component, 0) + 1
-            if failed is not None:
-                component, task_index, attempts, exc = failed
-                try:  # exceptions are usually picklable; fall back to text
-                    pickle.dumps(exc)
-                except Exception:
-                    # the original traceback would be lost with the
-                    # process — carry its formatted text across the pipe
-                    detail = "".join(
-                        traceback.format_exception(type(exc), exc, exc.__traceback__)
-                    ) or repr(exc)
-                    exc = RuntimeError(
-                        f"unpicklable worker exception {exc!r}; "
-                        f"worker-side traceback:\n{detail}"
-                    )
-                results.put(
-                    ("error", worker_index, seq, component, task_index, attempts, exc)
-                )
-                continue  # stay alive so the parent can stop us cleanly
-            if faults is not None:
-                delay = faults.ack_delay()
-                if delay > 0:
-                    sleep(delay)
-            results.put(
-                (
-                    "ack",
-                    seq,
-                    worker_index,
-                    tuple(counts.items()),
-                    failures,
-                    tuple(emissions),
-                    tuple(dead),
-                )
-            )
-        elif kind == "snapshot":
-            results.put(("snapshot", worker_index, registry.snapshot().as_dict()))
-        elif kind == "stop":
-            results.put(("bye", worker_index))
-            break
-    conn.close()
-
-
 class _WorkerHandle:
-    """Parent-side state of one worker process."""
+    """Parent-side state of one worker slot (journal, acks, link)."""
 
     __slots__ = (
         "index",
         "assigned",
-        "process",
-        "conn",
+        "link",
         "pending",
         "buffer",
         "buffer_since",
@@ -310,8 +135,7 @@ class _WorkerHandle:
     def __init__(self, index: int, assigned: list[tuple[str, int]]):
         self.index = index
         self.assigned = assigned
-        self.process = None
-        self.conn = None
+        self.link: Optional[WorkerLink] = None
         self.pending: set[int] = set()
         #: raw (component, task_index, StreamTuple) entries not yet shipped
         self.buffer: list = []
@@ -336,13 +160,13 @@ class _WorkerHandle:
 
 
 class ParallelCluster(ClusterBase):
-    """Multi-core backend: remote components execute in forked workers.
+    """Multi-core backend: remote components execute in worker processes.
 
     Parameters beyond the base executor's:
 
     remote_components:
         Component names whose tasks run in worker processes.  Their
-        tasks are assigned round-robin over ``n_workers`` processes.
+        tasks are assigned round-robin over the worker slots.
     barrier_streams:
         Streams acting as flush barriers: after shipping a tuple on one
         of these, the parent synchronizes with all workers at the next
@@ -358,15 +182,26 @@ class ParallelCluster(ClusterBase):
     restart_policy:
         Enables worker supervision: a dead worker is replaced (bounded
         restarts per window, exponential backoff with seeded jitter) and
-        its journal replayed.  On budget exhaustion the run aborts with
+        its journal replayed over a fresh link.  On budget exhaustion
+        the run aborts with
         :class:`~repro.exceptions.WorkerCrashError`, or — with
         ``degrade=True`` — the worker's tasks move into the parent and
         run inline.  Without a policy, any worker death raises
         :class:`~repro.exceptions.TupleProcessingError` (the pre-existing
         fail-fast behavior).
+    transport:
+        How workers run: ``"pipe"`` (forked processes, the default) or
+        ``"socket"`` (``python -m repro.worker`` subprocesses over TCP);
+        a :class:`~repro.streaming.transport.Transport` instance is also
+        accepted for custom substrates.
+    workers:
+        Worker count, or — socket transport only — a list of
+        ``host:port`` addresses, one worker per entry (``tcp://host:port``
+        attaches to an already-running worker instead of spawning one).
+        Defaults to ``min(#remote tasks, os.cpu_count())``.
     n_workers:
-        Worker process count; defaults to
-        ``min(#remote tasks, os.cpu_count())``.
+        Pre-transport-era spelling of a ``workers`` count; still
+        honored, but new code should pass ``workers``.
     batch_size / linger_s:
         Size and age bounds of shipped batches.
     max_inflight:
@@ -376,14 +211,15 @@ class ParallelCluster(ClusterBase):
         ``decode(stream, values)`` (e.g.
         :func:`repro.topology.messages.wire_codec`); defaults to
         pass-through pickling.  If the codec exposes ``link_codec()``,
-        one instance per worker link is created *before* forking:
+        one instance per worker link is created *before* spawning:
         parent-side encoding and worker-side decoding of that link then
         share (initially identical) state, which lets stateful codecs
-        dictionary-compress repeated payloads over the link's FIFO pipe.
-        A replacement worker gets a fresh link codec (again created
-        before its fork), and its journal is re-encoded from the raw
-        tuples — so replay never depends on the dead link's state.
-        Worker->parent emissions always use the shared base codec.
+        dictionary-compress repeated payloads over the link's FIFO
+        channel.  A replacement worker gets a fresh link codec (again
+        created before its spawn), and its journal is re-encoded from
+        the raw tuples — so replay never depends on the dead link's
+        state.  Worker->parent emissions always use the shared base
+        codec.
     dead_letters / fault_plan:
         As on :class:`~repro.streaming.executor.ClusterBase`; both are
         honored inside worker processes (quarantined tuples travel back
@@ -401,6 +237,8 @@ class ParallelCluster(ClusterBase):
         barrier_streams: Sequence[str] = (),
         sticky_streams: Sequence[str] = (),
         restart_policy: Optional[RestartPolicy] = None,
+        transport: Union[str, Transport] = "pipe",
+        workers: Optional[Union[int, Sequence[str]]] = None,
         n_workers: Optional[int] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         linger_s: float = DEFAULT_LINGER_S,
@@ -418,17 +256,34 @@ class ParallelCluster(ClusterBase):
             dead_letters=dead_letters,
             fault_plan=fault_plan,
         )
-        try:
-            self._ctx = multiprocessing.get_context("fork")
-        except ValueError as exc:  # pragma: no cover - platform dependent
-            raise TopologyError(
-                "the parallel backend requires the 'fork' start method; "
-                "use the local backend on this platform"
-            ) from exc
         if batch_size < 1:
             raise TopologyError(f"batch_size must be >= 1, got {batch_size}")
         if max_inflight < 1:
             raise TopologyError(f"max_inflight must be >= 1, got {max_inflight}")
+        if workers is not None and n_workers is not None:
+            raise TopologyError("pass either workers or n_workers, not both")
+        if workers is None:
+            workers = n_workers
+        addresses: Optional[tuple[str, ...]] = None
+        if workers is not None and not isinstance(workers, int):
+            addresses = tuple(workers)
+            if not addresses:
+                raise TopologyError("workers address list must not be empty")
+            for address in addresses:
+                try:
+                    parse_address(address)
+                except ValueError as exc:
+                    raise TopologyError(str(exc)) from None
+            workers = len(addresses)
+        if isinstance(transport, str):
+            self._transport = make_transport(transport, addresses=addresses)
+        else:
+            if addresses is not None:
+                raise TopologyError(
+                    "worker addresses require a transport name, not an "
+                    "already-built Transport instance"
+                )
+            self._transport = transport
         self._remote_components = tuple(remote_components)
         self._barrier_streams = frozenset(barrier_streams)
         self._sticky_streams = frozenset(sticky_streams)
@@ -451,30 +306,27 @@ class ParallelCluster(ClusterBase):
                     f"spout {name!r} cannot run remotely — spouts drive the run"
                 )
             remote_tasks.extend((name, i) for i in range(spec.parallelism))
-        if n_workers is None:
-            n_workers = min(len(remote_tasks), os.cpu_count() or 1)
-        n_workers = max(1, min(n_workers, len(remote_tasks))) if remote_tasks else 0
-        self.n_workers = n_workers
-        self._assignments: list[list[tuple[str, int]]] = [
-            [] for _ in range(n_workers)
-        ]
+        if workers is None:
+            workers = min(len(remote_tasks), os.cpu_count() or 1)
+        n = max(1, min(workers, len(remote_tasks))) if remote_tasks else 0
+        self.n_workers = n
+        self._assignments: list[list[tuple[str, int]]] = [[] for _ in range(n)]
         for i, key in enumerate(remote_tasks):
-            self._assignments[i % n_workers].append(key)
+            self._assignments[i % n].append(key)
         self._workers: list[_WorkerHandle] = [
             _WorkerHandle(i, assigned) for i, assigned in enumerate(self._assignments)
         ]
-        # One codec per parent->worker link, created pre-fork so both
+        # One codec per parent->worker link, created pre-spawn so both
         # sides of a stateful codec start from the same (empty) state.
         link_factory = getattr(self._codec, "link_codec", None)
         self._link_codecs = [
             link_factory() if link_factory is not None else self._codec
-            for _ in range(n_workers)
+            for _ in range(n)
         ]
         self._placement: dict[tuple[str, int], _WorkerHandle] = {}
         for handle in self._workers:
             for key in handle.assigned:
                 self._placement[key] = handle
-        self._results = None
         self._batch_seq = 0
         self._barrier_pending = False
         #: acknowledged-but-unreleased emissions, keyed by batch seq
@@ -483,22 +335,27 @@ class ParallelCluster(ClusterBase):
         self._closed = False
         self._merged_snapshot: Optional[ObservabilitySnapshot] = None
 
+    @property
+    def transport_name(self) -> str:
+        return self._transport.name
+
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn(self, handle: _WorkerHandle) -> None:
-        """Fork one worker process for ``handle`` over a fresh pipe."""
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(self, handle.index, child_conn, self._results, handle.incarnation),
-            daemon=True,
-            name=f"repro-joiner-worker-{handle.index}.{handle.incarnation}",
+        """Start one worker for ``handle`` over a fresh link."""
+        init = WorkerInit(
+            worker_index=handle.index,
+            incarnation=handle.incarnation,
+            tasks={key: self._tasks[key[0]][key[1]] for key in handle.assigned},
+            link_codec=self._link_codecs[handle.index],
+            emit_codec=self._codec,
+            registry=self.registry,
+            max_retries=self.max_retries,
+            quarantine=self.dead_letters is not None,
+            fault_plan=self._fault_plan,
         )
-        process.start()
-        child_conn.close()
-        handle.process = process
-        handle.conn = parent_conn
+        handle.link = self._transport.spawn(init)
         handle.said_bye = False
         handle.snapshot = None
 
@@ -507,10 +364,10 @@ class ParallelCluster(ClusterBase):
             return
         if self._closed:
             raise TopologyError("cluster is closed")
-        # Fork before the first tuple flows: the workers' registry copies
+        # Spawn before the first tuple flows: the workers' registry copies
         # then hold only zero-valued instruments, so merging their
         # snapshots back never double-counts parent-side activity.
-        self._results = self._ctx.Queue()
+        self._transport.start()
         for handle in self._workers:
             self._spawn(handle)
         self._started = True
@@ -520,8 +377,9 @@ class ParallelCluster(ClusterBase):
         try:
             super().run()
         except Exception:
-            # a mid-run failure must not leak forked processes and open
-            # pipes — only context-manager users would otherwise clean up
+            # a mid-run failure must not leak worker processes, sockets
+            # or pipes — only context-manager users would otherwise
+            # clean up
             self.close()
             raise
 
@@ -584,8 +442,8 @@ class ParallelCluster(ClusterBase):
             )
         handle.pending.add(seq)
         try:
-            handle.conn.send(("batch", seq, self._encode_batch(handle, raw)))
-        except (BrokenPipeError, EOFError, OSError):
+            handle.link.send(("batch", seq, self._encode_batch(handle, raw)))
+        except LinkDown:
             # the worker died while idle; recovery replays the journal
             # (which already holds this batch) or degrades it to inline
             self._on_worker_failure(handle)
@@ -613,7 +471,7 @@ class ParallelCluster(ClusterBase):
         for handle in self._workers:
             if handle.buffer and now - handle.buffer_since >= self._linger_s:
                 self._flush(handle)
-        # opportunistic, non-blocking ack collection keeps the pipes
+        # opportunistic, non-blocking ack collection keeps the links
         # drained; emissions stay stashed until the next barrier so the
         # re-injection order stays deterministic
         self._poll_results(timeout=0.0)
@@ -657,14 +515,11 @@ class ParallelCluster(ClusterBase):
     def _poll_results(self, timeout: float) -> int:
         """Handle every currently available worker message."""
         handled = 0
-        block = timeout > 0
         while True:
-            try:
-                if block and handled == 0:
-                    message = self._results.get(timeout=timeout)
-                else:
-                    message = self._results.get_nowait()
-            except Empty:
+            message = self._transport.recv(
+                timeout if handled == 0 else 0.0
+            )
+            if message is None:
                 return handled
             self._handle_message(message)
             handled += 1
@@ -725,9 +580,9 @@ class ParallelCluster(ClusterBase):
 
     def _check_workers(self, deadline: float) -> None:
         for handle in self._workers:
-            if handle.degraded or handle.process is None or handle.said_bye:
+            if handle.degraded or handle.link is None or handle.said_bye:
                 continue
-            if handle.process.is_alive():
+            if handle.link.alive():
                 continue
             if handle.pending or self._restart_policy is not None:
                 self._on_worker_failure(handle)
@@ -741,11 +596,11 @@ class ParallelCluster(ClusterBase):
     # Supervision and recovery
     # ------------------------------------------------------------------
     def _on_worker_failure(self, handle: _WorkerHandle) -> None:
-        """A worker process died: restart and replay, degrade, or abort."""
+        """A worker died: restart and replay, degrade, or abort."""
         # collect whatever the worker managed to say before dying — any
         # ack drained here shrinks the replay's pending set
         self._poll_results(timeout=0.0)
-        exit_code = handle.process.exitcode if handle.process is not None else None
+        exit_code = handle.link.exit_code if handle.link is not None else None
         policy = self._restart_policy
         if policy is None:
             component, task_index = handle.assigned[0]
@@ -780,64 +635,69 @@ class ParallelCluster(ClusterBase):
                 self._replay(handle)
                 return
             except _WorkerLost:
-                exit_code = handle.process.exitcode
+                exit_code = handle.link.exit_code if handle.link else None
                 continue
 
     def _reap(self, handle: _WorkerHandle) -> None:
-        if handle.process is not None:
-            handle.process.join(timeout=1.0)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
-        if handle.conn is not None:
-            try:
-                handle.conn.close()
-            except OSError:  # pragma: no cover
-                pass
+        if handle.link is not None:
+            handle.link.reap(timeout=1.0)
+            handle.link = None
 
     def _respawn(self, handle: _WorkerHandle) -> None:
-        """Fork a replacement worker with a fresh link codec."""
+        """Spawn a replacement worker with a fresh link codec."""
         self._reap(handle)
         link_factory = getattr(self._codec, "link_codec", None)
         if link_factory is not None:
             self._link_codecs[handle.index] = link_factory()
         handle.incarnation += 1
         if self.registry.enabled:
-            # a mid-run fork inherits everything the parent registry has
-            # recorded so far; remember it so snapshot() can subtract it
+            # a mid-run replacement inherits everything the parent
+            # registry has recorded so far (by fork or by pickled init);
+            # remember it so snapshot() can subtract it
             handle.fork_baseline = self.registry.snapshot()
         self._spawn(handle)
 
     def _replay_send(self, handle: _WorkerHandle, seq: int, raw: list) -> None:
         try:
-            handle.conn.send(("batch", seq, self._encode_batch(handle, raw)))
-        except (BrokenPipeError, EOFError, OSError):
+            handle.link.send(("batch", seq, self._encode_batch(handle, raw)))
+        except LinkDown:
             raise _WorkerLost from None
 
     def _replay(self, handle: _WorkerHandle) -> None:
-        """Re-ship sticky history plus the window journal to a fresh fork.
+        """Re-ship sticky history plus the window journal to a fresh link.
 
         Batch seqs are preserved so the bookkeeping (pending set, stash)
         lines up; seqs that were already acknowledged are marked for
         suppression — their re-acks rebuild nothing parent-side.
         """
         sticky = handle.sticky[: handle.sticky_mark]
+        sticky_seq = None
         if sticky:
             self._batch_seq += 1
-            seq = self._batch_seq
-            handle.pending.add(seq)
-            handle.suppress.add(seq)
+            sticky_seq = self._batch_seq
+            handle.pending.add(sticky_seq)
+            handle.suppress.add(sticky_seq)
             try:
-                self._replay_send(handle, seq, sticky)
+                self._replay_send(handle, sticky_seq, sticky)
             except _WorkerLost:
-                handle.pending.discard(seq)
-                handle.suppress.discard(seq)
+                handle.pending.discard(sticky_seq)
+                handle.suppress.discard(sticky_seq)
                 raise
-        for seq in sorted(handle.journal):
-            if seq not in handle.pending:  # already acked: state-only replay
-                handle.pending.add(seq)
-                handle.suppress.add(seq)
-            self._replay_send(handle, seq, handle.journal[seq])
+        try:
+            for seq in sorted(handle.journal):
+                if seq not in handle.pending:  # already acked: state-only
+                    handle.pending.add(seq)
+                    handle.suppress.add(seq)
+                self._replay_send(handle, seq, handle.journal[seq])
+        except _WorkerLost:
+            if sticky_seq is not None:
+                # this link is gone, so its sticky pseudo-batch can never
+                # be acknowledged — don't let the barrier wait for it.
+                # The next replay assigns the sticky history a fresh seq;
+                # keeping this one in ``suppress`` drops any ack that
+                # still arrives from the dying incarnation.
+                handle.pending.discard(sticky_seq)
+            raise
 
     def _degrade(self, handle: _WorkerHandle) -> None:
         """Reassign a dead worker's tasks to the parent, inline.
@@ -851,8 +711,6 @@ class ParallelCluster(ClusterBase):
         From here on, placement falls through to the local FIFO.
         """
         self._reap(handle)
-        handle.process = None
-        handle.conn = None
         handle.degraded = True
         self.degraded_workers += 1
         if self._obs:
@@ -914,7 +772,7 @@ class ParallelCluster(ClusterBase):
         """
         suppressed = emissions is None
         task = self._tasks[component][task_index]
-        collector = _WorkerCollector(component, task_index, self._codec)
+        collector = WorkerCollector(component, task_index, self._codec)
         collector.buffer = [] if suppressed else emissions
         attempts = 0
         while True:
@@ -977,6 +835,11 @@ class ParallelCluster(ClusterBase):
             )
         return super().tasks(component)
 
+    def stats(self) -> dict[str, object]:
+        stats = super().stats()
+        stats.update(self._transport.stats())
+        return stats
+
     def snapshot(self) -> ObservabilitySnapshot:
         """Parent registry merged with every worker's registry."""
         if not self.registry.enabled or not self._started:
@@ -984,11 +847,14 @@ class ParallelCluster(ClusterBase):
         if self._merged_snapshot is not None:
             return self._merged_snapshot
         alive = [
-            h for h in self._workers if h.process is not None and h.process.is_alive()
+            h for h in self._workers if h.link is not None and h.link.alive()
         ]
         for handle in alive:
             handle.awaiting_snapshot = True
-            handle.conn.send(("snapshot",))
+            try:
+                handle.link.send(("snapshot",))
+            except LinkDown:
+                handle.awaiting_snapshot = False
         deadline = monotonic() + self._barrier_timeout_s
         while any(h.awaiting_snapshot for h in alive):
             self._poll_results(timeout=0.05)
@@ -1000,8 +866,8 @@ class ParallelCluster(ClusterBase):
                 continue
             snap = ObservabilitySnapshot.from_dict(handle.snapshot)
             if handle.fork_baseline is not None:
-                # a replacement forked mid-run: remove the parent-side
-                # activity it inherited at fork time
+                # a replacement spawned mid-run: remove the parent-side
+                # activity it inherited at spawn time
                 snap = subtract_snapshot(snap, handle.fork_baseline)
             worker_snaps.append(snap)
         merged = merge_snapshots(self.registry.snapshot(), *worker_snaps)
@@ -1009,31 +875,24 @@ class ParallelCluster(ClusterBase):
         return merged
 
     def close(self) -> None:
-        """Stop all workers and release IPC resources (idempotent)."""
-        if not self._started or self._closed:
-            self._closed = True
+        """Stop all workers and release transport resources (idempotent)."""
+        if self._closed:
             return
         self._closed = True
+        if not self._started:
+            self._transport.close()
+            return
         for handle in self._workers:
-            if handle.process is not None and handle.process.is_alive():
+            if handle.link is not None and handle.link.alive():
                 try:
-                    handle.conn.send(("stop",))
-                except (BrokenPipeError, OSError):
+                    handle.link.send(("stop",))
+                except LinkDown:
                     pass
         for handle in self._workers:
-            if handle.process is None:
-                continue
-            handle.process.join(timeout=5.0)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
-            try:
-                handle.conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        if self._results is not None:
-            self._results.close()
-            self._results.join_thread()
+            if handle.link is not None:
+                handle.link.reap(timeout=5.0)
+                handle.link = None
+        self._transport.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:

@@ -1,0 +1,43 @@
+"""Pluggable worker transports for the parallel backend.
+
+The :class:`~repro.streaming.transport.base.Transport` /
+:class:`~repro.streaming.transport.base.WorkerLink` pair is the seam
+between :class:`~repro.streaming.parallel.ParallelCluster` (batching,
+journals, supervision) and the mechanics of running workers.  Two
+implementations ship: ``"pipe"`` (fork + duplex pipe) and ``"socket"``
+(length-prefixed frames over TCP to ``python -m repro.worker``
+processes).  See ``docs/distributed.md`` for the contract.
+"""
+
+from repro.streaming.transport.base import (
+    IDENTITY_CODEC,
+    LinkDown,
+    Transport,
+    TRANSPORTS,
+    WorkerInit,
+    WorkerLink,
+    available_transports,
+    make_transport,
+    register_transport,
+)
+from repro.streaming.transport.session import WorkerCollector, WorkerSession
+
+# importing the implementations registers them under their names
+from repro.streaming.transport.pipe import PipeTransport  # noqa: E402
+from repro.streaming.transport.tcp import SocketTransport  # noqa: E402
+
+__all__ = [
+    "IDENTITY_CODEC",
+    "LinkDown",
+    "PipeTransport",
+    "SocketTransport",
+    "Transport",
+    "TRANSPORTS",
+    "WorkerCollector",
+    "WorkerInit",
+    "WorkerLink",
+    "WorkerSession",
+    "available_transports",
+    "make_transport",
+    "register_transport",
+]

@@ -1,0 +1,121 @@
+"""Wire framing for the socket transport.
+
+Both sides of a socket link speak the same trivial protocol: a stream
+of **length-prefixed pickle frames**.  Each frame is a 4-byte unsigned
+big-endian payload length followed by that many bytes of pickled
+message (``docs/distributed.md`` documents the format).  Framing is
+deliberately independent of the message vocabulary — the parent/worker
+messages themselves are defined by
+:class:`~repro.streaming.transport.session.WorkerSession`.
+
+The helpers here are synchronous and allocation-light so the parent's
+selector loop can use them directly; the asyncio worker entrypoint
+(:mod:`repro.worker`) reimplements only the two-line read path on top
+of ``StreamReader.readexactly``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Optional
+
+#: 4-byte unsigned big-endian payload length
+FRAME_HEADER = struct.Struct("!I")
+#: hard cap implied by the header width
+MAX_FRAME_BYTES = (1 << 32) - 1
+
+#: first stdout line of a listening worker: ``REPRO-WORKER LISTENING host port``
+LISTEN_BANNER = "REPRO-WORKER LISTENING"
+
+#: host used when an address omits one (``":0"`` → any free local port)
+DEFAULT_HOST = "127.0.0.1"
+#: scheme marking an address as *attach* (connect to an already-running
+#: worker instead of spawning a subprocess)
+ATTACH_SCHEME = "tcp://"
+
+
+def encode_frame(message: Any) -> bytes:
+    """One message → header + pickled payload, ready for ``sendall``."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - 4 GiB message
+        raise ValueError(f"message of {len(payload)} bytes exceeds the frame format")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for one receive direction of one link.
+
+    Feed it whatever ``recv`` returned; it hands back every *complete*
+    message and buffers the tail of a partial frame for the next feed.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        self._buffer.extend(data)
+        messages: list = []
+        header = FRAME_HEADER.size
+        while len(self._buffer) >= header:
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            end = header + length
+            if len(self._buffer) < end:
+                break
+            messages.append(pickle.loads(bytes(self._buffer[header:end])))
+            del self._buffer[:end]
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def is_attach_address(address: str) -> bool:
+    """True for ``tcp://host:port`` (connect, do not spawn)."""
+    return address.startswith(ATTACH_SCHEME)
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``[tcp://]host:port`` → ``(host, port)``; empty host means local.
+
+    Raises :class:`ValueError` with a usable message on malformed input
+    (callers wrap it in their own error type).
+    """
+    text = address.strip()
+    if is_attach_address(text):
+        text = text[len(ATTACH_SCHEME):]
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"worker address must look like 'host:port', got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"worker address {address!r} has a non-numeric port {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"worker address {address!r} has an out-of-range port")
+    return (host or DEFAULT_HOST, port)
+
+
+def format_banner(host: str, port: int) -> str:
+    return f"{LISTEN_BANNER} {host} {port}"
+
+
+def parse_banner(line: str) -> Optional[tuple[str, int]]:
+    """The worker's LISTEN line → ``(host, port)``, or None for noise."""
+    text = line.strip()
+    if not text.startswith(LISTEN_BANNER):
+        return None
+    parts = text[len(LISTEN_BANNER):].split()
+    if len(parts) != 2:
+        return None
+    try:
+        return (parts[0], int(parts[1]))
+    except ValueError:
+        return None

@@ -1,0 +1,141 @@
+"""Fork + duplex-pipe transport (the original single-host backend).
+
+One forked process per worker slot, a ``Pipe(duplex=True)`` for
+parent→worker batches, and one shared multiprocessing queue for all
+worker→parent replies.  Forking keeps the spawn path free of
+serialization: the child inherits the :class:`WorkerInit` object graph
+(prepared tasks, registry, link codec) by memory copy, which is exactly
+the state the parent-side encoder assumes.
+
+Requires the ``fork`` start method; unavailable platforms should use
+the local backend or the socket transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from queue import Empty
+from typing import Optional, Sequence
+
+from repro.exceptions import TopologyError
+from repro.streaming.transport.base import (
+    LinkDown,
+    Transport,
+    WorkerInit,
+    WorkerLink,
+    register_transport,
+)
+from repro.streaming.transport.session import WorkerKilled, WorkerSession
+
+
+def _pipe_worker_main(init: WorkerInit, conn, results) -> None:
+    """Entry point of one forked worker: serve messages until stopped."""
+    session = WorkerSession(init)
+    try:
+        while not session.stopped:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            for reply in session.handle(message):
+                results.put(reply)
+    except WorkerKilled as kill:
+        # Flush our feeder thread before dying: the reply queue's write
+        # lock is shared with every other worker, and exiting while the
+        # feeder holds it mid-put would deadlock their acks for good.
+        results.close()
+        results.join_thread()
+        os._exit(kill.exit_code)
+    conn.close()
+
+
+class PipeWorkerLink(WorkerLink):
+    """One forked worker process plus its parent end of the pipe."""
+
+    __slots__ = ("index", "_process", "_conn")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self._process = process
+        self._conn = conn
+
+    def send(self, message: tuple) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise LinkDown(str(exc)) from exc
+
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        return self._process.exitcode
+
+    def reap(self, timeout: float = 1.0) -> None:
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+@register_transport("pipe")
+class PipeTransport(Transport):
+    name = "pipe"
+
+    def __init__(self, addresses: Optional[Sequence[str]] = None) -> None:
+        super().__init__()
+        if addresses is not None:
+            raise TopologyError(
+                "the pipe transport spawns local forks and takes a worker "
+                "count, not addresses; use transport='socket' for host:port "
+                "workers"
+            )
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - platform dependent
+            raise TopologyError(
+                "the pipe transport requires the 'fork' start method; "
+                "use the local backend or the socket transport on this "
+                "platform"
+            ) from exc
+        self._results = None
+
+    def start(self) -> None:
+        if self._results is None:
+            self._results = self._ctx.Queue()
+
+    def spawn(self, init: WorkerInit) -> PipeWorkerLink:
+        self.start()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pipe_worker_main,
+            args=(init, child_conn, self._results),
+            daemon=True,
+            name=f"repro-joiner-worker-{init.worker_index}.{init.incarnation}",
+        )
+        process.start()
+        child_conn.close()
+        self._note_spawn(init.worker_index)
+        return PipeWorkerLink(init.worker_index, process, parent_conn)
+
+    def recv(self, timeout: float) -> Optional[tuple]:
+        if self._results is None:
+            return None
+        try:
+            if timeout > 0:
+                return self._results.get(timeout=timeout)
+            return self._results.get_nowait()
+        except Empty:
+            return None
+
+    def close(self) -> None:
+        if self._results is not None:
+            self._results.close()
+            self._results.join_thread()
+            self._results = None

@@ -1,0 +1,229 @@
+"""Transport-agnostic worker logic.
+
+:class:`WorkerSession` is the single implementation of the worker side
+of the cluster/worker protocol: batch execution with the retry budget,
+fault injection, dead-letter quarantine, snapshot export and the stop
+handshake.  Transports differ only in how bytes move, so each worker
+entrypoint is a thin receive loop around one session:
+
+* the pipe transport forks and loops ``conn.recv()`` →
+  :meth:`WorkerSession.handle` → ``results.put(reply)``;
+* the socket worker (:mod:`repro.worker`) reads frames off an asyncio
+  stream and writes the replies back on the same connection.
+
+The message vocabulary (all plain tuples, first element is the kind):
+
+parent → worker
+    ``("batch", seq, entries)``, ``("snapshot",)``, ``("stop",)``
+worker → parent
+    ``("ack", seq, worker_index, counts, failures, emissions, dead)``,
+    ``("error", worker_index, seq, component, task_index, retries, exc)``,
+    ``("snapshot", worker_index, dict)``, ``("bye", worker_index)``
+
+Every worker→parent message carries the worker index, which is what
+lets a transport multiplex all links into one ``recv`` stream without
+tagging.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from time import perf_counter, sleep
+from typing import Any, Optional
+
+from repro.streaming.recovery import format_dead_letter_cause, truncated_repr
+from repro.streaming.transport.base import WorkerInit
+from repro.streaming.tuples import StreamTuple
+
+
+class WorkerKilled(BaseException):
+    """A fault-plan kill fired; the transport loop must exit the process.
+
+    The session cannot call ``os._exit`` itself: the pipe transport's
+    reply queue runs a background feeder thread holding a lock shared
+    with every other worker, and exiting mid-``put`` would deadlock
+    their acks.  Raising lets each worker loop release its transport
+    resources first.  ``BaseException`` so task-level exception handling
+    can never swallow an injected kill.
+    """
+
+    def __init__(self, exit_code: int) -> None:
+        super().__init__(f"fault-injected kill with exit code {exit_code}")
+        self.exit_code = exit_code
+
+
+class WorkerCollector:
+    """Worker-side collector: buffers encoded emissions for the ack."""
+
+    __slots__ = ("_component", "_task_index", "_codec", "buffer")
+
+    def __init__(self, component: str, task_index: int, codec) -> None:
+        self._component = component
+        self._task_index = task_index
+        self._codec = codec
+        self.buffer: list = []
+
+    def emit(
+        self,
+        stream: str,
+        values: tuple[Any, ...],
+        direct_task: Optional[int] = None,
+    ) -> None:
+        self.buffer.append(
+            (
+                self._component,
+                self._task_index,
+                stream,
+                direct_task,
+                self._codec.encode(stream, values),
+            )
+        )
+
+
+class WorkerSession:
+    """Serves one link: feed parent messages in, get reply messages out.
+
+    The session is synchronous and single-threaded by design — a worker
+    owns its tasks exclusively and the per-link FIFO guarantee comes
+    from processing messages in arrival order.  ``stopped`` flips once a
+    ``stop`` was handled; the surrounding loop then exits after shipping
+    the ``bye``.
+    """
+
+    def __init__(self, init: WorkerInit) -> None:
+        self.worker_index = init.worker_index
+        self.stopped = False
+        self._registry = init.registry
+        self._obs = init.registry.enabled
+        self._link_codec = init.link_codec
+        self._max_retries = init.max_retries
+        self._quarantine = init.quarantine
+        plan = init.fault_plan
+        self._faults = (
+            plan.runtime(init.worker_index, init.incarnation)
+            if plan is not None
+            else None
+        )
+        self._tasks = init.tasks
+        self._collectors = {
+            key: WorkerCollector(key[0], key[1], init.emit_codec)
+            for key in init.tasks
+        }
+        self._hists = {
+            component: init.registry.histogram(
+                "executor.execute_seconds", component=component
+            )
+            for component, _ in init.tasks
+        }
+
+    def handle(self, message: tuple) -> list[tuple]:
+        """Process one parent message; return the replies to ship back."""
+        kind = message[0]
+        if kind == "batch":
+            return [self._handle_batch(message[1], message[2])]
+        if kind == "snapshot":
+            return [
+                ("snapshot", self.worker_index, self._registry.snapshot().as_dict())
+            ]
+        if kind == "stop":
+            self.stopped = True
+            return [("bye", self.worker_index)]
+        raise ValueError(f"unknown worker message kind {kind!r}")
+
+    def _handle_batch(self, seq: int, entries: list) -> tuple:
+        faults = self._faults
+        if faults is not None:
+            exit_code = faults.kill_on_batch()
+            if exit_code is not None:
+                raise WorkerKilled(exit_code)
+        obs = self._obs
+        emissions: list = []
+        counts: dict[str, int] = {}
+        failures = 0
+        failed = None
+        dead: list[tuple] = []
+        for entry_index, entry in enumerate(entries):
+            component, task_index, stream, source, source_task, direct, values = entry
+            tup = StreamTuple(
+                stream=stream,
+                values=self._link_codec.decode(stream, values),
+                source=source,
+                source_task=source_task,
+                direct_task=direct,
+            )
+            task = self._tasks[(component, task_index)]
+            collector = self._collectors[(component, task_index)]
+            collector.buffer = emissions
+            attempts = 0
+            quarantined = False
+            while True:
+                try:
+                    if faults is not None:
+                        faults.check_raise(
+                            component, stream, (seq, entry_index), attempts == 0
+                        )
+                    if obs:
+                        start = perf_counter()
+                        task.process(tup, collector)
+                        self._hists[component].observe(perf_counter() - start)
+                    else:
+                        task.process(tup, collector)
+                    break
+                except Exception as exc:  # mirror the base retry budget
+                    failures += 1
+                    if attempts >= self._max_retries:
+                        if self._quarantine:
+                            cause, tb_text = format_dead_letter_cause(exc)
+                            dead.append(
+                                (
+                                    component,
+                                    task_index,
+                                    stream,
+                                    attempts,
+                                    cause,
+                                    tb_text,
+                                    truncated_repr(tup.values),
+                                )
+                            )
+                            quarantined = True
+                            break
+                        failed = (component, task_index, attempts, exc)
+                        break
+                    attempts += 1
+            if failed is not None:
+                break
+            if quarantined:
+                continue
+            counts[component] = counts.get(component, 0) + 1
+        if failed is not None:
+            component, task_index, attempts, exc = failed
+            try:  # exceptions are usually picklable; fall back to text
+                pickle.dumps(exc)
+            except Exception:
+                # the original traceback would be lost with the
+                # process — carry its formatted text across the link
+                detail = "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ) or repr(exc)
+                exc = RuntimeError(
+                    f"unpicklable worker exception {exc!r}; "
+                    f"worker-side traceback:\n{detail}"
+                )
+            # stay alive after reporting so the parent can stop us cleanly
+            return (
+                "error", self.worker_index, seq, component, task_index, attempts, exc,
+            )
+        if faults is not None:
+            delay = faults.ack_delay()
+            if delay > 0:
+                sleep(delay)
+        return (
+            "ack",
+            seq,
+            self.worker_index,
+            tuple(counts.items()),
+            failures,
+            tuple(emissions),
+            tuple(dead),
+        )

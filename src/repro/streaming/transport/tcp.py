@@ -1,0 +1,298 @@
+"""Socket transport: length-prefixed frames over TCP.
+
+Workers are separate ``python -m repro.worker --listen host:port``
+interpreters (see :mod:`repro.worker`); the parent either spawns them
+as subprocesses or *attaches* to pre-started ones:
+
+* ``"host:port"`` (or the default ``"127.0.0.1:0"``) — spawn a local
+  subprocess listening there; port 0 picks a free port, discovered from
+  the worker's LISTEN banner on stdout.
+* ``"tcp://host:port"`` — connect to an already-running worker, e.g.
+  one started by hand on another machine (``docs/distributed.md``).
+
+Because a socket worker is a fresh interpreter rather than a fork, the
+:class:`~repro.streaming.transport.base.WorkerInit` is pickled and sent
+as the connection's first frame.  Everything after that is the ordinary
+session protocol; the parent multiplexes replies from all links with a
+``selectors`` loop, feeding one incremental
+:class:`~repro.streaming.transport.framing.FrameDecoder` per link.
+
+Failure model: TCP happily buffers sends to a worker that just died, so
+``send`` raising :class:`LinkDown` is *not* the primary death signal —
+the cluster's liveness checks (``alive()`` via the subprocess, or EOF
+surfacing through ``recv``) are, and the journal replay makes either
+detection path safe.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import selectors
+import socket
+import subprocess
+import sys
+from collections import deque
+from pathlib import Path
+from time import monotonic, sleep
+from typing import Optional, Sequence
+
+from repro.exceptions import TopologyError
+from repro.streaming.transport.base import (
+    LinkDown,
+    Transport,
+    WorkerInit,
+    WorkerLink,
+    register_transport,
+)
+from repro.streaming.transport.framing import (
+    DEFAULT_HOST,
+    FrameDecoder,
+    encode_frame,
+    is_attach_address,
+    parse_address,
+    parse_banner,
+)
+
+#: how long spawn waits for a LISTEN banner / successful connect
+DEFAULT_SPAWN_TIMEOUT_S = 30.0
+#: a send making no progress this long means the worker is dead or stuck
+SEND_TIMEOUT_S = 120.0
+#: ``src`` directory shipped to spawned workers via PYTHONPATH
+_SRC_ROOT = str(Path(__file__).resolve().parents[3])
+
+
+class SocketWorkerLink(WorkerLink):
+    """One TCP connection, plus the subprocess when we spawned it."""
+
+    __slots__ = ("index", "decoder", "_sock", "_transport", "_process", "_eof")
+
+    def __init__(self, index: int, sock, transport, process=None) -> None:
+        self.index = index
+        self.decoder = FrameDecoder()
+        self._sock = sock
+        self._transport = transport
+        self._process = process
+        self._eof = False
+
+    def send(self, message: tuple) -> None:
+        if self._sock is None:
+            raise LinkDown("link already reaped")
+        try:
+            self._sock.sendall(encode_frame(message))
+        except OSError as exc:
+            raise LinkDown(str(exc)) from exc
+
+    def alive(self) -> bool:
+        if self._process is not None:
+            return self._process.poll() is None
+        # attached worker: all we can observe is the connection itself
+        return self._sock is not None and not self._eof
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        return self._process.returncode if self._process is not None else None
+
+    def mark_eof(self) -> None:
+        self._eof = True
+
+    def reap(self, timeout: float = 1.0) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            self._transport._forget(sock)
+        if self._process is not None:
+            # let a stopping worker finish its bye/exit before the socket
+            # goes away under it, then escalate
+            try:
+                self._process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self._process.terminate()
+                try:
+                    self._process.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                    self._process.kill()
+                    self._process.wait()
+            if self._process.stdout is not None:
+                self._process.stdout.close()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._eof = True
+
+
+@register_transport("socket")
+class SocketTransport(Transport):
+    name = "socket"
+
+    def __init__(
+        self,
+        addresses: Optional[Sequence[str]] = None,
+        *,
+        spawn_timeout_s: float = DEFAULT_SPAWN_TIMEOUT_S,
+    ) -> None:
+        super().__init__()
+        self._addresses = list(addresses) if addresses is not None else None
+        self._spawn_timeout_s = spawn_timeout_s
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._inbox: deque = deque()
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def address_for(self, worker_index: int) -> str:
+        if self._addresses is None or worker_index >= len(self._addresses):
+            return f"{DEFAULT_HOST}:0"
+        return self._addresses[worker_index]
+
+    def start(self) -> None:
+        if self._selector is None:
+            self._selector = selectors.DefaultSelector()
+
+    def spawn(self, init: WorkerInit) -> SocketWorkerLink:
+        self.start()
+        address = self.address_for(init.worker_index)
+        deadline = monotonic() + self._spawn_timeout_s
+        if is_attach_address(address):
+            process = None
+            sock = self._connect(parse_address(address), deadline, init.worker_index)
+        else:
+            process, sock = self._launch(address, deadline, init.worker_index)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # timeout mode, not non-blocking: send() below relies on
+            # sendall, and recv only runs after the selector reports
+            # readability, so neither side can stall the parent forever
+            sock.settimeout(SEND_TIMEOUT_S)
+            sock.sendall(encode_frame(init))
+        except OSError as exc:
+            link = SocketWorkerLink(init.worker_index, sock, self, process)
+            link.reap(timeout=0.5)
+            raise TopologyError(
+                f"worker {init.worker_index} at {address} rejected the init "
+                f"frame: {exc}"
+            ) from exc
+        link = SocketWorkerLink(init.worker_index, sock, self, process)
+        self._selector.register(sock, selectors.EVENT_READ, link)
+        self._note_spawn(init.worker_index)
+        return link
+
+    def _launch(self, address: str, deadline: float, worker_index: int):
+        host, port = parse_address(address)
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            _SRC_ROOT if not existing else _SRC_ROOT + os.pathsep + existing
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.worker", "--listen", f"{host}:{port}"],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            listen_host, listen_port = self._read_banner(
+                process, deadline, worker_index
+            )
+            sock = self._connect(
+                (listen_host, listen_port), deadline, worker_index
+            )
+        except Exception:
+            process.terminate()
+            try:
+                process.wait(timeout=1.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+            raise
+        return process, sock
+
+    def _read_banner(self, process, deadline: float, worker_index: int):
+        """Wait for the worker's LISTEN line on stdout (port-0 discovery)."""
+        fd = process.stdout.fileno()
+        buffer = b""
+        while True:
+            newline = buffer.find(b"\n")
+            if newline >= 0:
+                line = buffer[:newline].decode("utf-8", errors="replace")
+                buffer = buffer[newline + 1:]
+                parsed = parse_banner(line)
+                if parsed is not None:
+                    return parsed
+                continue
+            if monotonic() > deadline:
+                raise TopologyError(
+                    f"worker {worker_index} did not report a listen address "
+                    f"within {self._spawn_timeout_s:.0f}s"
+                )
+            ready, _, _ = select.select([fd], [], [], 0.1)
+            if not ready:
+                if process.poll() is not None:
+                    raise TopologyError(
+                        f"worker {worker_index} exited with code "
+                        f"{process.returncode} before listening"
+                    )
+                continue
+            chunk = os.read(fd, 4096)
+            if not chunk:
+                raise TopologyError(
+                    f"worker {worker_index} closed stdout before reporting "
+                    "a listen address"
+                )
+            buffer += chunk
+
+    def _connect(self, target: tuple[str, int], deadline: float, worker_index: int):
+        """Connect with retries — the listener (or a respawning attached
+        worker) may need a moment to come up."""
+        last_error: Optional[OSError] = None
+        while monotonic() <= deadline:
+            try:
+                return socket.create_connection(target, timeout=5.0)
+            except OSError as exc:
+                last_error = exc
+                sleep(0.05)
+        raise TopologyError(
+            f"could not connect to worker {worker_index} at "
+            f"{target[0]}:{target[1]}: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def recv(self, timeout: float) -> Optional[tuple]:
+        if self._inbox:
+            return self._inbox.popleft()
+        if self._selector is None:
+            return None
+        for key, _ in self._selector.select(timeout if timeout > 0 else 0):
+            link: SocketWorkerLink = key.data
+            try:
+                data = key.fileobj.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):  # pragma: no cover
+                continue
+            except OSError:
+                data = b""
+            if not data:
+                # connection gone: stop watching; the cluster notices via
+                # alive() and replays the journal into a fresh link
+                self._forget(key.fileobj)
+                link.mark_eof()
+                continue
+            self._inbox.extend(link.decoder.feed(data))
+        return self._inbox.popleft() if self._inbox else None
+
+    def _forget(self, sock) -> None:
+        if self._selector is None:
+            return
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        self._inbox.clear()

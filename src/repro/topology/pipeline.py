@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.document import Document
 from repro.exceptions import PartitioningError
@@ -36,6 +37,8 @@ from repro.streaming.grouping import (
     ShuffleGrouping,
 )
 from repro.streaming.topology import Topology, TopologyBuilder
+from repro.streaming.transport import available_transports
+from repro.streaming.transport.framing import parse_address
 from repro.topology import messages as msg
 from repro.topology.messages import wire_codec
 from repro.topology.assigner import AssignerBolt
@@ -89,11 +92,21 @@ class StreamJoinConfig:
     observability: bool = False
     #: execution backend: ``"local"`` runs every task inline in one
     #: process (the deterministic reference); ``"parallel"`` runs the
-    #: Joiner tasks in forked worker processes (same per-window results,
+    #: Joiner tasks in worker processes (same per-window results,
     #: see :mod:`repro.streaming.parallel`)
     backend: str = "local"
-    #: worker process count for the parallel backend; None -> one per
-    #: core, capped at the Joiner task count
+    #: worker transport for the parallel backend: ``"pipe"`` forks
+    #: workers over duplex pipes (single host), ``"socket"`` runs
+    #: ``python -m repro.worker`` subprocesses over TCP and supports
+    #: per-worker addressing (``docs/distributed.md``)
+    transport: str = "pipe"
+    #: worker count for the parallel backend (None -> one per core,
+    #: capped at the Joiner task count), or — socket transport only — a
+    #: list of ``host:port`` worker addresses; ``tcp://host:port``
+    #: entries attach to pre-started workers instead of spawning them
+    workers: Optional[Union[int, tuple[str, ...], list[str]]] = None
+    #: deprecated spelling of ``workers`` as a count; accepted for one
+    #: release and mapped onto ``workers`` with a DeprecationWarning
     parallel_workers: Optional[int] = None
     #: redeliveries of a failing tuple before it is considered poisoned
     max_retries: int = 0
@@ -123,10 +136,49 @@ class StreamJoinConfig:
             raise PartitioningError(
                 f"unknown backend {self.backend!r}; choose from {sorted(BACKENDS)}"
             )
+        if self.transport not in available_transports():
+            raise PartitioningError(
+                f"unknown transport {self.transport!r}; "
+                f"choose from {sorted(available_transports())}"
+            )
         if self.max_retries < 0:
             raise PartitioningError(
                 f"max_retries must be >= 0, got {self.max_retries}"
             )
+        if self.parallel_workers is not None:
+            warnings.warn(
+                "StreamJoinConfig.parallel_workers is deprecated; pass "
+                "workers=<count> (or a list of host:port addresses with "
+                "transport='socket') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.workers is None:
+                object.__setattr__(self, "workers", self.parallel_workers)
+            elif self.workers != self.parallel_workers:
+                raise PartitioningError(
+                    "parallel_workers (deprecated) and workers disagree; "
+                    "set only workers"
+                )
+        workers = self.workers
+        if isinstance(workers, list):
+            # normalize so frozen configs stay hashable (experiment caches
+            # key on them)
+            workers = tuple(workers)
+            object.__setattr__(self, "workers", workers)
+        if isinstance(workers, int) and workers < 1:
+            raise PartitioningError(f"workers must be >= 1, got {workers}")
+        if isinstance(workers, tuple):
+            if self.transport == "pipe":
+                raise PartitioningError(
+                    "worker addresses require transport='socket'; the pipe "
+                    "transport takes a count"
+                )
+            for address in workers:
+                try:
+                    parse_address(address)
+                except ValueError as exc:
+                    raise PartitioningError(str(exc)) from None
 
 
 @dataclass
@@ -278,9 +330,10 @@ def make_cluster(
 
     ``"local"`` gives the single-process reference executor;
     ``"parallel"`` places the Joiner tasks (the only CPU-heavy leaf of
-    Fig. 2) in forked worker processes, with window-end punctuation as
-    the flush barrier so per-window results match the local backend
-    byte for byte.
+    Fig. 2) in worker processes — forked or socket-connected, per
+    ``config.transport`` — with window-end punctuation as the flush
+    barrier so per-window results match the local backend byte for
+    byte.
     """
     dlq = (
         DeadLetterQueue(limit=config.dead_letter_limit)
@@ -299,7 +352,8 @@ def make_cluster(
             # worker must see them before the window journal
             sticky_streams=(msg.PARTITIONS,),
             restart_policy=config.restart_policy,
-            n_workers=config.parallel_workers,
+            transport=config.transport,
+            workers=config.workers,
             codec=wire_codec(),
             dead_letters=dlq,
             fault_plan=config.fault_plan,

@@ -1,0 +1,137 @@
+"""Standalone socket worker: ``python -m repro.worker --listen host:port``.
+
+The process side of the socket transport
+(:mod:`repro.streaming.transport.tcp`).  It listens on the given
+address (port 0 picks a free port), prints a LISTEN banner on stdout so
+a spawning parent can discover the bound port, and serves connections:
+
+1. the first frame of a connection is a pickled
+   :class:`~repro.streaming.transport.base.WorkerInit`;
+2. every further frame is a parent message, answered on the same
+   connection via :class:`~repro.streaming.transport.session.WorkerSession`;
+3. the connection ends on ``stop`` (after the ``bye`` reply) or when
+   the parent goes away; the *process* ends once the connection budget
+   is spent.
+
+Each connection gets a *fresh* session — worker state is rebuilt by the
+parent's journal replay, never carried across connections.  By default
+the process exits after one connection (the spawned-subprocess
+lifecycle, where a respawn is a new process).  Pre-started workers that
+a parent attaches to with ``tcp://host:port`` addressing should pass
+``--max-connections 0``: such a worker outlives any single cluster, so
+a respawning (or entirely new) parent can connect again; see
+``docs/distributed.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import pickle
+import sys
+
+from repro.streaming.transport.framing import (
+    FRAME_HEADER,
+    encode_frame,
+    format_banner,
+    parse_address,
+)
+from repro.streaming.transport.session import WorkerKilled, WorkerSession
+
+
+async def _read_frame(reader: asyncio.StreamReader):
+    header = await reader.readexactly(FRAME_HEADER.size)
+    (length,) = FRAME_HEADER.unpack(header)
+    payload = await reader.readexactly(length)
+    return pickle.loads(payload)
+
+
+async def _serve_connection(reader, writer) -> bool:
+    """Serve one parent connection; True once a clean stop was handled."""
+    try:
+        init = await _read_frame(reader)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return False
+    session = WorkerSession(init)
+    try:
+        while not session.stopped:
+            try:
+                message = await _read_frame(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                break
+            for reply in session.handle(message):
+                writer.write(encode_frame(reply))
+            await writer.drain()
+    except WorkerKilled as kill:
+        # No shared resources to release on this side of a socket — the
+        # parent sees the EOF / process exit and replays the journal.
+        os._exit(kill.exit_code)
+    except (ConnectionError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+    return session.stopped
+
+
+async def serve(host: str, port: int, max_connections: int) -> None:
+    done = asyncio.Event()
+    served = 0
+
+    async def handler(reader, writer):
+        nonlocal served
+        served += 1
+        await _serve_connection(reader, writer)
+        # Only the connection budget ends the process: a clean ``stop``
+        # ends its *connection*, so an attach-mode worker (budget 0)
+        # keeps listening for the next cluster — while a spawned worker
+        # (budget 1) exits whether its parent said stop or just died.
+        if max_connections and served >= max_connections:
+            done.set()
+
+    server = await asyncio.start_server(handler, host, port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    print(format_banner(bound_host, bound_port), flush=True)
+    async with server:
+        await done.wait()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description="socket-transport worker for the parallel backend",
+    )
+    parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on; port 0 picks a free port "
+        "(reported via the LISTEN banner on stdout)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=1,
+        metavar="N",
+        help="exit after N connections (default 1, the spawned-subprocess "
+        "lifecycle); 0 keeps serving so a supervising parent can "
+        "reconnect after failures (attach mode)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        asyncio.run(serve(host, port, args.max_connections))
+    except KeyboardInterrupt:  # pragma: no cover - operator stop
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

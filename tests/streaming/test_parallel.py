@@ -110,7 +110,15 @@ class TestParallelSmoke:
         ) as cluster:
             cluster.run()
             assert sorted(par_sink.values) == sorted(local_sink.values)
-            assert cluster.stats() == local.stats()
+            par_stats = cluster.stats()
+            local_stats = local.stats()
+            # unified schema: same keys on every backend, only the
+            # transport name itself legitimately differs
+            assert set(par_stats) == set(local_stats)
+            assert par_stats.pop("transport") == "pipe"
+            assert local_stats.pop("transport") is None
+            assert par_stats == local_stats
+            assert par_stats["reconnects"] == 0
 
     def test_remote_tasks_are_not_inspectable(self):
         cluster = ParallelCluster(
@@ -263,8 +271,7 @@ class TestFailureSurfacing:
             cluster.run()
         # run() closed the cluster on the way out — nothing left running
         assert all(
-            h.process is None or not h.process.is_alive()
-            for h in cluster._workers
+            h.link is None or not h.link.alive() for h in cluster._workers
         )
 
     def test_barrier_timeout_raises_topology_error(self):
@@ -293,6 +300,5 @@ class TestFailureSurfacing:
         cluster.close()  # already closed by run(); must not raise
         cluster.close()
         assert all(
-            h.process is None or not h.process.is_alive()
-            for h in cluster._workers
+            h.link is None or not h.link.alive() for h in cluster._workers
         )

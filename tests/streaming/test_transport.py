@@ -1,0 +1,427 @@
+"""The Transport/WorkerLink seam: framing, config surface, conformance.
+
+Three layers of coverage:
+
+* tier-1 units for the wire framing helpers, the transport registry and
+  the redesigned ``workers``/``transport`` configuration surface
+  (including the ``parallel_workers`` deprecation shim);
+* a tier-1 socket smoke case (one TCP worker, tiny topology) so the
+  default test run exercises a real ``python -m repro.worker``
+  subprocess end to end;
+* the transport conformance suite — the contract every implementation
+  must satisfy (ordering, barrier flush, reconnect re-encode, unified
+  stats, idempotent close) — instantiated for the pipe transport under
+  the ``parallel`` marker and for the socket transport under the
+  ``distributed`` marker.
+"""
+
+import argparse
+import warnings
+
+import pytest
+
+from repro.cli import _workers_argument
+from repro.exceptions import PartitioningError, TopologyError
+from repro.experiments.config import ExperimentConfig
+from repro.faults import FaultPlan
+from repro.streaming.component import Bolt, Spout
+from repro.streaming.executor import LocalCluster
+from repro.streaming.grouping import AllGrouping, FieldsGrouping, GlobalGrouping
+from repro.streaming.parallel import ParallelCluster
+from repro.streaming.recovery import RestartPolicy
+from repro.streaming.topology import TopologyBuilder
+from repro.streaming.transport import (
+    Transport,
+    available_transports,
+    make_transport,
+)
+from repro.streaming.transport.framing import (
+    FrameDecoder,
+    encode_frame,
+    format_banner,
+    is_attach_address,
+    parse_address,
+    parse_banner,
+)
+from repro.topology.pipeline import StreamJoinConfig
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip_single_message(self):
+        decoder = FrameDecoder()
+        message = ("ack", 7, 0, {"square": 4}, 0, [], [])
+        assert decoder.feed(encode_frame(message)) == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_multiple_messages_in_one_feed(self):
+        messages = [("batch", i, [("a", 0, "s", None, (i,))]) for i in range(5)]
+        blob = b"".join(encode_frame(m) for m in messages)
+        assert FrameDecoder().feed(blob) == messages
+
+    def test_byte_at_a_time_feed(self):
+        messages = [("stop",), ("snapshot", 3), ("ack", 0, 1)]
+        blob = b"".join(encode_frame(m) for m in messages)
+        decoder, received = FrameDecoder(), []
+        for i in range(len(blob)):
+            received.extend(decoder.feed(blob[i : i + 1]))
+        assert received == messages
+        assert decoder.pending_bytes == 0
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_frame(("stop",))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [("stop",)]
+
+
+class TestAddresses:
+    def test_parse_host_port(self):
+        assert parse_address("10.0.0.5:7777") == ("10.0.0.5", 7777)
+
+    def test_empty_host_means_local(self):
+        assert parse_address(":0") == ("127.0.0.1", 0)
+
+    def test_attach_scheme_is_stripped(self):
+        assert parse_address("tcp://worker-3:6000") == ("worker-3", 6000)
+        assert is_attach_address("tcp://worker-3:6000")
+        assert not is_attach_address("worker-3:6000")
+
+    @pytest.mark.parametrize("bad", ["nocolon", "host:notaport", "host:70000"])
+    def test_malformed_addresses_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_banner_roundtrip(self):
+        assert parse_banner(format_banner("127.0.0.1", 40123)) == (
+            "127.0.0.1",
+            40123,
+        )
+
+    @pytest.mark.parametrize(
+        "noise",
+        ["", "warning: something", "REPRO-WORKER LISTENING", "REPRO-WORKER LISTENING h p"],
+    )
+    def test_banner_ignores_noise(self, noise):
+        assert parse_banner(noise) is None
+
+
+# ----------------------------------------------------------------------
+# Transport registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_both_transports_are_registered(self):
+        names = available_transports()
+        assert "pipe" in names and "socket" in names
+
+    def test_make_transport_builds_instances(self):
+        for name in ("pipe", "socket"):
+            transport = make_transport(name)
+            assert isinstance(transport, Transport)
+            assert transport.name == name
+            assert transport.stats() == {"transport": name, "reconnects": 0}
+            transport.close()
+
+    def test_unknown_transport_raises(self):
+        with pytest.raises(TopologyError, match="unknown transport"):
+            make_transport("carrier-pigeon")
+
+    def test_pipe_transport_rejects_addresses(self):
+        with pytest.raises(TopologyError):
+            make_transport("pipe", addresses=("127.0.0.1:1234",))
+
+
+# ----------------------------------------------------------------------
+# Redesigned configuration surface
+# ----------------------------------------------------------------------
+class TestConfigSurface:
+    def test_parallel_workers_is_deprecated_but_mapped(self):
+        with pytest.warns(DeprecationWarning, match="parallel_workers"):
+            config = StreamJoinConfig(m=4, backend="parallel", parallel_workers=2)
+        assert config.workers == 2
+
+    def test_parallel_workers_and_workers_must_agree(self):
+        with pytest.warns(DeprecationWarning):
+            StreamJoinConfig(m=4, parallel_workers=2, workers=2)  # agree: fine
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PartitioningError, match="disagree"):
+                StreamJoinConfig(m=4, parallel_workers=2, workers=3)
+
+    def test_workers_alone_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = StreamJoinConfig(m=4, backend="parallel", workers=2)
+        assert config.workers == 2
+
+    def test_worker_count_must_be_positive(self):
+        with pytest.raises(PartitioningError, match="workers"):
+            StreamJoinConfig(m=4, workers=0)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(PartitioningError, match="unknown transport"):
+            StreamJoinConfig(m=4, transport="smoke-signals")
+
+    def test_addresses_require_socket_transport(self):
+        with pytest.raises(PartitioningError, match="socket"):
+            StreamJoinConfig(m=4, workers=["127.0.0.1:0"])
+
+    def test_address_list_normalizes_to_tuple(self):
+        config = StreamJoinConfig(
+            m=4, transport="socket", workers=["127.0.0.1:0", ":0"]
+        )
+        assert config.workers == ("127.0.0.1:0", ":0")
+        hash(config)  # experiment caches key on the config
+
+    def test_malformed_address_rejected(self):
+        with pytest.raises(PartitioningError):
+            StreamJoinConfig(m=4, transport="socket", workers=["nocolon"])
+
+    def test_experiment_config_mirrors_the_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="parallel_workers"):
+            config = ExperimentConfig(
+                dataset="rwData", backend="parallel", parallel_workers=2
+            )
+        assert config.workers == 2
+
+    def test_cluster_rejects_workers_and_n_workers_together(self):
+        builder = TopologyBuilder()
+        builder.set_spout("src", lambda: TickingNumberSpout(1))
+        with pytest.raises(TopologyError, match="not both"):
+            ParallelCluster(builder.build(), workers=2, n_workers=2)
+
+
+class TestCliWorkersArgument:
+    def test_count(self):
+        assert _workers_argument("4") == 4
+
+    def test_address_list(self):
+        assert _workers_argument("host-a:7000, host-b:7001") == (
+            "host-a:7000",
+            "host-b:7001",
+        )
+
+    def test_single_address(self):
+        assert _workers_argument("tcp://host-a:7000") == ("tcp://host-a:7000",)
+
+    @pytest.mark.parametrize("bad", ["bogus", ","])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _workers_argument(bad)
+
+
+# ----------------------------------------------------------------------
+# Conformance suite: the contract every transport must satisfy
+# ----------------------------------------------------------------------
+class TickingNumberSpout(Spout):
+    """Emits 0..n-1 with a barrier tick every ``period`` numbers."""
+
+    def __init__(self, n: int, period: int = 10):
+        self.n, self.period, self._i = n, period, 0
+
+    def next_tuple(self, collector) -> bool:
+        if self._i >= self.n:
+            return False
+        collector.emit("numbers", (self._i,))
+        self._i += 1
+        if self._i % self.period == 0:
+            collector.emit("tick", (self._i,))
+        return self._i < self.n
+
+
+class SquareBolt(Bolt):
+    def process(self, tup, collector) -> None:
+        if tup.stream == "numbers":
+            collector.emit("squares", (tup.values[0] ** 2,))
+
+
+class CollectBolt(Bolt):
+    def __init__(self):
+        self.values: list[int] = []
+
+    def process(self, tup, collector) -> None:
+        self.values.append(tup.values[0])
+
+
+def _square_topology(collector: CollectBolt, n: int = 50):
+    builder = TopologyBuilder()
+    builder.set_spout("src", lambda: TickingNumberSpout(n))
+    square = builder.set_bolt("square", SquareBolt, parallelism=2)
+    square.subscribe("src", "numbers", FieldsGrouping(key=0))
+    square.subscribe("src", "tick", AllGrouping())
+    builder.set_bolt("collect", lambda: collector).subscribe(
+        "square", "squares", GlobalGrouping()
+    )
+    return builder.build()
+
+
+def _clean_reference(n: int = 50) -> list[int]:
+    collector = CollectBolt()
+    with LocalCluster(_square_topology(collector, n)) as cluster:
+        cluster.run()
+    return sorted(collector.values)
+
+
+class _LinkDictCodec:
+    """Stateful per-link dictionary codec for the conformance suite.
+
+    The first sighting of a value ships a definition, repeats ship only
+    the id.  Decoding an id the decoder has never seen raises
+    ``KeyError`` — so a journal replayed *without* re-encoding against a
+    replacement worker's fresh codec state cannot pass silently.
+    """
+
+    def __init__(self):
+        self._ids: dict = {}
+        self._values: dict = {}
+
+    def encode(self, stream, values):
+        encoded = []
+        for value in values:
+            if value in self._ids:
+                encoded.append(("ref", self._ids[value]))
+            else:
+                idx = len(self._ids)
+                self._ids[value] = idx
+                encoded.append(("def", idx, value))
+        return tuple(encoded)
+
+    def decode(self, stream, values):
+        decoded = []
+        for entry in values:
+            if entry[0] == "def":
+                self._values[entry[1]] = entry[2]
+                decoded.append(entry[2])
+            else:
+                decoded.append(self._values[entry[1]])
+        return tuple(decoded)
+
+
+class _TestCodec:
+    """Identity on the (stateless) emit channel, dictionary per link."""
+
+    def encode(self, stream, values):
+        return values
+
+    def decode(self, stream, values):
+        return values
+
+    def link_codec(self):
+        return _LinkDictCodec()
+
+
+#: zero-backoff restart policy so recovery cases stay fast
+FAST_RESTART = RestartPolicy(max_restarts_per_window=3, backoff_base_s=0.0, jitter=0.0)
+
+
+class TransportConformance:
+    """Shared cases; subclasses pick the transport (and the marker)."""
+
+    TRANSPORT = "unset"
+
+    def _cluster(self, collector: CollectBolt, n: int = 50, **kwargs) -> ParallelCluster:
+        return ParallelCluster(
+            _square_topology(collector, n),
+            remote_components=("square",),
+            barrier_streams=("tick",),
+            transport=self.TRANSPORT,
+            workers=2,
+            batch_size=4,
+            **kwargs,
+        )
+
+    def test_clean_run_matches_local(self):
+        clean = _clean_reference()
+        collector = CollectBolt()
+        with self._cluster(collector) as cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["transport"] == self.TRANSPORT
+        assert stats["reconnects"] == 0
+        assert stats["worker_restarts"] == 0
+
+    def test_barrier_flush_releases_everything(self):
+        """After a run every shipped batch is acked and every stashed
+        emission released — nothing in flight, nothing buffered."""
+        collector = CollectBolt()
+        with self._cluster(collector) as cluster:
+            cluster.run()
+            for handle in cluster._workers:
+                assert not handle.pending
+                assert not handle.buffer
+        assert len(collector.values) == 50
+
+    def test_reconnect_reencodes_journal(self):
+        """A replacement worker's journal replay must be re-encoded with
+        the fresh link codec — stale dictionary state would KeyError."""
+        clean = _clean_reference()
+        collector = CollectBolt()
+        cluster = self._cluster(
+            collector,
+            codec=_TestCodec(),
+            restart_policy=FAST_RESTART,
+            fault_plan=FaultPlan().kill_worker(0, after_batches=1),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["worker_restarts"] == 1
+        assert stats["reconnects"] == 1
+
+    def test_stats_schema_is_unified(self):
+        collector = CollectBolt()
+        with self._cluster(collector) as cluster:
+            cluster.run()
+            stats = cluster.stats()
+        local = CollectBolt()
+        with LocalCluster(_square_topology(local)) as reference:
+            reference.run()
+            assert set(stats) == set(reference.stats())
+
+    def test_close_is_idempotent_and_reaps_all_workers(self):
+        collector = CollectBolt()
+        cluster = self._cluster(collector, n=20)
+        cluster.run()
+        cluster.close()
+        assert all(handle.link is None for handle in cluster._workers)
+        cluster.close()  # second close must be a no-op, not an error
+
+    def test_close_without_start_is_safe(self):
+        cluster = self._cluster(CollectBolt())
+        cluster.close()
+        cluster.close()
+
+
+@pytest.mark.parallel
+class TestPipeConformance(TransportConformance):
+    TRANSPORT = "pipe"
+
+
+@pytest.mark.distributed
+class TestSocketConformance(TransportConformance):
+    TRANSPORT = "socket"
+
+
+class TestSocketSmoke:
+    """Tier-1: one real TCP worker end to end, kept deliberately tiny."""
+
+    def test_single_socket_worker_matches_local(self):
+        clean = _clean_reference(n=20)
+        collector = CollectBolt()
+        with ParallelCluster(
+            _square_topology(collector, n=20),
+            remote_components=("square",),
+            barrier_streams=("tick",),
+            transport="socket",
+            workers=1,
+            batch_size=4,
+        ) as cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["transport"] == "socket"
+        assert stats["reconnects"] == 0

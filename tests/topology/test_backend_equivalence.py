@@ -1,34 +1,45 @@
 """The parallel backend must reproduce the local backend exactly.
 
 The determinism contract (docs/architecture.md, "Execution backends"):
-for any configuration, the two backends produce byte-identical
-per-window metrics, join-pair sets and tuple accounting.  These tests
-pin that contract across partitioners and datasets.
+for any configuration, every backend/transport combination produces
+byte-identical per-window metrics, join-pair sets and tuple accounting.
+These tests pin that contract across partitioners, datasets and the
+full backend matrix — (local, parallel+pipe, parallel+socket) × the
+three seeded datasets.
 
-All cases here carry the ``parallel`` marker (they fork real worker
-processes and run full topologies); tier-1 coverage of the backend
-lives in ``tests/streaming/test_parallel.py``.
+All cases here fork real worker processes and run full topologies, so
+they carry the ``parallel`` marker; the socket legs of the matrix
+additionally carry ``distributed`` and run via ``make test-distributed``.
+Tier-1 coverage of the backend lives in
+``tests/streaming/test_parallel.py`` and
+``tests/streaming/test_transport.py``.
 """
 
 import pytest
 
-from repro.data.nobench import NoBenchGenerator
-from repro.data.serverlogs import ServerLogGenerator
+from repro.experiments.config import make_generator
 from repro.topology.pipeline import StreamJoinConfig, run_stream_join
 
 pytestmark = pytest.mark.parallel
 
+#: the backend matrix; socket legs are deselected from ``make
+#: test-parallel`` (they need TCP worker subprocesses) and run under
+#: ``make test-distributed`` instead
+MATRIX = [
+    pytest.param("local", "pipe", id="local"),
+    pytest.param("parallel", "pipe", id="parallel-pipe"),
+    pytest.param(
+        "parallel", "socket", id="parallel-socket", marks=pytest.mark.distributed
+    ),
+]
+
 
 def _windows(dataset: str, n_windows: int = 3, size: int = 120):
-    generator = (
-        ServerLogGenerator(seed=23)
-        if dataset == "rwData"
-        else NoBenchGenerator(seed=23)
-    )
+    generator = make_generator(dataset, seed=23, window_size=size)
     return [generator.next_window(size) for _ in range(n_windows)]
 
 
-def _run(dataset: str, algorithm: str, backend: str, **overrides):
+def _run(dataset: str, algorithm: str, backend: str, transport: str = "pipe", **overrides):
     config = StreamJoinConfig(
         m=4,
         algorithm=algorithm,
@@ -37,10 +48,19 @@ def _run(dataset: str, algorithm: str, backend: str, **overrides):
         compute_joins=True,
         collect_pairs=True,
         backend=backend,
-        parallel_workers=2 if backend == "parallel" else None,
+        transport=transport,
+        workers=2 if backend == "parallel" else None,
         **overrides,
     )
     return run_stream_join(config, _windows(dataset))
+
+
+def _comparable_stats(result, expect_transport):
+    """Tuple accounting minus the keys that name the transport itself."""
+    stats = dict(result.tuple_stats)
+    assert stats.pop("transport") == expect_transport
+    assert stats.pop("reconnects") == 0  # clean runs never reconnect
+    return stats
 
 
 @pytest.mark.parametrize("algorithm", ["AG", "HASH"])
@@ -52,7 +72,7 @@ class TestBackendEquivalence:
         assert par.per_window == local.per_window
         assert par.join_pairs == local.join_pairs
         assert par.repartition_windows == local.repartition_windows
-        assert par.tuple_stats == local.tuple_stats
+        assert _comparable_stats(par, "pipe") == _comparable_stats(local, None)
 
     def test_summary_metrics_are_identical(self, dataset, algorithm):
         local = _run(dataset, algorithm, "local").summary()
@@ -62,6 +82,21 @@ class TestBackendEquivalence:
         assert par.max_load == local.max_load
         assert par.repartition_rate == local.repartition_rate
         assert par.join_pairs == local.join_pairs
+
+
+@pytest.mark.parametrize("dataset", ["rwData", "nbData", "idealData"])
+@pytest.mark.parametrize("backend,transport", MATRIX)
+class TestTransportMatrix:
+    """Every cell of the backend matrix against the local reference."""
+
+    def test_matches_local_reference(self, dataset, backend, transport):
+        local = _run(dataset, "AG", "local")
+        run = _run(dataset, "AG", backend, transport=transport)
+        assert run.per_window == local.per_window
+        assert run.join_pairs == local.join_pairs
+        assert run.repartition_windows == local.repartition_windows
+        expected = transport if backend == "parallel" else None
+        assert _comparable_stats(run, expected) == _comparable_stats(local, None)
 
 
 def test_observability_counters_match_local():
@@ -87,7 +122,7 @@ def test_session_supports_parallel_backend():
                 compute_joins=True,
                 collect_pairs=True,
                 backend=backend,
-                parallel_workers=2 if backend == "parallel" else None,
+                workers=2 if backend == "parallel" else None,
             )
         )
         for window in windows:
@@ -95,4 +130,6 @@ def test_session_supports_parallel_backend():
         results[backend] = session.result()
     assert results["parallel"].per_window == results["local"].per_window
     assert results["parallel"].join_pairs == results["local"].join_pairs
-    assert results["parallel"].tuple_stats == results["local"].tuple_stats
+    assert _comparable_stats(results["parallel"], "pipe") == _comparable_stats(
+        results["local"], None
+    )
