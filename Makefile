@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-check figures report examples clean
+.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,8 +29,8 @@ test-distributed:
 	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m distributed
 
 # the full pre-merge gate: tier-1, the forked backend suite, chaos,
-# and the socket-transport suite
-verify: test test-parallel test-chaos test-distributed
+# the socket-transport suite, and the hot-path benchmark smoke
+verify: test test-parallel test-chaos test-distributed bench-hotpath-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -44,6 +44,12 @@ bench-scaling:
 # latencies of the dictionary-encoded hot paths (see docs/performance.md)
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/test_micro_hotpath.py
+
+# Fast correctness smoke over the benchmark harness itself: batched
+# kernels agree with the streaming loop and both ship paths round-trip
+# on the bench workload, without the multi-minute measurement run
+bench-hotpath-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_micro_hotpath.py
 
 # Fail on >25% per-metric regression vs the committed BENCH_hotpath.json
 bench-check:

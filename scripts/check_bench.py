@@ -42,18 +42,26 @@ def compare(
     current: dict[str, float],
     threshold: float,
 ) -> list[str]:
-    """Human-readable failure lines, empty when the check passes."""
+    """Human-readable failure lines, empty when the check passes.
+
+    Metric-set drift fails in *both* directions: a committed metric the
+    current run no longer measures means the guard went blind to it, and
+    a measured metric absent from the committed file means the baseline
+    is stale — either way ``make bench-hotpath`` must regenerate it.
+    """
     failures = []
     for key, base in sorted(committed.items()):
         now = current.get(key)
         if now is None:
-            failures.append(f"{key}: missing from current run")
+            failures.append(f"{key}: committed but missing from current run")
             continue
         if base > 0 and now > base * (1.0 + threshold):
             failures.append(
                 f"{key}: {now:.1f} ns vs committed {base:.1f} ns "
                 f"(+{(now / base - 1.0) * 100.0:.0f}%, limit +{threshold * 100.0:.0f}%)"
             )
+    for key in sorted(set(current) - set(committed)):
+        failures.append(f"{key}: measured but missing from committed baseline")
     return failures
 
 

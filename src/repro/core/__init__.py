@@ -1,11 +1,13 @@
 """Core data model: schema-free documents, interning, window definitions."""
 
+from repro.core.columnar import ColumnarBatch
 from repro.core.document import AVPair, Document, flatten_json
 from repro.core.interning import EncodedDocument, PairInterner
 from repro.core.window import CountWindow, TimeWindow, tumbling_count_windows
 
 __all__ = [
     "AVPair",
+    "ColumnarBatch",
     "Document",
     "EncodedDocument",
     "PairInterner",

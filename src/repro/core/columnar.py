@@ -1,0 +1,227 @@
+"""Columnar batch representation: flat pair-id columns over documents.
+
+A :class:`ColumnarBatch` encodes a batch of documents as three flat
+``array('q')`` columns — ``pair_ids`` (every document's pair ids,
+concatenated), ``offsets`` (row boundaries into ``pair_ids``,
+``len(batch) + 1`` entries) and ``doc_ids`` (one id per row, ``-1`` for
+documents without one).  The batch is built in **one pass** over the
+documents; after that, batch consumers (the joiners' batch kernels, the
+wire codec) iterate machine integers instead of per-document Python
+objects.
+
+Two id spaces share the layout:
+
+* **Kernel batches** (:meth:`from_documents`) take their pair ids from a
+  :class:`~repro.core.interning.PairInterner` — the same component-
+  lifetime dictionary the joiners key their indexes by — so a batch
+  column can be intersected directly against a joiner's postings.
+* **Wire batches** (:meth:`encode`) carry a *frame-local* ``pair_table``
+  instead: ids are dense in first-seen order within the batch and the
+  table maps them back to ``(attribute, value)`` pairs.  Unlike the
+  interner (which mirrors the joiners' value-equality semantics), the
+  table keys by ``(type(value), attribute, value)`` so ``True`` and
+  ``1`` ship separately and decode back to their original types.  A wire
+  batch is therefore fully self-contained: any journaled frame decodes
+  without per-link dictionary state, which is what lets the parallel
+  backend replay stored frames verbatim.
+
+The columns expose the buffer protocol (:meth:`buffers`), and
+:meth:`from_buffers` reattaches a batch zero-copy to received
+memoryviews — decoding then reads the views directly without
+rematerializing ``array`` objects.  Columns are native-endian (``'q'``),
+which is fine for the single-host process boundary they cross.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Sequence, Union
+
+from repro.core.document import Document
+from repro.core.interning import PairInterner
+
+#: wire value of a missing ``doc_id``
+NO_DOC_ID = -1
+
+#: either a real array column or a zero-copy view of a received buffer
+Column = Union[array, memoryview]
+
+
+class ColumnarBatch:
+    """A batch of documents as flat integer columns (see module docs)."""
+
+    __slots__ = ("doc_ids", "offsets", "pair_ids", "interner", "pair_table", "documents")
+
+    def __init__(
+        self,
+        doc_ids: Column,
+        offsets: Column,
+        pair_ids: Column,
+        *,
+        interner: Optional[PairInterner] = None,
+        pair_table: Optional[list] = None,
+        documents: Optional[list] = None,
+    ) -> None:
+        self.doc_ids = doc_ids
+        self.offsets = offsets
+        self.pair_ids = pair_ids
+        self.interner = interner
+        self.pair_table = pair_table
+        self.documents = documents
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_documents(
+        cls, documents: Sequence[Document], interner: PairInterner
+    ) -> "ColumnarBatch":
+        """Kernel batch: one interning pass, ids shared with ``interner``.
+
+        A document already carrying a cached encoding for this interner
+        contributes its ids without re-walking its pairs.  The documents
+        themselves are retained (joiners that store rich per-document
+        state — FP-tree paths, verification maps — reach them through
+        :attr:`documents`).
+        """
+        offsets = array("q", (0,))
+        pair_ids = array("q")
+        doc_ids = array("q")
+        known = interner._pair_ids
+        intern = interner._intern_pair
+        extend = pair_ids.extend
+        append = pair_ids.append
+        total = 0
+        for document in documents:
+            did = document.doc_id
+            doc_ids.append(NO_DOC_ID if did is None else did)
+            cached = document._encoded
+            if cached is not None and cached.interner is interner:
+                ids = cached.pair_ids
+                extend(ids)
+                total += len(ids)
+            else:
+                for item in document.pairs.items():
+                    pid = known.get(item)
+                    if pid is None:
+                        pid = intern(item)
+                    append(pid)
+                    total += 1
+            offsets.append(total)
+        return cls(
+            doc_ids,
+            offsets,
+            pair_ids,
+            interner=interner,
+            documents=list(documents),
+        )
+
+    @classmethod
+    def encode(cls, documents: Sequence[Document]) -> "ColumnarBatch":
+        """Wire batch: frame-local ids plus a faithful pair table."""
+        table_ids: dict = {}
+        pair_table: list = []
+        offsets = array("q", (0,))
+        pair_ids = array("q")
+        doc_ids = array("q")
+        append = pair_ids.append
+        total = 0
+        for document in documents:
+            did = document.doc_id
+            doc_ids.append(NO_DOC_ID if did is None else did)
+            for attribute, value in document.pairs.items():
+                key = (value.__class__, attribute, value)
+                wire_id = table_ids.get(key)
+                if wire_id is None:
+                    wire_id = len(pair_table)
+                    table_ids[key] = wire_id
+                    pair_table.append((attribute, value))
+                append(wire_id)
+                total += 1
+            offsets.append(total)
+        return cls(
+            doc_ids,
+            offsets,
+            pair_ids,
+            pair_table=pair_table,
+            documents=list(documents),
+        )
+
+    # ------------------------------------------------------------------
+    # Wire round trip
+    # ------------------------------------------------------------------
+    def buffers(self) -> list:
+        """The three columns as byte views, in wire order."""
+        return [
+            memoryview(self.offsets).cast("B"),
+            memoryview(self.pair_ids).cast("B"),
+            memoryview(self.doc_ids).cast("B"),
+        ]
+
+    @classmethod
+    def from_buffers(cls, pair_table: list, buffers: Sequence) -> "ColumnarBatch":
+        """Reattach a wire batch to received buffers, zero-copy.
+
+        ``buffers`` must be the three byte views of :meth:`buffers` (in
+        order); they are *borrowed*, so the caller controls their
+        lifetime — :meth:`to_documents` materializes plain Python
+        objects, after which the views may be released.
+        """
+        offsets = memoryview(buffers[0]).cast("q")
+        pair_ids = memoryview(buffers[1]).cast("q")
+        doc_ids = memoryview(buffers[2]).cast("q")
+        return cls(doc_ids, offsets, pair_ids, pair_table=pair_table)
+
+    def to_documents(self) -> list[Document]:
+        """Materialize the batch's documents (wire batches only).
+
+        Idempotent: an encode-side batch returns the original documents;
+        a received batch builds them from the table and caches the
+        result.
+        """
+        if self.documents is not None:
+            return self.documents
+        table = self.pair_table
+        if table is None:
+            raise ValueError("kernel batches keep no pair table; use .documents")
+        offsets = self.offsets
+        pair_ids = self.pair_ids
+        out = []
+        start = offsets[0]
+        for row, did in enumerate(self.doc_ids):
+            end = offsets[row + 1]
+            pairs = {}
+            for i in range(start, end):
+                attribute, value = table[pair_ids[i]]
+                pairs[attribute] = value
+            start = end
+            out.append(Document(pairs, doc_id=None if did == NO_DOC_ID else did))
+        self.documents = out
+        return out
+
+    def release(self) -> None:
+        """Release borrowed buffer views (no-op for array-backed batches).
+
+        After a zero-copy decode from shared memory the views must be
+        dropped before the segment can close; callers release the batch
+        once :meth:`to_documents` has materialized everything they need.
+        """
+        for name in ("offsets", "pair_ids", "doc_ids"):
+            column = getattr(self, name)
+            if isinstance(column, memoryview):
+                column.release()
+                setattr(self, name, array("q"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def row(self, index: int) -> Column:
+        """The pair-id column slice of one document."""
+        return self.pair_ids[self.offsets[index] : self.offsets[index + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        mode = "wire" if self.pair_table is not None else "kernel"
+        return f"<ColumnarBatch {mode} rows={len(self)} pairs={len(self.pair_ids)}>"

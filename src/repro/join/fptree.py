@@ -32,6 +32,16 @@ from repro.core.document import AVPair, Document
 from repro.core.interning import PairInterner
 from repro.join.ordering import AttributeOrder
 
+try:
+    # The C helper behind Counter.update — called directly on the insert
+    # hot path to skip update()'s per-call Mapping isinstance check.
+    from _collections import _count_elements
+except ImportError:  # pragma: no cover - non-CPython fallback
+    def _count_elements(mapping, iterable):
+        get = mapping.get
+        for element in iterable:
+            mapping[element] = get(element, 0) + 1
+
 
 class FPNode:
     """One node of the FP-tree.
@@ -135,31 +145,42 @@ class FPTree:
         """
         if document.doc_id is None:
             raise ValueError("documents stored in the FP-tree need a doc_id")
-        node = self.root
         interner = self.interner
         if interner is not None:
-            encoded = interner.encode(document)
-            keys = self._aid_keys
-            if len(keys) < interner.attr_count:
-                self._sync_aid_keys()
-            # (sort key, pair id, attr id): keys are unique per attribute,
-            # so the sort never falls through to comparing the ids
-            path = sorted(
-                (keys[aid], pid, aid) for aid, pid in encoded.attr_to_pair.items()
-            )
-            for _, pid, aid in path:
-                child = node.children.get(pid)
-                if child is None:
-                    child = FPNode(interner.pair(pid), node)
-                    child.pair_id = pid
-                    child.attr_id = aid
-                    node.children[pid] = child
-                    self.node_count += 1
-                    self._link_header(child)
-                node = child
+            # Insert does not materialize an EncodedDocument: the FP-tree
+            # probe side never encodes (it resolves probe pairs straight
+            # off the dictionary), so a full encode here would be paid and
+            # thrown away.  A cached encoding is still honoured when some
+            # earlier component produced one; otherwise the sortable
+            # (key, pid, aid) path is built in a single pass over the raw
+            # pairs.
+            cached = document._encoded
+            if cached is not None and cached.interner is interner:
+                node = self._descend_ids(cached.attr_to_pair.items())
+            else:
+                known = interner._pair_ids
+                intern = interner._intern_pair
+                pair_attrs = interner._pair_attrs
+                keys = self._aid_keys
+                path = []
+                path_append = path.append
+                for item in document.pairs.items():
+                    pid = known.get(item)
+                    if pid is None:
+                        pid = intern(item)
+                    aid = pair_attrs[pid]
+                    try:
+                        key = keys[aid]
+                    except IndexError:  # first sight of the attribute
+                        self._sync_aid_keys()
+                        key = keys[aid]
+                    path_append((key, pid, aid))
+                path.sort()
+                node = self._descend_path(path)
         else:
             # Plain (attribute, value) tuples hash and compare equal to
             # AVPair (a NamedTuple), so this path skips AVPair construction.
+            node = self.root
             sort_key = self.order.sort_key
             items = sorted(document.pairs.items(), key=lambda kv: sort_key(kv[0]))
             for pair in items:
@@ -170,6 +191,46 @@ class FPTree:
                     self.node_count += 1
                     self._link_header(child)
                 node = child
+        return self._finish_insert(node, document)
+
+    def insert_row(self, document: Document, row) -> FPNode:
+        """Insert with pre-interned ``(attr id, pair id)`` items.
+
+        The columnar batch path resolves pair ids once for the whole
+        batch; this entry point descends straight on them.  Interned
+        trees only.
+        """
+        if document.doc_id is None:
+            raise ValueError("documents stored in the FP-tree need a doc_id")
+        return self._finish_insert(self._descend_ids(row), document)
+
+    def _descend_ids(self, row) -> FPNode:
+        """Descend (creating nodes) along pre-interned (aid, pid) items."""
+        keys = self._aid_keys
+        if len(keys) < self.interner.attr_count:
+            self._sync_aid_keys()
+        # (sort key, pair id, attr id): keys are unique per attribute,
+        # so the sort never falls through to comparing the ids
+        return self._descend_path(sorted((keys[aid], pid, aid) for aid, pid in row))
+
+    def _descend_path(self, path) -> FPNode:
+        """Descend (creating nodes) along sorted (key, pid, aid) triples."""
+        interner = self.interner
+        node = self.root
+        for _, pid, aid in path:
+            child = node.children.get(pid)
+            if child is None:
+                child = FPNode(interner.pair(pid), node)
+                child.pair_id = pid
+                child.attr_id = aid
+                node.children[pid] = child
+                self.node_count += 1
+                self._link_header(child)
+            node = child
+        return node
+
+    def _finish_insert(self, node: FPNode, document: Document) -> FPNode:
+        """Record ``document`` at its terminal ``node`` (shared tail)."""
         if node.branch_id is None:
             node.branch_id = next(self._branch_ids)
         if document.doc_id in self._terminals:
@@ -177,7 +238,7 @@ class FPTree:
         node.doc_ids.append(document.doc_id)
         self._terminals[document.doc_id] = node
         self.doc_count += 1
-        self._attr_doc_count.update(document.pairs.keys())
+        _count_elements(self._attr_doc_count, document.pairs.keys())
         # Maintain the ubiquitous-prefix cache incrementally: inserting
         # into a non-empty tree can only shrink the prefix, to the leading
         # order attributes the new document itself carries.  Keeps the

@@ -31,7 +31,7 @@ from typing import Optional
 
 from repro.core.document import AVPair, Document
 from repro.core.interning import PairInterner
-from repro.join.base import LocalJoiner
+from repro.join.base import Batch, LocalJoiner
 from repro.join.fptree import FPTree
 from repro.join.ordering import AttributeOrder
 from repro.obs.registry import MetricsRegistry
@@ -193,6 +193,80 @@ def _fptree_join_encoded(
     return result
 
 
+def _fptree_join_ids(
+    tree: FPTree, probe_map: dict, num: int, ubiq_aids
+) -> list[int]:
+    """Traversal with a pre-interned probe map ``{attr id -> pair id}``.
+
+    The columnar batch kernel: all conflict checks compare machine
+    integers through the nodes' ``attr_id``/``pair_id`` fields, and the
+    fast path descends on ``probe_map[aid]`` directly — the per-level
+    ``(attribute, value)`` tuple construction and string-keyed dictionary
+    lookup of the per-document traversal are resolved once per batch
+    (``ubiq_aids``) instead of once per probe.  Result-identical to
+    :func:`_fptree_join_encoded`; pass ``num=0`` to disable the fast
+    path.
+    """
+    probe_get = probe_map.get
+    result: list[int] = []
+    extend = result.extend
+    start = tree.root
+    collecting_from_start = False
+
+    if num:
+        node = tree.root
+        level = 0
+        while level < num:
+            pid = probe_get(ubiq_aids[level])
+            if pid is None:
+                # The probe lacks this ubiquitous attribute: no conflict
+                # on it is possible, fall back to the general traversal.
+                del result[:]
+                node = None
+                break
+            child = node.children.get(pid)
+            if child is None:
+                # Every stored document conflicts with the probe here.
+                return result
+            if child.doc_ids:
+                extend(child.doc_ids)
+            node = child
+            level += 1
+        if node is not None:
+            start = node
+            collecting_from_start = True
+
+    if collecting_from_start:
+        stack = [start] if start.children else []
+    else:
+        stack = []
+        pending = list(start.children.values())
+        while pending:
+            node = pending.pop()
+            opid = probe_get(node.attr_id)
+            if opid is None:
+                # Absent from the probe: neither shared nor conflict.
+                pending.extend(node.children.values())
+            elif opid == node.pair_id:
+                # First shared pair on this path: collect from here down.
+                if node.doc_ids:
+                    extend(node.doc_ids)
+                if node.children:
+                    stack.append(node)
+            # else: conflict — prune the subtree.
+    while stack:
+        parent = stack.pop()
+        for node in parent.children.values():
+            opid = probe_get(node.attr_id)
+            if opid != node.pair_id and opid is not None:
+                continue  # conflict: prune
+            if node.doc_ids:
+                extend(node.doc_ids)
+            if node.children:
+                stack.append(node)
+    return result
+
+
 class FPTreeJoiner(LocalJoiner):
     """Windowed join operator backed by an FP-tree (the paper's FPJ).
 
@@ -259,6 +333,89 @@ class FPTreeJoiner(LocalJoiner):
         if tree.interner is not None:
             return _fptree_join_encoded(tree, document, self.use_fast_path)
         return _fptree_join_plain(tree, document, self.use_fast_path)
+
+    # ------------------------------------------------------------------
+    # Columnar batch kernels
+    # ------------------------------------------------------------------
+    def _ubiq_aids(self, tree: FPTree, num: int) -> list:
+        """Attribute ids of the first ``num`` order positions."""
+        attr_ids = tree.interner._attr_ids
+        return [attr_ids[a] for a in tree.order.attributes[:num]]
+
+    def _probe_batch(self, documents: Batch) -> list[list[int]]:
+        tree = self.tree
+        interner = tree.interner
+        if interner is None:
+            return super()._probe_batch(documents)
+        batch = self._coerce_batch(documents, interner)
+        num = tree.ubiquitous_prefix_length() if self.use_fast_path else 0
+        ubiq_aids = self._ubiq_aids(tree, num) if num else ()
+        pair_attrs = interner._pair_attrs
+        offsets = batch.offsets
+        pair_ids = batch.pair_ids
+        results: list[list[int]] = []
+        append = results.append
+        start = offsets[0]
+        for row in range(len(batch)):
+            end = offsets[row + 1]
+            probe_map = {pair_attrs[pid]: pid for pid in pair_ids[start:end]}
+            start = end
+            append(_fptree_join_ids(tree, probe_map, num, ubiq_aids))
+        return results
+
+    def _insert_batch(self, documents: Batch) -> None:
+        tree = self.tree
+        interner = tree.interner
+        if interner is None:
+            super()._insert_batch(documents)
+            return
+        batch = self._coerce_batch(documents, interner)
+        pair_attrs = interner._pair_attrs
+        offsets = batch.offsets
+        pair_ids = batch.pair_ids
+        insert_row = tree.insert_row
+        start = offsets[0]
+        for row, document in enumerate(batch.documents):
+            end = offsets[row + 1]
+            insert_row(
+                document, [(pair_attrs[pid], pid) for pid in pair_ids[start:end]]
+            )
+            start = end
+
+    def _process_batch(self, documents: Batch) -> list[list[int]]:
+        tree = self.tree
+        interner = tree.interner
+        if interner is None:
+            return super()._process_batch(documents)
+        batch = self._coerce_batch(documents, interner)
+        fast = self.use_fast_path
+        pair_attrs = interner._pair_attrs
+        offsets = batch.offsets
+        pair_ids = batch.pair_ids
+        insert_row = tree.insert_row
+        results: list[list[int]] = []
+        append = results.append
+        # The ubiquitous prefix can shrink as rows are inserted; the aid
+        # list is re-derived only when the length actually changes.
+        num = -1
+        ubiq_aids: list = []
+        start = offsets[0]
+        for row, document in enumerate(batch.documents):
+            end = offsets[row + 1]
+            probe_map = {pair_attrs[pid]: pid for pid in pair_ids[start:end]}
+            start = end
+            if fast:
+                current = tree._ubiq_len
+                if current is None:
+                    current = tree.ubiquitous_prefix_length()
+            else:
+                current = 0
+            if current != num:
+                num = current
+                ubiq_aids = self._ubiq_aids(tree, num) if num else []
+            append(_fptree_join_ids(tree, probe_map, num, ubiq_aids))
+            insert_row(document, probe_map.items())
+        return results
 
     def reset(self) -> None:
         """Evict the whole tree — the tumbling-window eviction of §V-A."""

@@ -41,19 +41,29 @@ class NestedLoopJoiner(LocalJoiner):
         self._interner: Optional[PairInterner] = PairInterner() if interned else None
         self._stored: list[Document] = []
         self._stored_encoded: list[EncodedDocument] = []
+        #: inserts gated off the interning path: documents are appended
+        #: raw (the seed's exact insert cost) and encoded in bulk by the
+        #: next probe — a cache hit for any document the component has
+        #: probed before storing, i.e. the entire streaming discipline
+        self._pending: list[Document] = []
 
     def _insert(self, document: Document) -> None:
         if document.doc_id is None:
             raise ValueError("stored documents need a doc_id")
         if self._interner is not None:
-            encoded = self._interner.encode(document)
-            encoded.freeze_items()  # verified repeatedly by later probes
-            self._stored_encoded.append(encoded)
+            self._pending.append(document)
         else:
             self._stored.append(document)
 
+    def _flush_pending(self) -> None:
+        encode = self._interner.encode  # type: ignore[union-attr]
+        self._stored_encoded.extend([encode(d) for d in self._pending])
+        self._pending.clear()
+
     def _probe(self, document: Document) -> list[int]:
         if self._interner is not None:
+            if self._pending:
+                self._flush_pending()
             # The natural-join test is inlined (no per-candidate call):
             # iterate the smaller side's (attr id, pair id) items against
             # the larger side's map — a differing pair id under a shared
@@ -69,6 +79,8 @@ class NestedLoopJoiner(LocalJoiner):
                 stored_map = stored.attr_to_pair
                 if len(stored_map) <= probe_len:
                     items = stored.items
+                    if items is None:
+                        items = stored.freeze_items()
                     get = probe_get
                 else:
                     items = probe_items
@@ -93,6 +105,9 @@ class NestedLoopJoiner(LocalJoiner):
     def reset(self) -> None:
         self._stored.clear()
         self._stored_encoded.clear()
+        self._pending.clear()
 
     def __len__(self) -> int:
-        return len(self._stored_encoded) if self._interner is not None else len(self._stored)
+        if self._interner is not None:
+            return len(self._stored_encoded) + len(self._pending)
+        return len(self._stored)

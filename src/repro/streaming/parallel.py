@@ -91,7 +91,7 @@ from repro.streaming.transport import (
     WorkerLink,
     make_transport,
 )
-from repro.streaming.transport.framing import parse_address
+from repro.streaming.transport.framing import BufferFrame, parse_address
 from repro.streaming.tuples import StreamTuple
 
 #: default number of tuples per shipped batch
@@ -435,14 +435,23 @@ class ParallelCluster(ClusterBase):
         seq = self._batch_seq
         raw = handle.buffer
         handle.buffer = []
-        handle.journal[seq] = raw
+        codec = self._link_codecs[handle.index]
+        if getattr(codec, "supports_frames", False):
+            # columnar wire path: encode once into a self-contained
+            # frame and journal *the frame* — a crash replay re-ships
+            # the journaled bytes verbatim, never re-encoding
+            message: Any = codec.encode_batch(seq, raw)
+            handle.journal[seq] = message
+        else:
+            message = ("batch", seq, self._encode_batch(handle, raw))
+            handle.journal[seq] = raw
         if self._sticky_streams:
             handle.sticky.extend(
                 entry for entry in raw if entry[2].stream in self._sticky_streams
             )
         handle.pending.add(seq)
         try:
-            handle.link.send(("batch", seq, self._encode_batch(handle, raw)))
+            handle.link.send(message)
         except LinkDown:
             # the worker died while idle; recovery replays the journal
             # (which already holds this batch) or degrades it to inline
@@ -657,11 +666,44 @@ class ParallelCluster(ClusterBase):
             handle.fork_baseline = self.registry.snapshot()
         self._spawn(handle)
 
-    def _replay_send(self, handle: _WorkerHandle, seq: int, raw: list) -> None:
+    def _replay_send(self, handle: _WorkerHandle, seq: int, stored) -> None:
         try:
-            handle.link.send(("batch", seq, self._encode_batch(handle, raw)))
+            if isinstance(stored, BufferFrame):
+                # zero re-encode: the journaled frame ships bit-identical
+                # to its first send
+                handle.link.send(stored)
+            else:
+                handle.link.send(("batch", seq, self._encode_batch(handle, stored)))
         except LinkDown:
             raise _WorkerLost from None
+
+    def _journal_entries(self, handle: _WorkerHandle, stored) -> list:
+        """Journaled batch → raw ``(component, task_index, tup)`` triples.
+
+        Frame-codec journals store encoded frames; inline degradation
+        needs the tuples back, so frames are decoded through the same
+        codec path a worker would use (the decoded documents are
+        value-identical to the originals by the wire round-trip
+        guarantee).
+        """
+        if not isinstance(stored, BufferFrame):
+            return stored
+        _seq, entries = self._link_codecs[handle.index].decode_batch(stored)
+        return [
+            (
+                component,
+                task_index,
+                StreamTuple(
+                    stream=stream,
+                    values=values,
+                    source=source,
+                    source_task=source_task,
+                    direct_task=direct,
+                ),
+            )
+            for component, task_index, stream, source, source_task, direct, values
+            in entries
+        ]
 
     def _replay(self, handle: _WorkerHandle) -> None:
         """Re-ship sticky history plus the window journal to a fresh link.
@@ -734,7 +776,7 @@ class ParallelCluster(ClusterBase):
             acked = seq not in handle.pending
             emissions: Optional[list] = None if acked else []
             for entry_index, (component, task_index, tup) in enumerate(
-                handle.journal[seq]
+                self._journal_entries(handle, handle.journal[seq])
             ):
                 self._replay_inline(
                     handle, component, task_index, tup,

@@ -1,29 +1,43 @@
 """Wire framing for the socket transport.
 
 Both sides of a socket link speak the same trivial protocol: a stream
-of **length-prefixed pickle frames**.  Each frame is a 4-byte unsigned
-big-endian payload length followed by that many bytes of pickled
-message (``docs/distributed.md`` documents the format).  Framing is
-deliberately independent of the message vocabulary — the parent/worker
-messages themselves are defined by
+of **length-prefixed frames**.  Each frame is a 4-byte unsigned
+big-endian header followed by the payload (``docs/distributed.md``
+documents the format).  Two frame kinds share the stream:
+
+* **pickle frames** (header MSB clear): the payload is one pickled
+  message — the original protocol, still used for control messages and
+  worker→parent replies.
+* **buffer frames** (header MSB set): the payload is a small pickled
+  *envelope* followed by raw byte buffers, see :class:`BufferFrame`.
+  The columnar wire codec ships document batches this way so the
+  parent can scatter-write pre-encoded array buffers without pickling
+  them, and replay a journaled frame verbatim.
+
+Framing is deliberately independent of the message vocabulary — the
+parent/worker messages themselves are defined by
 :class:`~repro.streaming.transport.session.WorkerSession`.
 
 The helpers here are synchronous and allocation-light so the parent's
 selector loop can use them directly; the asyncio worker entrypoint
-(:mod:`repro.worker`) reimplements only the two-line read path on top
-of ``StreamReader.readexactly``.
+(:mod:`repro.worker`) reimplements only the read path on top of
+``StreamReader.readexactly``.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
-#: 4-byte unsigned big-endian payload length
+#: 4-byte unsigned big-endian header: payload length, MSB = buffer frame
 FRAME_HEADER = struct.Struct("!I")
-#: hard cap implied by the header width
-MAX_FRAME_BYTES = (1 << 32) - 1
+#: header MSB marking a multi-buffer frame
+FRAME_BUFFERS_FLAG = 0x80000000
+#: hard cap implied by the header width (31 usable length bits)
+MAX_FRAME_BYTES = FRAME_BUFFERS_FLAG - 1
+#: per-buffer length prefix inside a buffer-frame payload
+_BUFFER_LENGTH = struct.Struct("!I")
 
 #: first stdout line of a listening worker: ``REPRO-WORKER LISTENING host port``
 LISTEN_BANNER = "REPRO-WORKER LISTENING"
@@ -38,9 +52,140 @@ ATTACH_SCHEME = "tcp://"
 def encode_frame(message: Any) -> bytes:
     """One message → header + pickled payload, ready for ``sendall``."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - 4 GiB message
+    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - 2 GiB message
         raise ValueError(f"message of {len(payload)} bytes exceeds the frame format")
     return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def _byte_view(part) -> memoryview:
+    view = part if isinstance(part, memoryview) else memoryview(part)
+    if view.format != "B" or view.ndim != 1:
+        view = view.cast("B")
+    return view
+
+
+class BufferFrame:
+    """A message shipped as a pickled envelope plus raw byte buffers.
+
+    The wire payload is ``!I`` buffer count, then one ``!I`` length per
+    buffer, then the buffers back to back; buffer 0 is always the
+    pickled envelope.  A frame is **immutable once built** — the
+    envelope is pickled at construction time — so journaling a frame
+    and replaying it later reproduces the first send bit for bit.
+
+    :meth:`parts` returns the scatter list (header + metadata block,
+    envelope, raw buffers) that ``socket.sendmsg`` can write without
+    concatenating; :meth:`to_bytes` joins it for transports that need
+    one contiguous blob (shared-memory segments, tests).
+    """
+
+    __slots__ = ("envelope_bytes", "buffers", "_envelope", "_root")
+
+    def __init__(
+        self,
+        envelope: Any = None,
+        buffers: Sequence = (),
+        *,
+        envelope_bytes: Optional[bytes] = None,
+    ) -> None:
+        if envelope_bytes is None:
+            envelope_bytes = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+            self._envelope = envelope
+        else:
+            self._envelope = _UNPICKLED
+        self.envelope_bytes = envelope_bytes
+        self.buffers = [_byte_view(part) for part in buffers]
+        self._root: Optional[memoryview] = None
+
+    @property
+    def envelope(self) -> Any:
+        if self._envelope is _UNPICKLED:
+            self._envelope = pickle.loads(self.envelope_bytes)
+        return self._envelope
+
+    @property
+    def payload_nbytes(self) -> int:
+        meta = _BUFFER_LENGTH.size * (2 + len(self.buffers))
+        return (
+            meta
+            + len(self.envelope_bytes)
+            + sum(len(view) for view in self.buffers)
+        )
+
+    def _meta_block(self) -> bytes:
+        """Buffer count + per-buffer lengths (envelope counts as buffer 0)."""
+        lengths = [len(self.envelope_bytes)]
+        lengths.extend(len(view) for view in self.buffers)
+        return _BUFFER_LENGTH.pack(len(lengths)) + b"".join(
+            _BUFFER_LENGTH.pack(length) for length in lengths
+        )
+
+    def payload_parts(self) -> list:
+        """Scatter list of the payload (no outer frame header)."""
+        return [self._meta_block(), self.envelope_bytes, *self.buffers]
+
+    def parts(self) -> list:
+        """Scatter list of the full wire frame, ready for ``sendmsg``."""
+        nbytes = self.payload_nbytes
+        if nbytes > MAX_FRAME_BYTES:  # pragma: no cover - 2 GiB frame
+            raise ValueError(f"frame of {nbytes} bytes exceeds the frame format")
+        header = FRAME_HEADER.pack(FRAME_BUFFERS_FLAG | nbytes)
+        return [header + self._meta_block(), self.envelope_bytes, *self.buffers]
+
+    def to_bytes(self) -> bytes:
+        """The full wire frame as one contiguous blob."""
+        return b"".join(bytes(part) for part in self.parts())
+
+    def release(self) -> None:
+        """Release every borrowed view (required before closing a
+        shared-memory segment the buffers point into)."""
+        for view in self.buffers:
+            view.release()
+        self.buffers = []
+        if self._root is not None:
+            self._root.release()
+            self._root = None
+
+    def __reduce__(self):
+        # Pickle support is the compatibility fallback for transports
+        # that ship whole objects (it copies the buffers); the framed
+        # paths never use it.
+        return (
+            _rebuild_buffer_frame,
+            (self.envelope_bytes, tuple(bytes(view) for view in self.buffers)),
+        )
+
+
+#: sentinel: the envelope has not been unpickled yet
+_UNPICKLED = object()
+
+
+def _rebuild_buffer_frame(envelope_bytes: bytes, buffers: tuple) -> "BufferFrame":
+    return BufferFrame(buffers=buffers, envelope_bytes=envelope_bytes)
+
+
+def decode_buffer_payload(payload) -> BufferFrame:
+    """A buffer-frame payload (bytes or memoryview) → :class:`BufferFrame`.
+
+    The returned frame's buffers are zero-copy views into ``payload``;
+    call :meth:`BufferFrame.release` before invalidating the backing
+    memory (e.g. closing a shared-memory segment).
+    """
+    root = _byte_view(payload)
+    (count,) = _BUFFER_LENGTH.unpack_from(root, 0)
+    offset = _BUFFER_LENGTH.size * (1 + count)
+    lengths = [
+        _BUFFER_LENGTH.unpack_from(root, _BUFFER_LENGTH.size * (1 + i))[0]
+        for i in range(count)
+    ]
+    views = []
+    for length in lengths:
+        views.append(root[offset:offset + length])
+        offset += length
+    frame = BufferFrame(buffers=views[1:], envelope_bytes=bytes(views[0]))
+    views[0].release()
+    frame._root = root
+    return frame
 
 
 class FrameDecoder:
@@ -60,11 +205,18 @@ class FrameDecoder:
         messages: list = []
         header = FRAME_HEADER.size
         while len(self._buffer) >= header:
-            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            (word,) = FRAME_HEADER.unpack_from(self._buffer)
+            length = word & MAX_FRAME_BYTES
             end = header + length
             if len(self._buffer) < end:
                 break
-            messages.append(pickle.loads(bytes(self._buffer[header:end])))
+            payload = bytes(self._buffer[header:end])
+            if word & FRAME_BUFFERS_FLAG:
+                # One consolidation copy out of the stream buffer, then
+                # the frame's buffers are views into that copy.
+                messages.append(decode_buffer_payload(payload))
+            else:
+                messages.append(pickle.loads(payload))
             del self._buffer[:end]
         return messages
 

@@ -7,6 +7,19 @@ serialization: the child inherits the :class:`WorkerInit` object graph
 (prepared tasks, registry, link codec) by memory copy, which is exactly
 the state the parent-side encoder assumes.
 
+Buffer frames (the columnar wire path) bypass the pipe's pickler: the
+parent writes the frame's payload into a ``multiprocessing``
+shared-memory segment and sends only ``("shmframe", name, nbytes)``
+down the pipe; the worker maps the segment and decodes the columns
+zero-copy in place.  Segment lifecycle: the worker unlinks right after
+attaching (a mapped POSIX segment survives its unlink), so a processed
+frame cleans itself up; the parent keeps the names and sweep-unlinks at
+reap to cover workers that died before attaching.  Tracker accounting:
+``SharedMemory`` registers every create *and* attach with the
+``resource_tracker`` (bpo-39959) while ``unlink()`` unregisters, so the
+sender — who never unlinks — unregisters explicitly and the unlinking
+side simply lets ``unlink()`` balance its attach.
+
 Requires the ``fork`` start method; unavailable platforms should use
 the local backend or the socket transport.
 """
@@ -15,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from multiprocessing import resource_tracker, shared_memory
 from queue import Empty
 from typing import Optional, Sequence
 
@@ -26,7 +40,38 @@ from repro.streaming.transport.base import (
     WorkerLink,
     register_transport,
 )
+from repro.streaming.transport.framing import BufferFrame, decode_buffer_payload
 from repro.streaming.transport.session import WorkerKilled, WorkerSession
+
+
+def _untrack(shm) -> None:
+    """Undo the resource tracker's registration without unlinking.
+
+    ``SharedMemory`` registers every create *and* attach with the
+    tracker (bpo-39959) and only ``unlink()`` unregisters.  A side that
+    holds a segment it will *not* unlink (the sender, or an attacher
+    whose unlink lost the race) must unregister explicitly, or the
+    tracker double-unlinks at interpreter exit.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def _attach_frame(name: str, nbytes: int):
+    """Worker side: map a shipped segment → (frame, segment)."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        # self-cleaning: the mapping stays valid after the unlink, and
+        # the segment disappears once both sides close.  unlink() also
+        # unregisters the attach-time tracker entry, keeping the
+        # tracker balanced without an explicit _untrack here.
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - parent swept first
+        _untrack(shm)  # unlink bailed before its unregister
+    frame = decode_buffer_payload(memoryview(shm.buf)[:nbytes])
+    return frame, shm
 
 
 def _pipe_worker_main(init: WorkerInit, conn, results) -> None:
@@ -38,8 +83,16 @@ def _pipe_worker_main(init: WorkerInit, conn, results) -> None:
                 message = conn.recv()
             except (EOFError, OSError):
                 break
-            for reply in session.handle(message):
-                results.put(reply)
+            shm = None
+            if type(message) is tuple and message and message[0] == "shmframe":
+                message, shm = _attach_frame(message[1], message[2])
+            try:
+                for reply in session.handle(message):
+                    results.put(reply)
+            finally:
+                if shm is not None:
+                    message.release()
+                    shm.close()
     except WorkerKilled as kill:
         # Flush our feeder thread before dying: the reply queue's write
         # lock is shared with every other worker, and exiting while the
@@ -53,18 +106,41 @@ def _pipe_worker_main(init: WorkerInit, conn, results) -> None:
 class PipeWorkerLink(WorkerLink):
     """One forked worker process plus its parent end of the pipe."""
 
-    __slots__ = ("index", "_process", "_conn")
+    __slots__ = ("index", "_process", "_conn", "_shm_names")
 
     def __init__(self, index: int, process, conn) -> None:
         self.index = index
         self._process = process
         self._conn = conn
+        #: segments shipped over this link, swept at reap — normally all
+        #: already unlinked by the worker, the sweep covers the rest
+        self._shm_names: list[str] = []
 
-    def send(self, message: tuple) -> None:
+    def send(self, message) -> None:
         try:
-            self._conn.send(message)
+            if isinstance(message, BufferFrame):
+                self._send_frame(message)
+            else:
+                self._conn.send(message)
         except (BrokenPipeError, EOFError, OSError) as exc:
             raise LinkDown(str(exc)) from exc
+
+    def _send_frame(self, frame: BufferFrame) -> None:
+        """Ship a buffer frame through shared memory, not the pickler."""
+        nbytes = frame.payload_nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        _untrack(shm)
+        self._shm_names.append(shm.name)
+        try:
+            offset = 0
+            buf = shm.buf
+            for part in frame.payload_parts():
+                end = offset + len(part)
+                buf[offset:end] = part
+                offset = end
+            self._conn.send(("shmframe", shm.name, nbytes))
+        finally:
+            shm.close()
 
     def alive(self) -> bool:
         return self._process.is_alive()
@@ -82,6 +158,17 @@ class PipeWorkerLink(WorkerLink):
             self._conn.close()
         except OSError:  # pragma: no cover
             pass
+        names, self._shm_names = self._shm_names, []
+        for name in names:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue  # the worker processed and unlinked it
+            try:
+                segment.unlink()  # also unregisters the attach
+            except FileNotFoundError:  # pragma: no cover - lost the race
+                _untrack(segment)
+            segment.close()
 
 
 @register_transport("pipe")

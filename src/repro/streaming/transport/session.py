@@ -11,10 +11,14 @@ entrypoint is a thin receive loop around one session:
 * the socket worker (:mod:`repro.worker`) reads frames off an asyncio
   stream and writes the replies back on the same connection.
 
-The message vocabulary (all plain tuples, first element is the kind):
+The message vocabulary (plain tuples, first element is the kind):
 
 parent → worker
-    ``("batch", seq, entries)``, ``("snapshot",)``, ``("stop",)``
+    ``("batch", seq, entries)``, ``("snapshot",)``, ``("stop",)``;
+    a batch may also arrive as a
+    :class:`~repro.streaming.transport.framing.BufferFrame` whose
+    envelope and buffers the link codec's ``decode_batch`` turns back
+    into ``(seq, entries)`` (the columnar wire path)
 worker → parent
     ``("ack", seq, worker_index, counts, failures, emissions, dead)``,
     ``("error", worker_index, seq, component, task_index, retries, exc)``,
@@ -34,6 +38,7 @@ from typing import Any, Optional
 
 from repro.streaming.recovery import format_dead_letter_cause, truncated_repr
 from repro.streaming.transport.base import WorkerInit
+from repro.streaming.transport.framing import BufferFrame
 from repro.streaming.tuples import StreamTuple
 
 
@@ -117,8 +122,11 @@ class WorkerSession:
             for component, _ in init.tasks
         }
 
-    def handle(self, message: tuple) -> list[tuple]:
+    def handle(self, message) -> list[tuple]:
         """Process one parent message; return the replies to ship back."""
+        if isinstance(message, BufferFrame):
+            seq, entries = self._link_codec.decode_batch(message)
+            return [self._handle_batch(seq, entries, decoded=True)]
         kind = message[0]
         if kind == "batch":
             return [self._handle_batch(message[1], message[2])]
@@ -131,7 +139,7 @@ class WorkerSession:
             return [("bye", self.worker_index)]
         raise ValueError(f"unknown worker message kind {kind!r}")
 
-    def _handle_batch(self, seq: int, entries: list) -> tuple:
+    def _handle_batch(self, seq: int, entries: list, decoded: bool = False) -> tuple:
         faults = self._faults
         if faults is not None:
             exit_code = faults.kill_on_batch()
@@ -147,7 +155,7 @@ class WorkerSession:
             component, task_index, stream, source, source_task, direct, values = entry
             tup = StreamTuple(
                 stream=stream,
-                values=self._link_codec.decode(stream, values),
+                values=values if decoded else self._link_codec.decode(stream, values),
                 source=source,
                 source_task=source_task,
                 direct_task=direct,

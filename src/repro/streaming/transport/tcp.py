@@ -47,6 +47,7 @@ from repro.streaming.transport.base import (
 )
 from repro.streaming.transport.framing import (
     DEFAULT_HOST,
+    BufferFrame,
     FrameDecoder,
     encode_frame,
     is_attach_address,
@@ -62,6 +63,36 @@ SEND_TIMEOUT_S = 120.0
 _SRC_ROOT = str(Path(__file__).resolve().parents[3])
 
 
+def _sendall_parts(sock, parts) -> None:
+    """``sendall`` for a scatter list, via ``sendmsg`` where available.
+
+    ``sendmsg`` may write only a prefix of the total; the loop advances
+    through the part list until everything is on the wire, slicing at
+    most the one partially-sent buffer per round.
+    """
+    views = [
+        part if isinstance(part, memoryview) else memoryview(part)
+        for part in parts
+        if len(part)
+    ]
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # pragma: no cover - platform without sendmsg
+        sock.sendall(b"".join(bytes(view) for view in views))
+        return
+    while views:
+        sent = sendmsg(views)
+        while sent:
+            head = len(views[0])
+            if sent >= head:
+                sent -= head
+                views.pop(0)
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
+        while views and not len(views[0]):
+            views.pop(0)
+
+
 class SocketWorkerLink(WorkerLink):
     """One TCP connection, plus the subprocess when we spawned it."""
 
@@ -75,11 +106,16 @@ class SocketWorkerLink(WorkerLink):
         self._process = process
         self._eof = False
 
-    def send(self, message: tuple) -> None:
+    def send(self, message) -> None:
         if self._sock is None:
             raise LinkDown("link already reaped")
         try:
-            self._sock.sendall(encode_frame(message))
+            if isinstance(message, BufferFrame):
+                # scatter-write the frame's parts (header, envelope, raw
+                # column buffers) without concatenating them
+                _sendall_parts(self._sock, message.parts())
+            else:
+                self._sock.sendall(encode_frame(message))
         except OSError as exc:
             raise LinkDown(str(exc)) from exc
 

@@ -32,7 +32,10 @@ import pickle
 import sys
 
 from repro.streaming.transport.framing import (
+    FRAME_BUFFERS_FLAG,
     FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    decode_buffer_payload,
     encode_frame,
     format_banner,
     parse_address,
@@ -42,8 +45,11 @@ from repro.streaming.transport.session import WorkerKilled, WorkerSession
 
 async def _read_frame(reader: asyncio.StreamReader):
     header = await reader.readexactly(FRAME_HEADER.size)
-    (length,) = FRAME_HEADER.unpack(header)
-    payload = await reader.readexactly(length)
+    (word,) = FRAME_HEADER.unpack(header)
+    payload = await reader.readexactly(word & MAX_FRAME_BYTES)
+    if word & FRAME_BUFFERS_FLAG:
+        # buffer frame: the session decodes envelope + raw column views
+        return decode_buffer_payload(payload)
     return pickle.loads(payload)
 
 

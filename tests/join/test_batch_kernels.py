@@ -1,0 +1,157 @@
+"""Batch kernels vs the per-document streaming loop — exact equivalence.
+
+Every joiner's ``probe_batch``/``insert_batch``/``process_batch`` must
+produce exactly what the equivalent sequence of ``probe``/``add`` calls
+produces, on the same stored state — the kernels are a faster path, not
+a different algorithm.  Checked over randomized workloads for all three
+joiners, plus the contract edges (stored-state-only probe semantics,
+pre-built batch reuse, interner mismatch).
+"""
+
+import random
+
+import pytest
+
+from repro.core.columnar import ColumnarBatch
+from repro.core.document import Document
+from repro.join.fptree_join import FPTreeJoiner
+from repro.join.hash_join import HashJoiner
+from repro.join.nested_loop import NestedLoopJoiner
+from repro.join.ordering import AttributeOrder
+
+ATTRIBUTES = [f"a{i}" for i in range(10)]
+VALUES = [0, 1, 2, "x", "y", True]
+
+
+def make_documents(rng, count, start_id=0):
+    docs = []
+    for i in range(count):
+        pairs = {
+            attribute: rng.choice(VALUES)
+            for attribute in rng.sample(ATTRIBUTES, rng.randrange(1, 5))
+        }
+        docs.append(Document(pairs, doc_id=start_id + i))
+    return docs
+
+
+def make_order(documents):
+    return AttributeOrder.from_documents(documents)
+
+
+JOINERS = {
+    "NLJ": lambda order: NestedLoopJoiner(order=order),
+    "HBJ": lambda order: HashJoiner(order=order),
+    "FPJ": lambda order: FPTreeJoiner(order=order),
+}
+
+
+@pytest.mark.parametrize("name", sorted(JOINERS))
+class TestBatchEquivalence:
+    def test_probe_batch_equals_probe_loop(self, name):
+        rng = random.Random(11)
+        for trial in range(8):
+            stored = make_documents(rng, 40)
+            probes = make_documents(rng, 30, start_id=1000)
+            order = make_order(stored + probes)
+            reference, batched = JOINERS[name](order), JOINERS[name](order)
+            for doc in stored:
+                reference.add(doc)
+                batched.add(doc)
+            expected = [sorted(reference.probe(doc)) for doc in probes]
+            got = [sorted(partners) for partners in batched.probe_batch(probes)]
+            assert got == expected
+
+    def test_probe_batch_sees_stored_state_only(self, name):
+        # contract: batch probing never matches within the probe batch
+        doc_a = Document({"k": 1}, doc_id=0)
+        doc_b = Document({"k": 1}, doc_id=1)
+        joiner = JOINERS[name](make_order([doc_a, doc_b]))
+        results = joiner.probe_batch([doc_a, doc_b])
+        assert results == [[], []]
+
+    def test_process_batch_equals_interleaved_loop(self, name):
+        rng = random.Random(13)
+        for trial in range(8):
+            docs = make_documents(rng, 60)
+            order = make_order(docs)
+            reference, batched = JOINERS[name](order), JOINERS[name](order)
+            expected = []
+            for doc in docs:
+                expected.append(sorted(reference.probe(doc)))
+                reference.add(doc)
+            got = [sorted(p) for p in batched.process_batch(docs)]
+            assert got == expected
+            # stored state converged identically: future probes agree
+            followups = make_documents(rng, 10, start_id=5000)
+            for doc in followups:
+                assert sorted(batched.probe(doc)) == sorted(reference.probe(doc))
+
+    def test_insert_batch_matches_add_loop(self, name):
+        rng = random.Random(17)
+        docs = make_documents(rng, 40)
+        probes = make_documents(rng, 15, start_id=2000)
+        order = make_order(docs + probes)
+        reference, batched = JOINERS[name](order), JOINERS[name](order)
+        for doc in docs:
+            reference.add(doc)
+        batched.insert_batch(docs)
+        assert len(batched) == len(reference) == len(docs)
+        for doc in probes:
+            assert sorted(batched.probe(doc)) == sorted(reference.probe(doc))
+
+    def test_mixed_batch_and_per_document_usage(self, name):
+        rng = random.Random(19)
+        docs = make_documents(rng, 50)
+        order = make_order(docs)
+        reference, mixed = JOINERS[name](order), JOINERS[name](order)
+        expected = []
+        for doc in docs:
+            expected.append(sorted(reference.probe(doc)))
+            reference.add(doc)
+        got = [sorted(p) for p in mixed.process_batch(docs[:20])]
+        for doc in docs[20:30]:  # interleave the per-document path
+            got.append(sorted(mixed.probe(doc)))
+            mixed.add(doc)
+        got.extend(sorted(p) for p in mixed.process_batch(docs[30:]))
+        assert got == expected
+
+    def test_reset_clears_batch_state(self, name):
+        rng = random.Random(23)
+        docs = make_documents(rng, 20)
+        joiner = JOINERS[name](make_order(docs))
+        joiner.process_batch(docs)
+        joiner.reset()
+        assert len(joiner) == 0
+        assert joiner.probe_batch(docs) == [[] for _ in docs]
+
+
+class TestKernelBatchInputs:
+    def test_prebuilt_batch_is_accepted(self):
+        rng = random.Random(29)
+        docs = make_documents(rng, 30)
+        order = make_order(docs)
+        reference, joiner = HashJoiner(order=order), HashJoiner(order=order)
+        batch = ColumnarBatch.from_documents(docs, joiner._interner)
+        expected = [sorted(p) for p in reference.process_batch(docs)]
+        assert [sorted(p) for p in joiner.process_batch(batch)] == expected
+
+    def test_foreign_interner_batch_is_rejected(self):
+        from repro.core.interning import PairInterner
+
+        docs = make_documents(random.Random(31), 5)
+        joiner = HashJoiner(order=make_order(docs))
+        foreign = ColumnarBatch.from_documents(docs, PairInterner())
+        with pytest.raises(ValueError, match="interner"):
+            joiner.probe_batch(foreign)
+
+    def test_views_invalidated_by_per_document_insert(self):
+        # HBJ amortizes postings views across batches; a per-document
+        # add in between must invalidate them, not leak stale state
+        docs = make_documents(random.Random(37), 20)
+        order = make_order(docs)
+        joiner = HashJoiner(order=order)
+        joiner.process_batch(docs[:10])
+        late = Document({"zz": "late", **docs[0].pairs}, doc_id=999)
+        joiner.add(late)
+        probe = Document(docs[0].pairs, doc_id=1234)
+        assert 999 in joiner.probe_batch([probe])[0]

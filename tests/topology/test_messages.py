@@ -4,6 +4,7 @@ from repro.core.document import Document
 from repro.topology.messages import (
     ASSIGNED,
     AttributeStats,
+    ColumnarWireCodec,
     ControlMessage,
     DictionaryWireCodec,
     wire_codec,
@@ -62,8 +63,13 @@ def roundtrip(codec, doc, window_id=0, side=None):
 
 
 class TestDictionaryWireCodec:
-    def test_default_codec_compresses_per_link(self):
-        assert isinstance(wire_codec(), DictionaryWireCodec)
+    def test_default_codec_ships_columnar_frames(self):
+        codec = wire_codec()
+        assert isinstance(codec, ColumnarWireCodec)
+        assert codec.supports_frames
+        # stateless: links share the instance, so journaled frames
+        # decode on any incarnation
+        assert codec.link_codec() is codec
 
     def test_assigned_roundtrip(self):
         link = DictionaryWireCodec().link_codec()
