@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check figures report examples clean
+.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check bench-throughput bench-throughput-smoke bench-check-throughput soak-smoke figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,8 +29,9 @@ test-distributed:
 	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m distributed
 
 # the full pre-merge gate: tier-1, the forked backend suite, chaos,
-# the socket-transport suite, and the hot-path benchmark smoke
-verify: test test-parallel test-chaos test-distributed bench-hotpath-smoke
+# the socket-transport suite, the benchmark smokes, and a capped soak
+# on every backend
+verify: test test-parallel test-chaos test-distributed bench-hotpath-smoke bench-throughput-smoke soak-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -54,6 +55,35 @@ bench-hotpath-smoke:
 # Fail on >25% per-metric regression vs the committed BENCH_hotpath.json
 bench-check:
 	PYTHONPATH=src $(PYTHON) scripts/check_bench.py
+
+# Regenerate BENCH_throughput.json: sustained docs/sec and p50/p99 e2e
+# latency per (backend x zoo workload), measured by rate-ramped soaks
+# until saturation (see docs/soak.md)
+bench-throughput:
+	PYTHONPATH=src $(PYTHON) benchmarks/test_throughput.py
+
+# Fast correctness smoke over the throughput harness: scaled-down
+# local-only soak cells produce sane, healthy metrics
+bench-throughput-smoke:
+	PYTHONPATH=src timeout 300 $(PYTHON) -m pytest benchmarks/test_throughput.py
+
+# Direction-aware gate vs the committed BENCH_throughput.json:
+# throughput drops and latency rises both fail past the threshold
+bench-check-throughput:
+	PYTHONPATH=src $(PYTHON) scripts/check_bench.py --suite throughput
+
+# Capped long-running-session smoke on every backend: each run ramps an
+# adversarial workload for a few seconds and asserts bounded memory and
+# monotonic metrics (nonzero exit on violation)
+soak-smoke:
+	PYTHONPATH=src timeout 60 $(PYTHON) -m repro soak --workload zipf \
+		--max-seconds 6 --epoch-windows 2 --assert-memory
+	PYTHONPATH=src timeout 90 $(PYTHON) -m repro soak --workload drift \
+		--backend parallel --transport pipe --workers 2 \
+		--max-seconds 8 --epoch-windows 2 --assert-memory
+	PYTHONPATH=src timeout 120 $(PYTHON) -m repro soak --workload burst \
+		--backend parallel --transport socket --workers 2 \
+		--max-seconds 8 --epoch-windows 2 --assert-memory
 
 # Instrumented smoke run: exercises the observability layer end to end
 # and persists the metric snapshot for the report tooling.

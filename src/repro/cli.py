@@ -22,6 +22,11 @@ Subcommands
     Run an observability-enabled topology and print (or dump as JSON)
     the recorded metric series: per-component tuple counts, executor
     latency histograms, per-machine replication counters, spans.
+``soak``
+    Long-running session mode: ramp offered load over an unbounded
+    adversarial workload until the topology saturates, then report
+    sustained docs/sec, p50/p99 end-to-end latency, and whether memory
+    stayed bounded and metrics stayed monotonic (``docs/soak.md``).
 """
 
 from __future__ import annotations
@@ -177,6 +182,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--out", default=None, help="write the output to a file")
     _add_backend_arguments(stats, "parallel merges per-worker snapshots")
+
+    soak = sub.add_parser(
+        "soak", help="rate-ramped long-running session (see docs/soak.md)"
+    )
+    soak.add_argument(
+        "--workload", choices=("zipf", "drift", "late", "burst"),
+        default="zipf",
+        help="adversarial workload from the zoo (repro.data.zoo)",
+    )
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("-m", "--machines", type=int, default=8)
+    soak.add_argument(
+        "--algorithm", choices=("AG", "SC", "DS", "HASH", "KL"), default="AG"
+    )
+    soak.add_argument(
+        "--initial-rate", type=float, default=500.0,
+        help="offered docs/sec of the first epoch (doubles while the "
+             "topology keeps up)",
+    )
+    soak.add_argument(
+        "--window-seconds", type=float, default=0.5,
+        help="simulated span of one window; window size in documents is "
+             "offered-rate x this",
+    )
+    soak.add_argument(
+        "--epoch-windows", type=int, default=4,
+        help="windows per ramp epoch (one RSS/metric sample per epoch)",
+    )
+    soak.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall-clock cap on the whole run",
+    )
+    soak.add_argument(
+        "--max-windows", type=int, default=None,
+        help="stop after this many windows",
+    )
+    soak.add_argument(
+        "--run-past-saturation", action="store_true",
+        help="keep offering the final rate after saturation instead of "
+             "stopping (needs --max-seconds or --max-windows)",
+    )
+    soak.add_argument(
+        "--assert-memory", action="store_true",
+        help="exit nonzero if the bounded-memory check fails (metric "
+             "monotonicity is always asserted)",
+    )
+    soak.add_argument(
+        "--json", action="store_true", help="dump the report as JSON"
+    )
+    soak.add_argument("--out", default=None, help="write the report to a file")
+    _add_backend_arguments(soak, "the soak session's cluster")
     return parser
 
 
@@ -436,6 +492,86 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.soak import SoakConfig, run_soak
+
+    if args.run_past_saturation and (
+        args.max_seconds is None and args.max_windows is None
+    ):
+        print(
+            "--run-past-saturation needs --max-seconds or --max-windows",
+            file=sys.stderr,
+        )
+        return 2
+    config = SoakConfig(
+        workload=args.workload,
+        seed=args.seed,
+        m=args.machines,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        transport=args.transport,
+        workers=args.workers,
+        initial_rate=args.initial_rate,
+        window_seconds=args.window_seconds,
+        epoch_windows=args.epoch_windows,
+        max_seconds=args.max_seconds,
+        max_windows=args.max_windows,
+        stop_at_saturation=not args.run_past_saturation,
+    )
+    report = run_soak(config)
+    if args.json:
+        import json
+
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    else:
+        fmt_ms = lambda s: f"{s * 1000:.1f} ms" if s is not None else "-"
+        memory = report.memory
+        lines = [
+            f"workload={config.workload} backend={config.backend}"
+            + (f"/{config.transport}" if config.backend == "parallel" else ""),
+            f"stopped: {report.stop_reason} after {report.windows} windows, "
+            f"{report.documents} documents, {report.elapsed_seconds:.1f}s",
+            f"sustained throughput: {report.sustained_docs_per_sec:,.0f} docs/sec"
+            + (" (saturated)" if report.saturated else " (ramp not exhausted)"),
+            f"e2e latency: p50={fmt_ms(report.p50_s)} p99={fmt_ms(report.p99_s)}",
+            "memory: "
+            + (
+                "sampling unavailable"
+                if memory is None or memory.skipped
+                else (
+                    f"{'bounded' if memory.ok else 'UNBOUNDED'} "
+                    f"(peak {memory.peak_bytes / 1e6:.0f} MB, "
+                    f"allowed {memory.allowed_bytes / 1e6:.0f} MB)"
+                )
+            ),
+            f"metrics monotonic: {'yes' if report.obs_monotonic else 'NO'}",
+        ]
+        if report.dead_letters or report.worker_restarts or report.degraded_workers:
+            lines.append(
+                f"faults: dead_letters={report.dead_letters} "
+                f"worker_restarts={report.worker_restarts} "
+                f"degraded_workers={report.degraded_workers}"
+            )
+        text = "\n".join(lines)
+    if args.out:
+        from pathlib import Path
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text + "\n", encoding="utf-8")
+        print(f"soak report written to {args.out}")
+    else:
+        print(text)
+    if not report.obs_monotonic:
+        for violation in report.obs_violations:
+            print(f"monotonicity violation: {violation}", file=sys.stderr)
+        return 1
+    if args.assert_memory and not report.memory_ok:
+        print(f"memory check failed: {report.memory.reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-join`` / ``python -m repro``."""
     args = _build_parser().parse_args(argv)
@@ -464,6 +600,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

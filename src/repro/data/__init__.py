@@ -12,14 +12,28 @@ from repro.data.stream import (
     windows_by_time,
 )
 from repro.data.tweets import TweetGenerator
+from repro.data.zoo import (
+    ZOO_WORKLOADS,
+    FlashCrowdGenerator,
+    LateArrivalGenerator,
+    SchemaDriftGenerator,
+    ZipfSkewGenerator,
+    make_zoo_generator,
+)
 
 __all__ = [
     "DatasetGenerator",
+    "FlashCrowdGenerator",
     "IdealStreamGenerator",
+    "LateArrivalGenerator",
     "NoBenchGenerator",
+    "SchemaDriftGenerator",
     "ServerLogGenerator",
     "TimestampedDocument",
     "TweetGenerator",
+    "ZOO_WORKLOADS",
+    "ZipfSkewGenerator",
+    "make_zoo_generator",
     "arrival_rate_from_daily_volume",
     "timestamped_stream",
     "windows_by_time",

@@ -1,0 +1,389 @@
+"""Adversarial workload zoo: skew, drift, lateness and flash crowds.
+
+The three seed datasets (rwData / nbData / idealData) reproduce the
+paper's evaluation, but they are all *benign*: key popularity is mildly
+skewed, the attribute universe shifts slowly and documents arrive in
+creation order.  Sustained-traffic operation (ROADMAP: "millions of
+users") dies on exactly the workloads those generators never produce —
+one AV-pair going viral, schemas mutating mid-stream, late and
+out-of-order arrivals, flash-crowd bursts.  This module is the zoo of
+seeded generators for those adversarial shapes, shared by the unit
+tests, the backend-matrix equivalence suite, the soak driver
+(:mod:`repro.soak`) and the throughput benchmark
+(``benchmarks/test_throughput.py``).
+
+Every generator follows the :class:`~repro.data.base.DatasetGenerator`
+contract: fully deterministic under its seed (same seed → byte-identical
+stream, window by window) so equivalence tests can replay the exact same
+adversarial stream against every backend.
+
+Workloads
+---------
+``zipf`` — :class:`ZipfSkewGenerator`
+    AV-pairs drawn from Zipf-ranked attribute/value pools; one designated
+    pair ("going viral", PanJoin's motivating scenario) ramps from a
+    background probability toward a configurable ceiling over windows.
+``drift`` — :class:`SchemaDriftGenerator`
+    A stable attribute core plus a rotating set of transient attributes;
+    supports an attribute vanishing *mid-window*, the hardest case for
+    anything caching per-window attribute statistics.
+``late`` — :class:`LateArrivalGenerator`
+    Wraps any base generator and re-orders delivery with a bounded,
+    seeded displacement — documents arrive out of creation order and may
+    spill past their original window boundary.
+``burst`` — :class:`FlashCrowdGenerator`
+    Calm background traffic interrupted by periodic flash-crowd windows
+    in which most documents pile onto one fresh hot topic pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from bisect import bisect_left
+from typing import Any, Optional
+
+from repro.core.document import Document
+from repro.data.base import DatasetGenerator
+
+#: the workload names :func:`make_zoo_generator` accepts
+ZOO_WORKLOADS = ("zipf", "drift", "late", "burst")
+
+
+def _zipf_cdf(n: int, exponent: float) -> list[float]:
+    """Cumulative distribution of a Zipf law over ranks ``1..n``."""
+    if n < 1:
+        raise ValueError(f"need at least one rank, got {n}")
+    weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    cdf[-1] = 1.0  # guard float drift so bisect can never run off the end
+    return cdf
+
+
+def _zipf_draw(rng: random.Random, cdf: list[float]) -> int:
+    """One 0-based rank drawn from a precomputed Zipf CDF."""
+    return bisect_left(cdf, rng.random())
+
+
+class ZipfSkewGenerator(DatasetGenerator):
+    """Heavy-skew AV-pair stream with one pair going viral.
+
+    Both the attribute picked for a slot and the value within the
+    attribute's domain follow a Zipf law with the given ``exponent``, so
+    a handful of pairs dominate the stream (long posting lists, hot
+    partitions).  From ``viral_start_window`` on, the designated viral
+    pair (``topic = #viral``) additionally appears with a probability
+    that ramps geometrically (``viral_ramp``) from ``viral_base`` up to
+    ``viral_ceiling`` — the "one AV-pair goes viral" scenario that
+    elastic-scaling work needs to reproduce on demand.
+    """
+
+    VIRAL_ATTRIBUTE = "topic"
+    VIRAL_VALUE = "#viral"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_attributes: int = 12,
+        n_values: int = 40,
+        exponent: float = 1.2,
+        min_pairs: int = 2,
+        max_pairs: int = 5,
+        viral_start_window: int = 2,
+        viral_base: float = 0.05,
+        viral_ramp: float = 1.6,
+        viral_ceiling: float = 0.6,
+    ):
+        super().__init__(seed)
+        if not 0.0 <= viral_base <= viral_ceiling <= 1.0:
+            raise ValueError(
+                f"need 0 <= viral_base <= viral_ceiling <= 1, "
+                f"got {viral_base} / {viral_ceiling}"
+            )
+        if min_pairs < 1 or max_pairs < min_pairs:
+            raise ValueError(f"bad pair bounds {min_pairs}..{max_pairs}")
+        self._attributes = [f"A{i:02d}" for i in range(n_attributes)]
+        self._attr_cdf = _zipf_cdf(n_attributes, exponent)
+        self._value_cdf = _zipf_cdf(n_values, exponent)
+        self.min_pairs = min_pairs
+        self.max_pairs = max_pairs
+        self.viral_start_window = viral_start_window
+        self.viral_base = viral_base
+        self.viral_ramp = viral_ramp
+        self.viral_ceiling = viral_ceiling
+        self._viral_p = 0.0
+
+    def viral_probability(self, window_index: int) -> float:
+        """The viral pair's inclusion probability in ``window_index``."""
+        if window_index < self.viral_start_window:
+            return 0.0
+        if self.viral_base == 0.0:
+            return 0.0
+        steps = window_index - self.viral_start_window
+        # multiply up instead of one unbounded pow: an endless stream
+        # reaches the ceiling after log-many steps, and a bare
+        # ramp**steps overflows float around step 1500
+        p = self.viral_base
+        for _ in range(steps):
+            if p >= self.viral_ceiling:
+                break
+            p *= self.viral_ramp
+        return min(self.viral_ceiling, p)
+
+    def _on_window_start(self, rng: random.Random, window_index: int) -> None:
+        self._viral_p = self.viral_probability(window_index)
+
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        n_pairs = rng.randint(self.min_pairs, self.max_pairs)
+        record: dict[str, Any] = {}
+        while len(record) < n_pairs:
+            attribute = self._attributes[_zipf_draw(rng, self._attr_cdf)]
+            if attribute in record:
+                continue
+            record[attribute] = f"v{_zipf_draw(rng, self._value_cdf):03d}"
+        if self._viral_p and rng.random() < self._viral_p:
+            record[self.VIRAL_ATTRIBUTE] = self.VIRAL_VALUE
+        return record
+
+
+class SchemaDriftGenerator(DatasetGenerator):
+    """Schema-free stream whose attribute universe mutates per window.
+
+    Every document carries a small *stable core* (joinable identity
+    attributes with modest value domains) plus a few attributes from a
+    rotating pool: each window shifts the active slice of the pool by
+    ``shift_per_window``, so attributes continuously appear and
+    disappear across windows — the schema-drift stressor.
+
+    ``vanish_at=(window, after_docs)`` additionally schedules the
+    near-ubiquitous ``Fleeting`` attribute to disappear *mid-window*:
+    it is present in every document up to (but excluding) document
+    number ``after_docs`` of window ``window`` and never appears again —
+    the edge case for per-window attribute statistics.
+    """
+
+    VANISHING_ATTRIBUTE = "Fleeting"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        stable_attributes: int = 3,
+        stable_values: int = 12,
+        rotating_pool: int = 36,
+        active_rotating: int = 6,
+        shift_per_window: int = 2,
+        rotating_values: int = 8,
+        vanish_at: Optional[tuple[int, int]] = None,
+    ):
+        super().__init__(seed)
+        if active_rotating > rotating_pool:
+            raise ValueError(
+                f"active_rotating {active_rotating} exceeds pool {rotating_pool}"
+            )
+        self._stable = [f"S{i}" for i in range(stable_attributes)]
+        self._stable_values = stable_values
+        self._pool = [f"T{i:02d}" for i in range(rotating_pool)]
+        self.active_rotating = active_rotating
+        self.shift_per_window = shift_per_window
+        self._rotating_values = rotating_values
+        self.vanish_at = vanish_at
+        self._active: list[str] = []
+        self._docs_in_window = 0
+
+    def _on_window_start(self, rng: random.Random, window_index: int) -> None:
+        base = window_index * self.shift_per_window
+        self._active = [
+            self._pool[(base + i) % len(self._pool)]
+            for i in range(self.active_rotating)
+        ]
+        self._docs_in_window = 0
+
+    def _fleeting_present(self, window_index: int) -> bool:
+        if self.vanish_at is None:
+            return True
+        vanish_window, after_docs = self.vanish_at
+        if window_index < vanish_window:
+            return True
+        if window_index > vanish_window:
+            return False
+        return self._docs_in_window < after_docs
+
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            attribute: f"id{rng.randrange(self._stable_values)}"
+            for attribute in self._stable
+        }
+        for attribute in rng.sample(self._active, k=rng.randint(1, 3)):
+            record[attribute] = rng.randrange(self._rotating_values)
+        if self._fleeting_present(window_index):
+            record[self.VANISHING_ATTRIBUTE] = True
+        self._docs_in_window += 1
+        return record
+
+
+class LateArrivalGenerator(DatasetGenerator):
+    """Delivers a base generator's stream late and out of order.
+
+    Each document produced by ``base`` (which keeps its original
+    ``doc_id``, i.e. its creation order) is assigned a seeded arrival
+    delay: with probability ``late_fraction`` it is displaced by
+    1..``max_delay`` positions, otherwise it arrives on time.  Windows
+    then frame the *arrival* order, so a window contains documents whose
+    ids run out of order and a late document can spill past its original
+    window boundary — exactly what a count-windowed pipeline sees under
+    network reordering.
+
+    The displacement is bounded: a document never arrives more than
+    ``max_delay`` positions after its creation slot, and the delivered
+    stream is a permutation of the base stream (nothing is dropped or
+    duplicated).
+    """
+
+    def __init__(
+        self,
+        base: DatasetGenerator,
+        seed: int = 0,
+        late_fraction: float = 0.25,
+        max_delay: int = 40,
+    ):
+        super().__init__(seed)
+        if not 0.0 <= late_fraction <= 1.0:
+            raise ValueError(f"late_fraction must be in [0, 1], got {late_fraction}")
+        if max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {max_delay}")
+        self._base = base
+        self.late_fraction = late_fraction
+        self.max_delay = max_delay
+        #: min-heap of (arrival_slot, creation_slot, document)
+        self._pending: list[tuple[int, int, Document]] = []
+        self._created = 0
+
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        raise NotImplementedError("LateArrivalGenerator overrides next_window")
+
+    def _admit_one(self) -> None:
+        """Pull one document from the base stream into the reorder buffer."""
+        (document,) = self._base.next_window(1)
+        slot = self._created
+        self._created += 1
+        delay = 0
+        if self._rng.random() < self.late_fraction:
+            delay = self._rng.randint(1, self.max_delay)
+        heapq.heappush(self._pending, (slot + delay, slot, document))
+
+    def next_window(self, size: int) -> list[Document]:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        self._on_window_start(self._rng, self._window_index)
+        window: list[Document] = []
+        while len(window) < size:
+            # admit until the earliest buffered arrival is certain: any
+            # document still unseen would arrive at slot >= self._created,
+            # so a buffered head with arrival_slot <= created is final
+            while not self._pending or self._pending[0][0] > self._created:
+                self._admit_one()
+            window.append(heapq.heappop(self._pending)[2])
+        self._window_index += 1
+        return window
+
+
+class FlashCrowdGenerator(DatasetGenerator):
+    """Calm background traffic with periodic flash-crowd windows.
+
+    Out of every ``burst_period`` windows, the last ``burst_length`` are
+    burst windows: ``burst_fraction`` of their documents carry the
+    burst's hot topic pair (a fresh topic per burst, so each flash crowd
+    is a *previously unseen* hot key) plus a correlated event marker.
+    Background documents spread over users, regions and a long tail of
+    cold topics.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_users: int = 200,
+        n_regions: int = 8,
+        n_topics: int = 50,
+        burst_period: int = 4,
+        burst_length: int = 1,
+        burst_fraction: float = 0.7,
+    ):
+        super().__init__(seed)
+        if burst_period < 1 or not 1 <= burst_length <= burst_period:
+            raise ValueError(
+                f"need 1 <= burst_length <= burst_period, "
+                f"got {burst_length} / {burst_period}"
+            )
+        if not 0.0 <= burst_fraction <= 1.0:
+            raise ValueError(
+                f"burst_fraction must be in [0, 1], got {burst_fraction}"
+            )
+        self._users = [f"u{i:04d}" for i in range(n_users)]
+        self._regions = [f"r{i}" for i in range(n_regions)]
+        self._user_region = {
+            user: self._regions[i % n_regions]
+            for i, user in enumerate(self._users)
+        }
+        self._topics = [f"#t{i:03d}" for i in range(n_topics)]
+        self.burst_period = burst_period
+        self.burst_length = burst_length
+        self.burst_fraction = burst_fraction
+        self._in_burst = False
+        self._hot_topic = ""
+
+    def in_burst(self, window_index: int) -> bool:
+        """Whether ``window_index`` is a flash-crowd window."""
+        return window_index % self.burst_period >= (
+            self.burst_period - self.burst_length
+        )
+
+    def _on_window_start(self, rng: random.Random, window_index: int) -> None:
+        self._in_burst = self.in_burst(window_index)
+        if self._in_burst:
+            burst_number = window_index // self.burst_period
+            self._hot_topic = f"#flash{burst_number:03d}"
+
+    def _make_record(self, rng: random.Random, window_index: int) -> dict[str, Any]:
+        user = rng.choice(self._users)
+        record: dict[str, Any] = {
+            "user": user,
+            "region": self._user_region[user],
+        }
+        if self._in_burst and rng.random() < self.burst_fraction:
+            record["topic"] = self._hot_topic
+            record["event"] = "spike"
+        else:
+            if rng.random() < 0.6:
+                record["topic"] = rng.choice(self._topics)
+            if rng.random() < 0.2:
+                record["event"] = "view"
+        return record
+
+
+def make_zoo_generator(
+    name: str, seed: int = 0, **knobs: Any
+) -> DatasetGenerator:
+    """Instantiate a zoo workload by name (see :data:`ZOO_WORKLOADS`).
+
+    ``knobs`` pass through to the generator's constructor; the ``late``
+    workload wraps a :class:`ZipfSkewGenerator` base by default (pass
+    ``base=...`` to reorder a different stream).
+    """
+    if name == "zipf":
+        return ZipfSkewGenerator(seed=seed, **knobs)
+    if name == "drift":
+        return SchemaDriftGenerator(seed=seed, **knobs)
+    if name == "late":
+        base = knobs.pop("base", None)
+        if base is None:
+            base = ZipfSkewGenerator(seed=seed)
+        return LateArrivalGenerator(base, seed=seed, **knobs)
+    if name == "burst":
+        return FlashCrowdGenerator(seed=seed, **knobs)
+    raise ValueError(
+        f"unknown zoo workload {name!r}; choose from {ZOO_WORKLOADS}"
+    )

@@ -122,6 +122,38 @@ class FaultPlan:
         rule = RaiseInBolt(component, nth, stream, sticky, message)
         return replace(self, raises=self.raises + (rule,))
 
+    def raise_every(
+        self,
+        component: str,
+        every: int,
+        count: int,
+        start: int = 1,
+        stream: Optional[str] = None,
+        sticky: bool = True,
+        message: str = "injected fault",
+    ) -> "FaultPlan":
+        """``count`` raise rules at every ``every``-th delivery.
+
+        A *sustained* fault source for soak and chaos runs: rules fire
+        at deliveries ``start``, ``start + every``, ... — unlike a
+        single :meth:`raise_in`, the pressure on the retry/dead-letter
+        machinery never lets up.
+        """
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        plan = self
+        for k in range(count):
+            plan = plan.raise_in(
+                component,
+                nth=start + k * every,
+                stream=stream,
+                sticky=sticky,
+                message=message,
+            )
+        return plan
+
     def delay_acks(
         self, worker: int, seconds: float, every: int = 1
     ) -> "FaultPlan":

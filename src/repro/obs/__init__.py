@@ -21,6 +21,7 @@ from repro.obs.registry import (
     NULL_REGISTRY,
     NullRegistry,
     ObservabilitySnapshot,
+    histogram_quantile,
     merge_snapshots,
     series_name,
     subtract_snapshot,
@@ -36,6 +37,7 @@ __all__ = [
     "NullRegistry",
     "ObservabilitySnapshot",
     "Span",
+    "histogram_quantile",
     "merge_snapshots",
     "series_name",
     "subtract_snapshot",

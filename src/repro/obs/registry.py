@@ -101,6 +101,11 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile of the observed values (see
+        :func:`histogram_quantile`)."""
+        return histogram_quantile(self.as_dict(), q)
+
     def as_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -111,6 +116,46 @@ class Histogram:
             "max": self.max if self.count else None,
             "mean": self.mean,
         }
+
+
+def histogram_quantile(data: dict, q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile from a snapshot histogram dict.
+
+    Works on the ``as_dict()`` shape (``buckets``/``counts``/``count``
+    with the tracked ``min``/``max``), the only form available once a
+    histogram has crossed a process boundary.  The target rank is
+    located in the cumulative bucket counts and linearly interpolated
+    within its bucket; the tracked min/max tighten the first and the
+    +Inf bucket, so the estimate never leaves the observed value range.
+    Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = data["count"]
+    if not count:
+        return None
+    bounds = list(data["buckets"])
+    observed_min = data.get("min")
+    observed_max = data.get("max")
+    target = q * count
+    running = 0.0
+    for i, bucket_count in enumerate(data["counts"]):
+        if bucket_count and running + bucket_count >= target:
+            if i == 0:
+                lo = observed_min if observed_min is not None else 0.0
+            else:
+                lo = bounds[i - 1]
+            if i < len(bounds):
+                hi = bounds[i]
+            else:  # the implicit +Inf bucket: the max bounds it
+                hi = observed_max if observed_max is not None else bounds[-1]
+            if observed_max is not None:
+                hi = min(hi, observed_max)
+            hi = max(hi, lo)
+            fraction = max(0.0, target - running) / bucket_count
+            return lo + (hi - lo) * min(1.0, fraction)
+        running += bucket_count
+    return observed_max  # pragma: no cover - float drift fallback
 
 
 @dataclass

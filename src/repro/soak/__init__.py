@@ -1,0 +1,43 @@
+"""Long-running session soak testing and rate-ramped load driving.
+
+The experiments in :mod:`repro.experiments` replay a finite number of
+windows and stop; a stream processor's actual contract is *windows
+forever*.  This package supplies the missing discipline:
+
+* :mod:`repro.soak.stream` — unbounded window iterators over any
+  dataset generator, plus a :class:`RateController` that ramps offered
+  load until the topology saturates;
+* :mod:`repro.soak.memory` — RSS sampling and the bounded-memory
+  assertion for leak detection over long runs;
+* :mod:`repro.soak.driver` — :func:`run_soak` ties them together over a
+  live :class:`~repro.topology.session.StreamJoinSession`, measuring
+  sustained docs/sec and p50/p99 end-to-end latency while verifying
+  memory stays bounded and observability counters stay monotonic.
+
+Entry points: ``repro soak`` on the CLI, ``make soak-smoke`` for the
+capped three-backend smoke, and ``benchmarks/test_throughput.py`` for
+the gated throughput report.  See ``docs/soak.md``.
+"""
+
+from repro.soak.driver import (
+    SoakConfig,
+    SoakReport,
+    check_monotonic,
+    run_soak,
+    run_soak_matrix,
+)
+from repro.soak.memory import MemoryCheck, MemoryMonitor, rss_bytes
+from repro.soak.stream import RateController, endless_windows
+
+__all__ = [
+    "MemoryCheck",
+    "MemoryMonitor",
+    "RateController",
+    "SoakConfig",
+    "SoakReport",
+    "check_monotonic",
+    "endless_windows",
+    "rss_bytes",
+    "run_soak",
+    "run_soak_matrix",
+]

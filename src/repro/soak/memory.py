@@ -1,0 +1,171 @@
+"""Bounded-memory verification for long-running sessions.
+
+Continuous operation is only credible if memory stays flat: a soak run
+that leaks a little per window passes every finite test and still falls
+over in production.  This module samples the resident set size (RSS) of
+the driving process — ``/proc/self/statm`` where available, with a
+best-effort ``resource.getrusage`` peak fallback — and checks the
+samples against a growth bound: after a warmup prefix (caches, interner
+dictionaries and allocator arenas filling up), RSS may not grow beyond
+``baseline * (1 + growth_tolerance) + slack_bytes``, nor past an
+optional absolute limit.
+
+With the parallel backend the Joiner state lives in worker processes;
+the parent's RSS still bounds the control plane (journals, stashes,
+codec dictionaries, metric stores), which is where driver-side leaks
+accumulate.  Worker-side growth shows up indirectly as batch/journal
+backpressure, and can be bounded separately by pointing a monitor at a
+worker pid via ``rss_bytes(pid)``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: absolute headroom granted on top of the relative growth bound; keeps
+#: short smoke runs from tripping on one allocator arena (default 48 MiB)
+DEFAULT_SLACK_BYTES = 48 * 1024 * 1024
+
+
+def rss_bytes(pid: Optional[int] = None) -> Optional[int]:
+    """Current resident set size in bytes, or None when unavailable.
+
+    Reads ``/proc/<pid>/statm`` (Linux).  For the calling process a
+    ``getrusage`` peak-RSS fallback covers non-procfs platforms — a
+    high-water mark rather than a current reading, which is still a
+    valid *upper bound* for the growth check.
+    """
+    target = "self" if pid is None else str(pid)
+    try:
+        with open(f"/proc/{target}/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    if pid is not None:
+        return None
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:  # pragma: no cover - platform without getrusage
+        return None
+    # ru_maxrss is kilobytes on Linux, bytes on macOS
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+@dataclass
+class MemoryCheck:
+    """Outcome of a bounded-memory assertion over one soak run."""
+
+    ok: bool
+    #: why the check failed ("" when it passed or was skipped)
+    reason: str = ""
+    #: first post-warmup sample, the reference the bound is relative to
+    baseline_bytes: Optional[int] = None
+    #: highest post-warmup sample
+    peak_bytes: Optional[int] = None
+    #: the computed ceiling (relative bound; None when unsampled)
+    allowed_bytes: Optional[int] = None
+    #: every sample taken, in order (includes warmup)
+    samples: list[int] = field(default_factory=list)
+    #: True when RSS could not be read and the check was skipped
+    skipped: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "reason": self.reason,
+            "baseline_bytes": self.baseline_bytes,
+            "peak_bytes": self.peak_bytes,
+            "allowed_bytes": self.allowed_bytes,
+            "samples": list(self.samples),
+            "skipped": self.skipped,
+        }
+
+
+class MemoryMonitor:
+    """Samples RSS periodically and verifies the bounded-memory claim.
+
+    ``warmup_samples`` leading samples are recorded but exempt from the
+    bound (they establish the baseline: the first *post*-warmup sample).
+    ``limit_bytes`` adds an absolute ceiling on every post-warmup sample
+    on top of the relative growth bound.
+    """
+
+    def __init__(
+        self,
+        growth_tolerance: float = 0.25,
+        slack_bytes: int = DEFAULT_SLACK_BYTES,
+        limit_bytes: Optional[int] = None,
+        warmup_samples: int = 1,
+        pid: Optional[int] = None,
+    ):
+        if growth_tolerance < 0:
+            raise ValueError(
+                f"growth_tolerance must be >= 0, got {growth_tolerance}"
+            )
+        if warmup_samples < 0:
+            raise ValueError(
+                f"warmup_samples must be >= 0, got {warmup_samples}"
+            )
+        self.growth_tolerance = growth_tolerance
+        self.slack_bytes = slack_bytes
+        self.limit_bytes = limit_bytes
+        self.warmup_samples = warmup_samples
+        self.pid = pid
+        self.samples: list[int] = []
+        self._unavailable = False
+
+    def sample(self) -> Optional[int]:
+        """Take one RSS sample (appended to :attr:`samples`)."""
+        value = rss_bytes(self.pid)
+        if value is None:
+            self._unavailable = True
+            return None
+        self.samples.append(value)
+        return value
+
+    def check(self) -> MemoryCheck:
+        """Evaluate the bound over everything sampled so far."""
+        if self._unavailable or not self.samples:
+            return MemoryCheck(
+                ok=True,
+                reason="rss sampling unavailable on this platform",
+                samples=list(self.samples),
+                skipped=True,
+            )
+        steady = self.samples[self.warmup_samples:]
+        if not steady:
+            # the run ended inside warmup: nothing to bound against; the
+            # absolute limit (if any) still applies to what we saw
+            steady = self.samples[-1:]
+        baseline = steady[0]
+        peak = max(steady)
+        allowed = int(baseline * (1.0 + self.growth_tolerance)) + self.slack_bytes
+        ok = peak <= allowed
+        reason = ""
+        if not ok:
+            reason = (
+                f"rss grew past the bound: peak {peak / 1e6:.1f} MB vs "
+                f"allowed {allowed / 1e6:.1f} MB (baseline "
+                f"{baseline / 1e6:.1f} MB + {self.growth_tolerance:.0%} "
+                f"+ {self.slack_bytes / 1e6:.0f} MB slack)"
+            )
+        if ok and self.limit_bytes is not None and peak > self.limit_bytes:
+            ok = False
+            reason = (
+                f"rss exceeded the absolute limit: peak {peak / 1e6:.1f} MB "
+                f"vs limit {self.limit_bytes / 1e6:.1f} MB"
+            )
+        return MemoryCheck(
+            ok=ok,
+            reason=reason,
+            baseline_bytes=baseline,
+            peak_bytes=peak,
+            allowed_bytes=allowed,
+            samples=list(self.samples),
+        )

@@ -1,0 +1,113 @@
+"""Unbounded window streams and offered-load rate control.
+
+Two pieces sit between a :class:`~repro.data.base.DatasetGenerator` and
+the soak driver.  :func:`endless_windows` turns any generator into an
+infinite iterator of tumbling windows — the "windows forever" contract
+of a long-running session, with the driver deciding when to stop
+(wall-clock cap, window cap, or saturation).  :class:`RateController`
+implements the classic open-loop ramp used to find a system's knee: it
+offers load at a target rate, measures what the topology actually
+achieved, and multiplies the offered rate while the system keeps up.
+The first epoch where achieved throughput falls below
+``saturation_threshold`` of the offered rate marks saturation; the best
+achieved rate before (or at) that point is reported as the *sustained*
+throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.document import Document
+from repro.data.base import DatasetGenerator
+
+
+def endless_windows(
+    generator: DatasetGenerator, window_size: int
+) -> Iterator[list[Document]]:
+    """Yield tumbling windows from ``generator`` forever.
+
+    The generator's own statefulness does the work: every call to
+    ``next_window`` continues the stream (drift hooks fire, doc_ids keep
+    incrementing), so the iterator never repeats a window and never
+    terminates.  Callers bound it externally.
+    """
+    if window_size <= 0:
+        raise ValueError(f"window size must be positive, got {window_size}")
+    while True:
+        yield generator.next_window(window_size)
+
+
+class RateController:
+    """Ramp offered load until the topology stops keeping up.
+
+    Epoch protocol: call :meth:`offered_rate` to learn the docs/sec to
+    offer this epoch, run the epoch, then report the measured throughput
+    with :meth:`record_epoch`.  While the system achieves at least
+    ``saturation_threshold`` of the offered rate, the next epoch offers
+    ``ramp_factor`` times more; the first shortfall sets
+    :attr:`saturated` and freezes the offered rate.  :attr:`sustained`
+    tracks the best achieved rate over all non-saturated epochs — the
+    number a throughput report should quote.
+    """
+
+    def __init__(
+        self,
+        initial_rate: float = 500.0,
+        ramp_factor: float = 2.0,
+        saturation_threshold: float = 0.9,
+        max_rate: Optional[float] = None,
+    ):
+        if initial_rate <= 0:
+            raise ValueError(f"initial_rate must be positive, got {initial_rate}")
+        if ramp_factor <= 1.0:
+            raise ValueError(f"ramp_factor must be > 1, got {ramp_factor}")
+        if not 0.0 < saturation_threshold <= 1.0:
+            raise ValueError(
+                "saturation_threshold must be in (0, 1], got "
+                f"{saturation_threshold}"
+            )
+        self.initial_rate = initial_rate
+        self.ramp_factor = ramp_factor
+        self.saturation_threshold = saturation_threshold
+        self.max_rate = max_rate
+        self._offered = initial_rate
+        self.saturated = False
+        self.sustained = 0.0
+        #: (offered, achieved) per recorded epoch, in order
+        self.history: list[tuple[float, float]] = []
+
+    def offered_rate(self) -> float:
+        """Docs/sec to offer in the upcoming epoch."""
+        return self._offered
+
+    def record_epoch(self, achieved_rate: float) -> None:
+        """Report the measured docs/sec of the epoch just run."""
+        if achieved_rate < 0:
+            raise ValueError(
+                f"achieved rate must be non-negative, got {achieved_rate}"
+            )
+        self.history.append((self._offered, achieved_rate))
+        self.sustained = max(self.sustained, achieved_rate)
+        if achieved_rate < self._offered * self.saturation_threshold:
+            self.saturated = True
+            return
+        if not self.saturated:
+            next_rate = self._offered * self.ramp_factor
+            if self.max_rate is not None:
+                next_rate = min(next_rate, self.max_rate)
+            self._offered = next_rate
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view of the ramp for reports."""
+        return {
+            "initial_rate": self.initial_rate,
+            "ramp_factor": self.ramp_factor,
+            "saturation_threshold": self.saturation_threshold,
+            "saturated": self.saturated,
+            "sustained_docs_per_sec": self.sustained,
+            "epochs": [
+                {"offered": offered, "achieved": achieved}
+                for offered, achieved in self.history
+            ],
+        }

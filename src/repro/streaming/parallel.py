@@ -883,10 +883,18 @@ class ParallelCluster(ClusterBase):
         return stats
 
     def snapshot(self) -> ObservabilitySnapshot:
-        """Parent registry merged with every worker's registry."""
+        """Parent registry merged with every worker's registry.
+
+        Safe to call repeatedly mid-run (long-running sessions sample it
+        every few windows): each live call performs a fresh worker
+        round-trip, so successive snapshots are monotonic — counters and
+        histogram totals never move backward, and window barriers never
+        reset them.  The merged result is only memoized once the cluster
+        is closed, when the workers that held the counters are gone.
+        """
         if not self.registry.enabled or not self._started:
             return self.registry.snapshot()
-        if self._merged_snapshot is not None:
+        if self._merged_snapshot is not None and self._closed:
             return self._merged_snapshot
         alive = [
             h for h in self._workers if h.link is not None and h.link.alive()

@@ -21,7 +21,11 @@ from typing import Optional, Sequence
 
 from repro.core.document import Document
 from repro.metrics.report import WindowMetrics
-from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    ObservabilitySnapshot,
+)
 from repro.streaming.component import Collector, Spout
 from repro.topology import messages as msg
 from repro.topology.pipeline import (
@@ -101,6 +105,50 @@ class StreamJoinSession:
         ]:
             metrics.repartitioned = True
         return metrics
+
+    def observability(self) -> "ObservabilitySnapshot":
+        """A live metric snapshot of the running session.
+
+        Unlike :meth:`result` this does not close the session: call it
+        between windows to sample counters and latency histograms while
+        the stream keeps flowing (the soak driver does, every epoch).
+        Successive snapshots are monotonic — window barriers never reset
+        counters.  Requires ``config.observability``.
+        """
+        if not self.config.observability:
+            raise ValueError(
+                "session was built without observability; pass "
+                "StreamJoinConfig(observability=True)"
+            )
+        return self._cluster.snapshot()
+
+    def compact(self, retain_windows: int = 64) -> None:
+        """Trim per-window history so an unbounded session stays bounded.
+
+        A session accumulates one :class:`WindowMetrics` per pushed
+        window (plus its repartition events) for :meth:`result` — fine
+        for finite replay, a linear leak for windows-forever operation.
+        ``compact`` drops all but the newest ``retain_windows`` entries;
+        a later :meth:`result` then covers only the retained tail (its
+        tuple accounting and observability snapshot still cover the
+        whole run).  Joined pairs collected under ``collect_pairs`` are
+        left untouched — bounded-memory soak runs should leave pair
+        collection off.
+        """
+        if retain_windows < 1:
+            raise ValueError(
+                f"retain_windows must be >= 1, got {retain_windows}"
+            )
+        sink = self._sink
+        if len(sink.windows) <= retain_windows:
+            return
+        sink.windows = sink.windows[-retain_windows:]
+        oldest = sink.windows[0].window
+        sink.repartition_events = {
+            window: initial
+            for window, initial in sink.repartition_events.items()
+            if window >= oldest
+        }
 
     def result(self) -> StreamJoinResult:
         """Close the session and return the accumulated results."""

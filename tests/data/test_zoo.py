@@ -1,0 +1,201 @@
+"""Seeded-determinism and shape contracts of the adversarial workload zoo."""
+
+import pytest
+
+from repro.data.zoo import (
+    ZOO_WORKLOADS,
+    FlashCrowdGenerator,
+    LateArrivalGenerator,
+    SchemaDriftGenerator,
+    ZipfSkewGenerator,
+    make_zoo_generator,
+)
+
+
+def _stream(generator, n_windows=6, size=80):
+    return [generator.next_window(size) for _ in range(n_windows)]
+
+
+class TestDeterminism:
+    """Same seed -> identical stream; different seed -> a different one."""
+
+    @pytest.mark.parametrize("name", ZOO_WORKLOADS)
+    def test_same_seed_same_stream(self, name):
+        a = _stream(make_zoo_generator(name, seed=11))
+        b = _stream(make_zoo_generator(name, seed=11))
+        assert a == b
+
+    @pytest.mark.parametrize("name", ZOO_WORKLOADS)
+    def test_different_seed_different_stream(self, name):
+        a = _stream(make_zoo_generator(name, seed=11))
+        b = _stream(make_zoo_generator(name, seed=12))
+        assert a != b
+
+    @pytest.mark.parametrize("name", ZOO_WORKLOADS)
+    def test_sequential_doc_ids(self, name):
+        docs = [d for w in _stream(make_zoo_generator(name, seed=3)) for d in w]
+        ids = [d.doc_id for d in docs]
+        assert len(set(ids)) == len(ids)
+        if name == "late":
+            # delayed documents may still sit in the reorder buffer at
+            # the cut point, but only within the displacement bound
+            gen = make_zoo_generator("late", seed=3)
+            missing = set(range(len(ids))) - set(ids)
+            assert all(m >= len(ids) - gen.max_delay for m in missing)
+        else:
+            assert sorted(ids) == list(range(len(ids)))
+
+    @pytest.mark.parametrize("name", ZOO_WORKLOADS)
+    def test_windows_are_resumable_not_replayed(self, name):
+        """A generator is a stateful stream: windows never repeat."""
+        generator = make_zoo_generator(name, seed=5)
+        first = generator.next_window(50)
+        second = generator.next_window(50)
+        assert first != second
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown zoo workload"):
+            make_zoo_generator("nope")
+
+
+class TestZipfSkew:
+    def test_viral_probability_ramps_and_saturates(self):
+        gen = ZipfSkewGenerator(seed=0)
+        probs = [gen.viral_probability(w) for w in range(20)]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+        assert probs[0] == 0.0  # before viral_start_window
+        assert probs[-1] == gen.viral_ceiling
+
+    def test_viral_pair_takes_over_late_windows(self):
+        gen = ZipfSkewGenerator(seed=2)
+        windows = _stream(gen, n_windows=12, size=150)
+
+        def viral_share(window):
+            hits = sum(
+                1
+                for doc in window
+                if doc.get(gen.VIRAL_ATTRIBUTE) == gen.VIRAL_VALUE
+            )
+            return hits / len(window)
+
+        early = viral_share(windows[0])
+        late = viral_share(windows[-1])
+        assert early < 0.1
+        assert late > 0.4  # ceiling is 0.6; allow sampling noise
+
+    def test_values_are_skewed(self):
+        """Rank-1 value of an attribute dominates a uniform share."""
+        gen = ZipfSkewGenerator(seed=4, viral_base=0.0, viral_ceiling=0.0)
+        docs = [d for w in _stream(gen, n_windows=5, size=200) for d in w]
+        counts: dict = {}
+        for doc in docs:
+            for attribute, value in doc.avpairs():
+                counts.setdefault(attribute, {}).setdefault(value, 0)
+                counts[attribute][value] += 1
+        attribute, values = max(
+            counts.items(), key=lambda item: sum(item[1].values())
+        )
+        total = sum(values.values())
+        top = max(values.values())
+        # 40 values uniformly would give 2.5% to the top one; Zipf with
+        # exponent 1.2 concentrates far more than double that
+        assert top / total > 0.05
+
+
+class TestSchemaDrift:
+    def test_active_attributes_rotate(self):
+        gen = SchemaDriftGenerator(seed=1)
+        windows = _stream(gen, n_windows=8, size=100)
+
+        def rotating_attributes(window):
+            return {
+                attribute
+                for doc in window
+                for attribute in doc.attributes
+                if attribute.startswith("T")
+            }
+
+        first = rotating_attributes(windows[0])
+        later = rotating_attributes(windows[6])
+        assert first and later
+        assert first != later  # the pool shifted out from under window 0
+
+    def test_stable_core_always_present(self):
+        gen = SchemaDriftGenerator(seed=1)
+        for window in _stream(gen, n_windows=4, size=60):
+            for doc in window:
+                assert {"S0", "S1", "S2"} <= doc.attributes
+
+    def test_attribute_vanishes_mid_window(self):
+        """The edge case: ``Fleeting`` disappears inside window 2."""
+        gen = SchemaDriftGenerator(seed=9, vanish_at=(2, 25))
+        windows = _stream(gen, n_windows=5, size=60)
+
+        def has_fleeting(doc):
+            return gen.VANISHING_ATTRIBUTE in doc
+
+        for window in windows[:2]:
+            assert all(has_fleeting(doc) for doc in window)
+        boundary = windows[2]
+        assert all(has_fleeting(doc) for doc in boundary[:25])
+        assert not any(has_fleeting(doc) for doc in boundary[25:])
+        for window in windows[3:]:
+            assert not any(has_fleeting(doc) for doc in window)
+
+
+class TestLateArrival:
+    def test_stream_is_a_bounded_permutation(self):
+        base = ZipfSkewGenerator(seed=3)
+        gen = LateArrivalGenerator(base, seed=3, late_fraction=0.3, max_delay=20)
+        docs = [d for w in _stream(gen, n_windows=6, size=100) for d in w]
+        ids = [d.doc_id for d in docs]
+        # nothing duplicated; anything missing at the cut point is a
+        # delayed document still in the reorder buffer, which can only
+        # hold ids within max_delay of the end of the emitted stream
+        assert len(set(ids)) == len(ids)
+        missing = set(range(len(ids))) - set(ids)
+        assert all(m >= len(ids) - gen.max_delay for m in missing)
+        # displacement bound: a doc created at slot i arrives by i + max_delay
+        for position, doc_id in enumerate(ids):
+            assert position <= doc_id + gen.max_delay
+
+    def test_stream_is_actually_out_of_order(self):
+        gen = make_zoo_generator("late", seed=6)
+        ids = [
+            d.doc_id for w in _stream(gen, n_windows=4, size=100) for d in w
+        ]
+        assert ids != sorted(ids)
+
+    def test_zero_late_fraction_is_identity(self):
+        gen = LateArrivalGenerator(ZipfSkewGenerator(seed=8), seed=8, late_fraction=0.0)
+        ids = [d.doc_id for w in _stream(gen, n_windows=3, size=50) for d in w]
+        assert ids == sorted(ids)
+
+    def test_custom_base_via_factory(self):
+        base = FlashCrowdGenerator(seed=2)
+        gen = make_zoo_generator("late", seed=2, base=base)
+        window = gen.next_window(40)
+        assert any("region" in doc for doc in window)
+
+
+class TestFlashCrowd:
+    def test_burst_periodicity(self):
+        gen = FlashCrowdGenerator(seed=0, burst_period=4, burst_length=1)
+        flags = [gen.in_burst(w) for w in range(8)]
+        assert flags == [False, False, False, True] * 2
+
+    def test_burst_windows_concentrate_on_fresh_hot_topic(self):
+        gen = FlashCrowdGenerator(seed=5, burst_period=3, burst_fraction=0.8)
+        windows = _stream(gen, n_windows=9, size=150)
+        hot_topics = set()
+        for index, window in enumerate(windows):
+            topics = [doc.get("topic") for doc in window]
+            flash = [t for t in topics if t and t.startswith("#flash")]
+            if gen.in_burst(index):
+                assert len(flash) / len(window) > 0.6
+                assert len(set(flash)) == 1
+                hot_topics.update(flash)
+            else:
+                assert not flash
+        # every burst spikes on a previously unseen key
+        assert len(hot_topics) == 3

@@ -1,0 +1,230 @@
+"""Unit tests for the soak package: rate ramp, memory bound, driver."""
+
+import pytest
+
+from repro.data.zoo import ZipfSkewGenerator
+from repro.obs.registry import MetricsRegistry, histogram_quantile
+from repro.soak import (
+    MemoryMonitor,
+    RateController,
+    SoakConfig,
+    check_monotonic,
+    endless_windows,
+    rss_bytes,
+    run_soak,
+)
+from repro.soak.driver import E2E_BUCKETS
+
+
+class TestEndlessWindows:
+    def test_yields_forever_and_advances_the_stream(self):
+        stream = endless_windows(ZipfSkewGenerator(seed=1), window_size=10)
+        first = next(stream)
+        second = next(stream)
+        assert len(first) == len(second) == 10
+        assert second[0].doc_id == 10  # continued, not restarted
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            next(endless_windows(ZipfSkewGenerator(seed=1), window_size=0))
+
+
+class TestRateController:
+    def test_ramps_while_keeping_up(self):
+        controller = RateController(initial_rate=100, ramp_factor=2.0)
+        assert controller.offered_rate() == 100
+        controller.record_epoch(100)
+        assert controller.offered_rate() == 200
+        controller.record_epoch(500)  # over-achieving still just doubles
+        assert controller.offered_rate() == 400
+        assert not controller.saturated
+
+    def test_saturation_freezes_the_ramp(self):
+        controller = RateController(
+            initial_rate=100, ramp_factor=2.0, saturation_threshold=0.9
+        )
+        controller.record_epoch(100)
+        controller.record_epoch(150)  # 150 < 200 * 0.9 -> saturated
+        assert controller.saturated
+        assert controller.offered_rate() == 200
+        # sustained is the best achieved, not the offered rate
+        assert controller.sustained == 150
+
+    def test_max_rate_caps_the_ramp(self):
+        controller = RateController(initial_rate=100, max_rate=250)
+        controller.record_epoch(100)
+        controller.record_epoch(200)
+        assert controller.offered_rate() == 250
+
+    def test_history_and_dict_roundtrip(self):
+        controller = RateController(initial_rate=50)
+        controller.record_epoch(60)
+        data = controller.as_dict()
+        assert data["epochs"] == [{"offered": 50, "achieved": 60}]
+        assert data["sustained_docs_per_sec"] == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateController(initial_rate=0)
+        with pytest.raises(ValueError):
+            RateController(ramp_factor=1.0)
+        with pytest.raises(ValueError):
+            RateController(saturation_threshold=0.0)
+        with pytest.raises(ValueError):
+            RateController(initial_rate=10).record_epoch(-1)
+
+
+class TestMemoryMonitor:
+    def test_rss_is_readable_here(self):
+        value = rss_bytes()
+        assert value is not None and value > 1024 * 1024
+
+    def test_flat_samples_pass(self):
+        monitor = MemoryMonitor(growth_tolerance=0.1, slack_bytes=0)
+        monitor.samples = [100_000_000, 101_000_000, 100_500_000]
+        check = monitor.check()
+        assert check.ok and not check.skipped
+        assert check.baseline_bytes == 101_000_000  # first post-warmup
+
+    def test_growth_past_bound_fails(self):
+        monitor = MemoryMonitor(growth_tolerance=0.1, slack_bytes=0)
+        monitor.samples = [100_000_000, 100_000_000, 150_000_000]
+        check = monitor.check()
+        assert not check.ok
+        assert "grew past the bound" in check.reason
+
+    def test_warmup_growth_is_exempt(self):
+        monitor = MemoryMonitor(
+            growth_tolerance=0.1, slack_bytes=0, warmup_samples=2
+        )
+        # big jump inside warmup, flat afterwards
+        monitor.samples = [50_000_000, 90_000_000, 100_000_000, 101_000_000]
+        assert monitor.check().ok
+
+    def test_absolute_limit(self):
+        monitor = MemoryMonitor(
+            growth_tolerance=10.0, limit_bytes=120_000_000
+        )
+        monitor.samples = [100_000_000, 130_000_000]
+        check = monitor.check()
+        assert not check.ok
+        assert "absolute limit" in check.reason
+
+    def test_no_samples_is_a_skip(self):
+        check = MemoryMonitor().check()
+        assert check.ok and check.skipped
+
+
+class TestMonotonicCheck:
+    def test_first_snapshot_has_no_violations(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert check_monotonic(None, registry.snapshot()) == []
+
+    def test_counter_regression_detected(self):
+        before = MetricsRegistry()
+        before.counter("a").inc(5)
+        after = MetricsRegistry()
+        after.counter("a").inc(3)
+        violations = check_monotonic(before.snapshot(), after.snapshot())
+        assert violations and "went backward" in violations[0]
+
+    def test_disappearing_series_detected(self):
+        before = MetricsRegistry()
+        before.counter("a").inc()
+        violations = check_monotonic(
+            before.snapshot(), MetricsRegistry().snapshot()
+        )
+        assert violations == ["counter a disappeared"]
+
+    def test_histogram_count_regression_detected(self):
+        before = MetricsRegistry()
+        h = before.histogram("lat", buckets=E2E_BUCKETS)
+        h.observe(0.2)
+        h.observe(0.3)
+        after = MetricsRegistry()
+        after.histogram("lat", buckets=E2E_BUCKETS).observe(0.2)
+        violations = check_monotonic(before.snapshot(), after.snapshot())
+        assert violations and "count went backward" in violations[0]
+
+    def test_growth_is_fine(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        first = registry.snapshot()
+        registry.counter("a").inc()
+        registry.counter("b").inc()  # new series may appear
+        assert check_monotonic(first, registry.snapshot()) == []
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_are_ordered_and_bounded(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=E2E_BUCKETS)
+        for i in range(1, 101):
+            h.observe(i / 100.0)  # 0.01 .. 1.00
+        p50 = histogram_quantile(h.as_dict(), 0.50)
+        p99 = histogram_quantile(h.as_dict(), 0.99)
+        assert 0.01 <= p50 <= p99 <= 1.0
+        assert p50 == pytest.approx(0.5, abs=0.2)
+
+    def test_empty_histogram_is_none(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=E2E_BUCKETS)
+        assert histogram_quantile(h.as_dict(), 0.5) is None
+
+
+class TestRunSoak:
+    def test_short_local_soak_report_shape(self):
+        config = SoakConfig(
+            workload="zipf",
+            initial_rate=200,
+            window_seconds=0.1,
+            epoch_windows=2,
+            max_windows=6,
+            stop_at_saturation=False,
+        )
+        report = run_soak(config)
+        assert report.windows == 6
+        assert report.epochs == 3
+        assert report.documents > 0
+        assert report.stop_reason == "max_windows"
+        assert report.sustained_docs_per_sec > 0
+        assert report.p50_s is not None and report.p99_s >= report.p50_s
+        assert report.obs_monotonic
+        assert report.memory is not None
+        data = report.as_dict()
+        assert data["healthy"] == report.healthy
+        assert len(data["ramp"]) == report.epochs
+
+    def test_saturation_stops_the_run(self):
+        config = SoakConfig(
+            workload="burst",
+            initial_rate=500,
+            window_seconds=0.2,
+            epoch_windows=2,
+            max_seconds=20,
+        )
+        report = run_soak(config)
+        assert report.stop_reason in ("saturated", "max_seconds")
+        if report.stop_reason == "saturated":
+            assert report.saturated
+
+    def test_explicit_generator_overrides_workload(self):
+        config = SoakConfig(workload="ignored", max_windows=2, initial_rate=100)
+        report = run_soak(config, generator=ZipfSkewGenerator(seed=1))
+        assert report.windows == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_soak(SoakConfig(workload="nope", max_windows=1))
+
+    def test_window_cap_honored_mid_epoch(self):
+        config = SoakConfig(
+            workload="drift",
+            initial_rate=100,
+            epoch_windows=10,
+            max_windows=3,
+            stop_at_saturation=False,
+        )
+        report = run_soak(config)
+        assert report.windows == 3

@@ -1,0 +1,202 @@
+"""Soak runs under *sustained* fault plans.
+
+The one-shot chaos suite (``test_chaos.py``) injects a fault and checks
+one recovery; these cases use the soak driver to hold fault pressure on
+the topology for a whole capped run and assert the safety rails that
+only matter in aggregate:
+
+* the dead-letter queue's retained-entry bound holds while its total
+  keeps counting (a soak must not let quarantine storage grow with the
+  fault count);
+* worker restart budgets exhaust and either abort
+  (:class:`~repro.exceptions.WorkerCrashError`) or degrade to inline
+  execution, mid-soak, exactly as they do in a single-window run.
+
+Every case caps wall clock via ``max_seconds``/``max_windows`` so the
+suite stays inside the chaos-suite timeout.
+"""
+
+import pytest
+
+from repro.exceptions import WorkerCrashError
+from repro.faults import FaultPlan
+from repro.soak import SoakConfig, run_soak
+from repro.streaming.recovery import RestartPolicy
+from repro.topology import messages as msg
+
+pytestmark = pytest.mark.chaos
+
+#: zero-backoff policy so restart loops do not slow the suite down
+FAST_RESTART = RestartPolicy(
+    max_restarts_per_window=3, backoff_base_s=0.0, jitter=0.0
+)
+
+
+def _soak_config(**overrides):
+    defaults = dict(
+        workload="zipf",
+        seed=13,
+        m=4,
+        initial_rate=100.0,
+        window_seconds=0.3,
+        epoch_windows=2,
+        max_windows=6,
+        max_seconds=30.0,
+        stop_at_saturation=False,
+    )
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+class TestSustainedDeadLetterPressure:
+    def test_retained_entries_bounded_while_total_grows(self):
+        """30 poison tuples, limit 8: total counts 30, storage holds 8."""
+        plan = FaultPlan().raise_every(
+            msg.JOINER, every=4, count=30, stream=msg.ASSIGNED
+        )
+        report = run_soak(
+            _soak_config(
+                dead_letters=True,
+                dead_letter_limit=8,
+                fault_plan=plan,
+            )
+        )
+        assert report.dead_letters == 30
+        assert report.dead_letters_retained == 8
+        # the run itself stays healthy: faults must not leak memory or
+        # reset counters
+        assert report.obs_monotonic
+        assert report.windows == 6
+
+    def test_unbounded_limit_retains_everything(self):
+        plan = FaultPlan().raise_every(
+            msg.JOINER, every=10, count=12, stream=msg.ASSIGNED
+        )
+        report = run_soak(
+            _soak_config(
+                dead_letters=True,
+                dead_letter_limit=None,
+                fault_plan=plan,
+            )
+        )
+        assert report.dead_letters == 12
+        assert report.dead_letters_retained == 12
+
+    def test_transient_faults_heal_without_quarantine(self):
+        """Non-sticky rules + a retry budget: sustained pressure, no loss."""
+        plan = FaultPlan().raise_every(
+            msg.JOINER, every=7, count=10, stream=msg.ASSIGNED, sticky=False
+        )
+        report = run_soak(
+            _soak_config(max_retries=1, dead_letters=True, fault_plan=plan)
+        )
+        assert report.dead_letters == 0
+        assert report.obs_monotonic
+
+    @pytest.mark.parallel
+    def test_worker_side_quarantine_over_pipe_transport(self):
+        plan = FaultPlan().raise_every(
+            msg.JOINER, every=6, count=4, stream=msg.ASSIGNED
+        )
+        report = run_soak(
+            _soak_config(
+                backend="parallel",
+                transport="pipe",
+                workers=2,
+                dead_letters=True,
+                dead_letter_limit=3,
+                fault_plan=plan,
+                max_windows=4,
+            )
+        )
+        # each worker runtime counts its own deliveries, so the plan
+        # fires per worker; the retained bound still holds globally
+        assert report.dead_letters >= 4
+        assert report.dead_letters_retained == 3
+        assert report.obs_monotonic
+
+
+class TestRestartBudgetUnderSoak:
+    @pytest.mark.parallel
+    def test_sustained_kills_within_budget_recover(self):
+        plan = (
+            FaultPlan()
+            .kill_worker(0, after_batches=1, incarnation=0)
+            .kill_worker(0, after_batches=1, incarnation=1)
+        )
+        report = run_soak(
+            _soak_config(
+                backend="parallel",
+                transport="pipe",
+                workers=2,
+                restart_policy=FAST_RESTART,
+                fault_plan=plan,
+                max_windows=4,
+            )
+        )
+        assert report.worker_restarts == 2
+        assert report.degraded_workers == 0
+        assert report.obs_monotonic
+
+    @pytest.mark.parallel
+    def test_budget_exhaustion_aborts_the_soak(self):
+        plan = (
+            FaultPlan()
+            .kill_worker(0, after_batches=0, incarnation=0)
+            .kill_worker(0, after_batches=0, incarnation=1)
+        )
+        with pytest.raises(WorkerCrashError) as err:
+            run_soak(
+                _soak_config(
+                    backend="parallel",
+                    transport="pipe",
+                    workers=2,
+                    restart_policy=RestartPolicy(
+                        max_restarts_per_window=1,
+                        backoff_base_s=0.0,
+                        jitter=0.0,
+                    ),
+                    fault_plan=plan,
+                    max_windows=4,
+                )
+            )
+        assert "restart budget" in str(err.value)
+
+    @pytest.mark.parallel
+    def test_budget_exhaustion_degrades_and_soak_continues(self):
+        plan = (
+            FaultPlan()
+            .kill_worker(0, after_batches=0, incarnation=0)
+            .kill_worker(0, after_batches=0, incarnation=1)
+        )
+        report = run_soak(
+            _soak_config(
+                backend="parallel",
+                transport="pipe",
+                workers=2,
+                restart_policy=RestartPolicy(
+                    max_restarts_per_window=1,
+                    backoff_base_s=0.0,
+                    jitter=0.0,
+                    degrade=True,
+                ),
+                fault_plan=plan,
+                max_windows=4,
+            )
+        )
+        # the degraded worker's tasks run inline for the rest of the soak
+        assert report.degraded_workers == 1
+        assert report.windows == 4
+        assert report.obs_monotonic
+
+
+class TestRaiseEveryBuilder:
+    def test_expands_to_arithmetic_deliveries(self):
+        plan = FaultPlan().raise_every("joiner", every=5, count=3, start=2)
+        assert [rule.nth for rule in plan.raises] == [2, 7, 12]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().raise_every("joiner", every=0, count=1)
+        with pytest.raises(ValueError):
+            FaultPlan().raise_every("joiner", every=1, count=0)
