@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check bench-throughput bench-throughput-smoke bench-check-throughput soak-smoke figures report examples clean
+.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check bench-throughput bench-throughput-smoke bench-check-throughput soak-smoke profile-parent figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -84,6 +84,13 @@ soak-smoke:
 	PYTHONPATH=src timeout 120 $(PYTHON) -m repro soak --workload burst \
 		--backend parallel --transport socket --workers 2 \
 		--max-seconds 8 --epoch-windows 2 --assert-memory
+
+# cProfile the parent-side data plane (routing, encoding, shipping,
+# barrier bookkeeping) over a short zipf soak on the parallel/pipe
+# backend; perf PRs against the parent loop start here.  Override with
+# e.g. `make profile-parent PROFILE_ARGS='--backend socket --top 40'`.
+profile-parent:
+	PYTHONPATH=src $(PYTHON) scripts/profile_parent.py $(PROFILE_ARGS)
 
 # Instrumented smoke run: exercises the observability layer end to end
 # and persists the metric snapshot for the report tooling.

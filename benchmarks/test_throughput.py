@@ -9,6 +9,9 @@ each epoch until the topology stops keeping up, and the cell reports
 * ``{backend}.{workload}.p50_ms`` / ``p99_ms`` — end-to-end latency
   quantiles from the driver's ``soak.e2e_seconds`` histogram in
   milliseconds (**lower is better**),
+* ``{backend}.{workload}.local_speedup`` — the parallel backend's
+  sustained throughput over the local inline backend's, same pass
+  (**higher is better**; ``>= 1`` means scaling out pays on this host),
 
 for the ``local`` inline backend and the parallel backend over the
 ``pipe`` and ``socket`` transports, across the adversarial workload zoo
@@ -97,6 +100,29 @@ def cell_metrics(label: str, workload: str, report: SoakReport) -> dict[str, flo
     return metrics
 
 
+def add_speedups(metrics: dict[str, float]) -> dict[str, float]:
+    """Derive ``{label}.{workload}.local_speedup`` ratios in place.
+
+    A parallel cell's sustained throughput divided by the local inline
+    backend's on the same workload (same pass, so host contention hits
+    both sides alike).  Keyed ``*_speedup`` — the direction-aware gate
+    (:mod:`scripts.check_bench`) treats the ratio as higher-is-better,
+    so a change that speeds local but slows shipping still fails even
+    when every absolute number looks fine.
+    """
+    for label in BACKENDS:
+        if label == "local":
+            continue
+        for workload in WORKLOADS:
+            base = metrics.get(f"local.{workload}.docs_per_sec")
+            parallel = metrics.get(f"{label}.{workload}.docs_per_sec")
+            if base and parallel:
+                metrics[f"{label}.{workload}.local_speedup"] = round(
+                    parallel / base, 3
+                )
+    return metrics
+
+
 def collect_metrics(
     labels=tuple(BACKENDS),
     workloads=WORKLOADS,
@@ -117,7 +143,7 @@ def collect_metrics(
                     f"obs_monotonic={report.obs_monotonic}",
                     file=sys.stderr,
                 )
-    return metrics, health
+    return add_speedups(metrics), health
 
 
 def merge_best(*runs: dict[str, float]) -> dict[str, float]:
@@ -127,7 +153,7 @@ def merge_best(*runs: dict[str, float]) -> dict[str, float]:
         for key, value in run.items():
             if key not in merged:
                 merged[key] = value
-            elif key.endswith("_per_sec"):
+            elif key.endswith("_per_sec") or key.endswith("_speedup"):
                 merged[key] = max(merged[key], value)
             else:
                 merged[key] = min(merged[key], value)
@@ -152,7 +178,9 @@ def write_report(
             "unit": (
                 "docs_per_sec: sustained docs/sec, max over runs (higher "
                 "is better); p50_ms/p99_ms: end-to-end latency quantiles, "
-                "min over runs (lower is better)"
+                "min over runs (lower is better); local_speedup: parallel "
+                "docs_per_sec / local docs_per_sec, same pass, max over "
+                "runs (higher is better)"
             ),
         },
         "healthy": health,
@@ -200,11 +228,26 @@ def test_local_cells_produce_sane_metrics():
 
 
 def test_merge_best_is_direction_aware():
-    a = {"x.docs_per_sec": 100.0, "x.p99_ms": 50.0}
-    b = {"x.docs_per_sec": 120.0, "x.p99_ms": 80.0}
+    a = {"x.docs_per_sec": 100.0, "x.p99_ms": 50.0, "x.local_speedup": 0.8}
+    b = {"x.docs_per_sec": 120.0, "x.p99_ms": 80.0, "x.local_speedup": 0.9}
     merged = merge_best(a, b)
     assert merged["x.docs_per_sec"] == 120.0
     assert merged["x.p99_ms"] == 50.0
+    assert merged["x.local_speedup"] == 0.9
+
+
+def test_add_speedups_derives_parallel_over_local_ratios():
+    metrics = {
+        "local.zipf.docs_per_sec": 100.0,
+        "pipe.zipf.docs_per_sec": 80.0,
+        "socket.zipf.docs_per_sec": 50.0,
+        # no local.burst -> no burst ratios
+        "pipe.burst.docs_per_sec": 70.0,
+    }
+    add_speedups(metrics)
+    assert metrics["pipe.zipf.local_speedup"] == 0.8
+    assert metrics["socket.zipf.local_speedup"] == 0.5
+    assert not any(k.endswith("burst.local_speedup") for k in metrics)
 
 
 def test_report_shape_roundtrips(tmp_path):

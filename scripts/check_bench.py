@@ -54,8 +54,9 @@ def load_metrics(path: Path) -> dict[str, float]:
 
 
 def higher_is_better(key: str) -> bool:
-    """Metric direction by naming convention: rates up, latencies down."""
-    return key.endswith("_per_sec")
+    """Metric direction by naming convention: rates and parallel-over-
+    local speedup ratios up, latencies down."""
+    return key.endswith("_per_sec") or key.endswith("_speedup")
 
 
 def compare(

@@ -1,0 +1,65 @@
+"""Profile the parent-side data plane over a short zipf soak.
+
+``make profile-parent`` runs this: a cProfile capture of the parent
+process (routing, encoding, shipping, barrier bookkeeping — worker
+processes are *not* profiled) while a short rate-ramped zipf soak runs
+on the parallel/pipe backend, then the top cumulative rows.  Perf PRs
+against the parent loop should start from this output.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_parent.py [--backend pipe|socket|local]
+        [--seconds N] [--workload zipf] [--top 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.soak import SoakConfig, run_soak
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="pipe",
+                        choices=("pipe", "socket", "local"))
+    parser.add_argument("--workload", default="zipf")
+    parser.add_argument("--seconds", type=float, default=6.0)
+    parser.add_argument("--top", type=int, default=25)
+    args = parser.parse_args()
+
+    backend = "local" if args.backend == "local" else "parallel"
+    config = SoakConfig(
+        workload=args.workload,
+        seed=7,
+        m=8,
+        backend=backend,
+        transport="pipe" if args.backend == "local" else args.backend,
+        workers=2 if backend == "parallel" else None,
+        initial_rate=1000.0 if backend == "parallel" else 500.0,
+        window_seconds=0.25,
+        epoch_windows=3,
+        max_seconds=args.seconds,
+        max_window_size=10_000,
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = run_soak(config)
+    profiler.disable()
+
+    print(
+        f"# {args.backend}.{args.workload}: "
+        f"{report.sustained_docs_per_sec:.1f} docs/sec sustained, "
+        f"{report.documents} docs over {report.windows} windows"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -415,6 +415,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     for window in window_frame.iter_windows(read_jsonl(args.path)):
         metrics = session.push_window(window)
         total += len(window)
+        if metrics is None:
+            # pipelined parallel backend: the window is still in flight;
+            # its metrics surface with a later push or the final result
+            continue
         print(
             f"window {metrics.window}: {metrics.documents} docs, "
             f"replication {metrics.replication:.2f}, "

@@ -38,7 +38,7 @@ from array import array
 from typing import Optional, Sequence, Union
 
 from repro.core.document import Document
-from repro.core.interning import PairInterner
+from repro.core.interning import EncodedDocument, PairInterner
 
 #: wire value of a missing ``doc_id``
 NO_DOC_ID = -1
@@ -79,18 +79,21 @@ class ColumnarBatch:
         """Kernel batch: one interning pass, ids shared with ``interner``.
 
         A document already carrying a cached encoding for this interner
-        contributes its ids without re-walking its pairs.  The documents
-        themselves are retained (joiners that store rich per-document
-        state — FP-tree paths, verification maps — reach them through
-        :attr:`documents`).
+        contributes its ids without re-walking its pairs; a miss interns
+        the pairs *and caches the resulting* :class:`EncodedDocument` on
+        the document, so the joiner probes that follow the batch build
+        (which all go through ``interner.encode``) never re-walk either.
+        The documents themselves are retained (joiners that store rich
+        per-document state — FP-tree paths, verification maps — reach
+        them through :attr:`documents`).
         """
         offsets = array("q", (0,))
         pair_ids = array("q")
         doc_ids = array("q")
         known = interner._pair_ids
         intern = interner._intern_pair
+        pair_attrs = interner._pair_attrs
         extend = pair_ids.extend
-        append = pair_ids.append
         total = 0
         for document in documents:
             did = document.doc_id
@@ -98,15 +101,22 @@ class ColumnarBatch:
             cached = document._encoded
             if cached is not None and cached.interner is interner:
                 ids = cached.pair_ids
-                extend(ids)
-                total += len(ids)
             else:
+                row = []
+                row_append = row.append
+                attr_to_pair = {}
                 for item in document.pairs.items():
                     pid = known.get(item)
                     if pid is None:
                         pid = intern(item)
-                    append(pid)
-                    total += 1
+                    row_append(pid)
+                    attr_to_pair[pair_attrs[pid]] = pid
+                ids = tuple(row)
+                document._encoded = EncodedDocument(
+                    did, ids, attr_to_pair, interner
+                )
+            extend(ids)
+            total += len(ids)
             offsets.append(total)
         return cls(
             doc_ids,
@@ -129,13 +139,19 @@ class ColumnarBatch:
         for document in documents:
             did = document.doc_id
             doc_ids.append(NO_DOC_ID if did is None else did)
-            for attribute, value in document.pairs.items():
-                key = (value.__class__, attribute, value)
+            keys = document._wire_keys
+            if keys is None:
+                keys = tuple(
+                    (value.__class__, attribute, value)
+                    for attribute, value in document.pairs.items()
+                )
+                document._wire_keys = keys
+            for key in keys:
                 wire_id = table_ids.get(key)
                 if wire_id is None:
                     wire_id = len(pair_table)
                     table_ids[key] = wire_id
-                    pair_table.append((attribute, value))
+                    pair_table.append((key[1], key[2]))
                 append(wire_id)
                 total += 1
             offsets.append(total)

@@ -107,7 +107,14 @@ class Document:
         ingest; ad-hoc documents may omit it.
     """
 
-    __slots__ = ("_pairs", "doc_id", "_hash", "_avpair_set", "_encoded")
+    __slots__ = (
+        "_pairs",
+        "doc_id",
+        "_hash",
+        "_avpair_set",
+        "_encoded",
+        "_wire_keys",
+    )
 
     def __init__(
         self,
@@ -133,6 +140,11 @@ class Document:
         #: last dictionary-encoded view of this document, tagged with the
         #: interner that produced it (see :mod:`repro.core.interning`)
         self._encoded = None
+        #: cached ``(type(value), attribute, value)`` key tuple for the
+        #: wire codec — a document routed to several workers is encoded
+        #: into one frame per worker, and the keys don't change between
+        #: frames (pairs are immutable after construction)
+        self._wire_keys = None
 
     # ------------------------------------------------------------------
     # Construction helpers

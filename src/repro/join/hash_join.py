@@ -269,8 +269,38 @@ class HashJoiner(LocalJoiner):
         if self._interner is None:
             super()._insert_batch(documents)
             return
+        views = self._views
+        if views is None and not isinstance(documents, ColumnarBatch):
+            # Adaptive gate (the NLJ insert-gate pattern): a plain
+            # sequence with no live set views gains nothing from the
+            # columnar form — building the flat columns and the views
+            # just to insert is what made batch inserts slower than the
+            # streaming loop.  Insert per-document; the next batch probe
+            # materializes views over the full index.
+            insert = self._insert
+            for document in documents:
+                insert(document)
+            return
         batch = self._coerce_batch(documents, self._interner)
-        pair_sets, attr_sets = self._ensure_views()
+        if views is None:
+            # pre-built batch, no live views: bulk-append the postings
+            # only (the per-document insert's exact cost), views stay
+            # lazy until a probe wants them
+            index = self._index
+            docs = self._docs
+            for row, document in enumerate(batch.documents):
+                if document.doc_id is None:
+                    raise ValueError("stored documents need a doc_id")
+                doc_id = document.doc_id
+                encoded = self._row_encoded(batch, row, document)
+                docs[doc_id] = encoded
+                for pid in encoded.pair_ids:
+                    posting = index.get(pid)
+                    if posting is None:
+                        index[pid] = posting = array("q")
+                    posting.append(doc_id)
+            return
+        pair_sets, attr_sets = views
         for row, document in enumerate(batch.documents):
             self._store_row(batch, row, document, pair_sets, attr_sets)
 

@@ -6,24 +6,32 @@ AV-pair with; documents matching no partition (unseen AV-pairs, or
 broadcast-flagged by an expansion plan) are emitted to *all* machines so
 the join result stays exact (Section VI-A).
 
-Routing runs on the dictionary-encoded view of the document: partition
-contents are pre-resolved to dense pair ids with the owning machines
-stored as ready-made tuples, so the per-document work is one id-keyed
-dict lookup per pair instead of hashing ``(attribute, value)`` strings.
-The interner is typically owned by the enclosing component (the
-Assigner) and shared across successive routers, so documents encoded for
-one partitioning generation keep their cached encodings through a
-repartitioning.
+Two owner maps back the routing decision.  The *pair-keyed* map
+(``(attribute, value) -> machines``) serves the per-document path:
+every document is routed exactly once, so paying an interner encode
+per document never amortizes — :meth:`route` walks ``pairs.items()``
+directly and touches no dictionary-encoding machinery unless the
+document already carries a cached encoding.  The *id-keyed* map
+(``pair id -> machines``) serves encoded inputs: documents whose
+:class:`~repro.core.interning.EncodedDocument` view is already cached,
+and whole :class:`~repro.core.columnar.ColumnarBatch` columns via
+:meth:`route_batch`, which fuses route + encode into one pass over the
+flat pair-id arrays.  The interner is typically owned by the enclosing
+component (the Assigner) and shared across successive routers, so
+encodings survive repartitioning.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Sequence
+from typing import TYPE_CHECKING, NamedTuple, Optional, Sequence
 
 from repro.core.document import AVPair, Document
 from repro.core.interning import PairInterner
 from repro.partitioning.base import Partition
 from repro.partitioning.expansion import ExpansionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.columnar import ColumnarBatch
 
 
 class RoutingDecision(NamedTuple):
@@ -85,6 +93,13 @@ class DocumentRouter:
         self._owners: dict[int, tuple[int, ...]] = {
             pid: tuple(owners) for pid, owners in self._owner_sets.items()
         }
+        #: the same ownership keyed by the raw pair, for the un-encoded
+        #: per-document path (each document routes exactly once, so an
+        #: encode per document is pure overhead)
+        pair = self.interner.pair
+        self._owners_by_pair: dict[AVPair, tuple[int, ...]] = {
+            pair(pid): owners for pid, owners in self._owners.items()
+        }
 
     def route(self, document: Document) -> RoutingDecision:
         """Decide the target machines for ``document``.
@@ -100,24 +115,87 @@ class DocumentRouter:
             document, broadcast = self.expansion.transform(document)
             if broadcast:
                 return RoutingDecision(self._all, broadcast=True)
-        encoded = self.interner.encode(document)
-        targets: set[int] = set()
-        unseen: list[int] = []
-        owner_map = self._owners
-        for pid in encoded.pair_ids:
-            owners = owner_map.get(pid)
+        encoded = document._encoded
+        if encoded is not None and encoded.interner is self.interner:
+            # already dictionary-encoded for this router: id-keyed lookups
+            targets: set[int] = set()
+            unseen_ids: list[int] = []
+            owner_map = self._owners
+            for pid in encoded.pair_ids:
+                owners = owner_map.get(pid)
+                if owners:
+                    targets.update(owners)
+                else:
+                    unseen_ids.append(pid)
+            if unseen_ids or not targets:
+                pair = self.interner.pair
+                return RoutingDecision(
+                    self._all,
+                    broadcast=True,
+                    unseen_pairs=tuple(pair(pid) for pid in unseen_ids),
+                )
+            return RoutingDecision(tuple(sorted(targets)), broadcast=False)
+        targets = set()
+        unseen: list[AVPair] = []
+        pair_map = self._owners_by_pair
+        for item in document.pairs.items():
+            owners = pair_map.get(item)
             if owners:
                 targets.update(owners)
             else:
-                unseen.append(pid)
+                unseen.append(item)
         if unseen or not targets:
-            pair = self.interner.pair
             return RoutingDecision(
                 self._all,
                 broadcast=True,
-                unseen_pairs=tuple(pair(pid) for pid in unseen),
+                unseen_pairs=tuple(map(AVPair._make, unseen)),
             )
         return RoutingDecision(tuple(sorted(targets)), broadcast=False)
+
+    def route_batch(self, batch: "ColumnarBatch") -> list[RoutingDecision]:
+        """Route a whole kernel batch in one pass over its flat columns.
+
+        ``batch`` must be a kernel batch encoded with this router's
+        interner (:meth:`ColumnarBatch.from_documents`): its ``pair_ids``
+        column is walked once, row boundaries coming from ``offsets``,
+        with no per-document object construction — the vectorized
+        counterpart of calling :meth:`route` per document, returning the
+        identical decisions in row order.
+        """
+        if batch.interner is not self.interner:
+            raise ValueError("batch was encoded with a different interner")
+        owner_map = self._owners
+        owner_get = owner_map.get
+        pair = self.interner.pair
+        all_machines = self._all
+        offsets = batch.offsets
+        pair_ids = batch.pair_ids
+        decisions: list[RoutingDecision] = []
+        append = decisions.append
+        start = offsets[0]
+        for row in range(len(batch)):
+            end = offsets[row + 1]
+            targets: set[int] = set()
+            unseen: list[int] = []
+            for i in range(start, end):
+                pid = pair_ids[i]
+                owners = owner_get(pid)
+                if owners:
+                    targets.update(owners)
+                else:
+                    unseen.append(pid)
+            start = end
+            if unseen or not targets:
+                append(
+                    RoutingDecision(
+                        all_machines,
+                        broadcast=True,
+                        unseen_pairs=tuple(pair(pid) for pid in unseen),
+                    )
+                )
+            else:
+                append(RoutingDecision(tuple(sorted(targets)), broadcast=False))
+        return decisions
 
     def add_pair(self, pair: AVPair, partition_index: int) -> None:
         """Apply a partition *update*: graft one pair onto a partition."""
@@ -126,6 +204,7 @@ class DocumentRouter:
         owners = self._owner_sets.setdefault(pid, set())
         owners.add(partition_index)
         self._owners[pid] = tuple(owners)
+        self._owners_by_pair[pair] = self._owners[pid]
 
     def owns(self, pair: AVPair) -> bool:
         pid = self.interner.peek_pair_id(*pair)

@@ -19,6 +19,21 @@ class Collector(Protocol):
         direct_task: Optional[int] = None,
     ) -> None: ...
 
+    def emit_fanout(
+        self,
+        stream: str,
+        values: tuple[Any, ...],
+        targets,
+    ) -> None:
+        """Emit one payload to several direct tasks.
+
+        Semantically identical to calling :meth:`emit` once per target
+        with ``direct_task=target``, in target order; executors override
+        it to collapse the fanout into one accounting/routing pass.
+        """
+        for target in targets:
+            self.emit(stream, values, direct_task=target)
+
 
 class ComponentContext:
     """Execution context handed to a task at preparation time.

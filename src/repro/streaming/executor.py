@@ -82,6 +82,51 @@ class _TaskCollector:
         )
         self._cluster._route(tup, self._routes.get(stream, ()))
 
+    def emit_fanout(self, stream: str, values: tuple, targets) -> None:
+        """Emit one payload to several direct tasks in one routing pass.
+
+        Equivalent to ``emit(stream, values, direct_task=t)`` per target
+        — same tuples, same delivery order, same accounting totals — but
+        the per-emit bookkeeping (emission counters, budget check,
+        grouping resolution, queue-depth watermark) runs once for the
+        whole fanout.  This is the Assigner's document hot path: one
+        routed document fans out to several Joiner tasks.
+        """
+        cluster = self._cluster
+        n = len(targets)
+        cluster.emitted += n
+        cluster._component_emitted[self._component] += n
+        if cluster._obs:
+            cluster._emit_counters[self._component].inc(n)
+        if cluster.emitted > cluster.max_tuples:
+            raise TopologyError(
+                f"tuple budget of {cluster.max_tuples} exceeded — "
+                "likely a control-message loop in the topology"
+            )
+        for bolt_name, _targets_fn, parallelism in self._routes.get(stream, ()):
+            for target in targets:
+                if not 0 <= target < parallelism:
+                    raise TopologyError(
+                        f"direct_task {target} out of range for "
+                        f"{parallelism} tasks"
+                    )
+                cluster._deliver(
+                    bolt_name,
+                    target,
+                    StreamTuple(
+                        stream=stream,
+                        values=values,
+                        source=self._component,
+                        source_task=self._task_index,
+                        direct_task=target,
+                    ),
+                )
+        depth = len(cluster._queue)
+        if depth > cluster.max_queue_depth:
+            cluster.max_queue_depth = depth
+            if cluster._obs:
+                cluster._queue_gauge.set(depth)
+
 
 class ClusterBase:
     """Shared machinery of all execution backends.

@@ -25,14 +25,21 @@ the emissions back.  Three properties keep runs exact and replayable:
 * **Per-task FIFO.**  Every delivery to a remote task flows through its
   worker's single ordered link, so a task observes tuples in exactly
   the order the local backend would have delivered them.
-* **Flush barrier on punctuation.**  When a tuple on a configured
+* **Two-phase overlapped barrier.**  When a tuple on a configured
   *barrier stream* (the window-end markers) is shipped, the parent
-  flushes all pending batches at the next queue-idle point and blocks
-  until every in-flight batch is acknowledged.  Remote emissions are
-  stashed per batch and released in global batch order, so the parent
-  re-injects them deterministically before the next source tuple enters
-  the topology — per-window results are byte-identical to the local
-  backend.
+  flushes all pending batches at the next queue-idle point and records
+  the barrier's high-water batch seq — but does **not** block: routing
+  and encoding of the next window continue while the acks drain
+  (phase 1).  A barrier *completes* (phase 2) once no batch at or below
+  its seq is unacknowledged; only then are that window's journals
+  cleared and its stashed remote emissions released, in global batch
+  order — so the parent re-injects them deterministically and
+  per-window results stay byte-identical to the local backend.  At most
+  ``pipeline_depth`` barriers may be outstanding before the parent
+  blocks on the oldest (``pipeline_depth=0`` reproduces the fully
+  synchronous pre-pipelining plane).  A credit-style ack drain runs on
+  every flush and idle pass, keeping links full during compute instead
+  of only applying backpressure at the blocking ``max_inflight`` limit.
 * **Failure containment.**  Worker-side processing follows the same
   retry budget as the base; a tuple that exhausts it is quarantined on
   the configured :class:`~repro.streaming.recovery.DeadLetterQueue` or
@@ -68,6 +75,7 @@ from __future__ import annotations
 
 import os
 import random
+from collections import deque
 from time import monotonic, sleep
 from typing import Any, Optional, Sequence, Union
 
@@ -94,15 +102,26 @@ from repro.streaming.transport import (
 from repro.streaming.transport.framing import BufferFrame, parse_address
 from repro.streaming.tuples import StreamTuple
 
-#: default number of tuples per shipped batch
-DEFAULT_BATCH_SIZE = 128
+#: default number of tuples per shipped batch; deep batches amortize
+#: per-frame encode/send/ack costs — the flush barrier still bounds a
+#: window's tail, and ``linger_s`` bounds trickle latency
+DEFAULT_BATCH_SIZE = 512
+#: minimum seconds between opportunistic ack polls on the idle path (a
+#: ``multiprocessing.Queue`` poll costs tens of microseconds even when
+#: empty, so polling once per delivered tuple would dominate the loop)
+IDLE_POLL_INTERVAL_S = 0.0005
 #: default age (seconds) after which a partial batch is flushed anyway
 DEFAULT_LINGER_S = 0.005
 #: default bound on unacknowledged batches per worker before the parent
-#: blocks (backpressure; also keeps link buffers from deadlocking)
-DEFAULT_MAX_INFLIGHT = 16
+#: blocks (backpressure; also keeps link buffers from deadlocking).
+#: Sized so a full-depth pipeline of large windows stages without
+#: tripping backpressure mid-window
+DEFAULT_MAX_INFLIGHT = 32
 #: how long the parent waits on a barrier before declaring the run stuck
 DEFAULT_BARRIER_TIMEOUT_S = 120.0
+#: default number of window barriers that may be outstanding before the
+#: parent blocks on the oldest (0 = fully synchronous barriers)
+DEFAULT_PIPELINE_DEPTH = 2
 
 
 class _WorkerLost(Exception):
@@ -144,11 +163,14 @@ class _WorkerHandle:
         self.snapshot: Optional[dict] = None
         self.awaiting_snapshot = False
         #: upstream backup: batch seq -> raw entries, everything shipped
-        #: since the last barrier (cleared at window end)
+        #: since the last *completed* barrier (entries at or below a
+        #: completed barrier's seq are dropped at completion time)
         self.journal: dict[int, list] = {}
-        #: cross-window control entries (sticky streams), never cleared
+        #: cross-window control entries (sticky streams) as ``(batch
+        #: seq, entry)`` — never cleared
         self.sticky: list = []
-        #: prefix of ``sticky`` shipped before the current window began
+        #: prefix of ``sticky`` whose batches completed a barrier (the
+        #: history a replacement must replay before its window journal)
         self.sticky_mark = 0
         #: replayed batch seqs whose re-acks must be dropped (their
         #: original acks were already applied)
@@ -206,6 +228,14 @@ class ParallelCluster(ClusterBase):
         Size and age bounds of shipped batches.
     max_inflight:
         Per-worker cap on unacknowledged batches (backpressure).
+    pipeline_depth:
+        How many window barriers may be outstanding before the parent
+        blocks on the oldest.  0 restores the fully synchronous
+        pre-pipelining barrier (flush + block at every window end);
+        the default of :data:`DEFAULT_PIPELINE_DEPTH` lets the parent
+        route and encode the next window while the previous window's
+        acks drain.  Emission release order is seq-deterministic at
+        every depth, so results are byte-identical across settings.
     codec:
         Optional per-stream wire codec with ``encode(stream, values)`` /
         ``decode(stream, values)`` (e.g.
@@ -243,6 +273,7 @@ class ParallelCluster(ClusterBase):
         batch_size: int = DEFAULT_BATCH_SIZE,
         linger_s: float = DEFAULT_LINGER_S,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
         codec=None,
         dead_letters: Optional[DeadLetterQueue] = None,
@@ -260,6 +291,10 @@ class ParallelCluster(ClusterBase):
             raise TopologyError(f"batch_size must be >= 1, got {batch_size}")
         if max_inflight < 1:
             raise TopologyError(f"max_inflight must be >= 1, got {max_inflight}")
+        if pipeline_depth < 0:
+            raise TopologyError(
+                f"pipeline_depth must be >= 0, got {pipeline_depth}"
+            )
         if workers is not None and n_workers is not None:
             raise TopologyError("pass either workers or n_workers, not both")
         if workers is None:
@@ -292,6 +327,7 @@ class ParallelCluster(ClusterBase):
         self._batch_size = batch_size
         self._linger_s = linger_s
         self._max_inflight = max_inflight
+        self._pipeline_depth = pipeline_depth
         self._barrier_timeout_s = barrier_timeout_s
         self._codec = codec if codec is not None else IDENTITY_CODEC
         #: dead workers whose tasks now execute inline in the parent
@@ -329,8 +365,14 @@ class ParallelCluster(ClusterBase):
                 self._placement[key] = handle
         self._batch_seq = 0
         self._barrier_pending = False
+        self._last_idle_poll = 0.0
+        #: outstanding window barriers, oldest first: each entry is the
+        #: high-water batch seq the barrier covers — the barrier is
+        #: complete once no batch at or below it is unacknowledged
+        self._barriers: deque[int] = deque()
         #: acknowledged-but-unreleased emissions, keyed by batch seq
         self._stash: dict[int, tuple] = {}
+        self._pumping = False
         self._started = False
         self._closed = False
         self._merged_snapshot: Optional[ObservabilitySnapshot] = None
@@ -376,6 +418,7 @@ class ParallelCluster(ClusterBase):
         self._ensure_started()
         try:
             super().run()
+            self.drain()
         except Exception:
             # a mid-run failure must not leak worker processes, sockets
             # or pipes — only context-manager users would otherwise
@@ -447,21 +490,31 @@ class ParallelCluster(ClusterBase):
             handle.journal[seq] = raw
         if self._sticky_streams:
             handle.sticky.extend(
-                entry for entry in raw if entry[2].stream in self._sticky_streams
+                (seq, entry)
+                for entry in raw
+                if entry[2].stream in self._sticky_streams
             )
         handle.pending.add(seq)
         try:
-            handle.link.send(message)
+            # stage, don't write: the window's bytes hit the wire in one
+            # burst at the barrier (see _pump_links), so worker wakeups
+            # stay out of the parent's routing path
+            handle.link.stage(message)
         except LinkDown:
             # the worker died while idle; recovery replays the journal
             # (which already holds this batch) or degrades it to inline
             self._on_worker_failure(handle)
             if handle.degraded:
                 return
-        deadline = monotonic() + self._barrier_timeout_s
-        while len(handle.pending) >= self._max_inflight:  # backpressure
-            self._poll_results(timeout=0.05)
-            self._check_workers(deadline)
+        # credit loop: every send opportunistically drains whatever acks
+        # have arrived, so links stay full during compute and the hard
+        # blocking limit below is the exception, not the steady state
+        self._poll_results(timeout=0.0)
+        if len(handle.pending) >= self._max_inflight:
+            deadline = monotonic() + self._barrier_timeout_s
+            while len(handle.pending) >= self._max_inflight:  # backpressure
+                self._poll_results(timeout=0.05)
+                self._check_workers(deadline)
 
     def _flush_all(self) -> None:
         for handle in self._workers:
@@ -471,42 +524,122 @@ class ParallelCluster(ClusterBase):
         if not self._started:
             return False
         if self._barrier_pending:
+            # phase 1: flush the window's tail and *record* the barrier;
+            # routing/encoding of the next window continues while the
+            # acks drain
             self._flush_all()
-            self._await_all_acks()
             self._barrier_pending = False
-            self._window_boundary()
-            return self._release_emissions()
-        now = monotonic()
-        for handle in self._workers:
-            if handle.buffer and now - handle.buffer_since >= self._linger_s:
-                self._flush(handle)
+            self._barriers.append(self._batch_seq)
+            # uncork: release the window's staged bytes in one burst
+            self._pump_links()
+            # a barrier formed: drain whatever acks arrived right away so
+            # completion latency stays low at window ends
+            self._last_idle_poll = 0.0
+        else:
+            now = monotonic()
+            for handle in self._workers:
+                if handle.buffer and now - handle.buffer_since >= self._linger_s:
+                    self._flush(handle)
         # opportunistic, non-blocking ack collection keeps the links
-        # drained; emissions stay stashed until the next barrier so the
-        # re-injection order stays deterministic
-        self._poll_results(timeout=0.0)
-        return False
+        # drained; emissions stay stashed until their barrier completes
+        # so the re-injection order stays deterministic.  Throttled:
+        # _on_idle runs once per delivered tuple, and an empty-queue poll
+        # is not free
+        released = False
+        if self._barriers or self._any_pending():
+            now = monotonic()
+            if now - self._last_idle_poll >= IDLE_POLL_INTERVAL_S:
+                self._last_idle_poll = now
+                self._poll_results(timeout=0.0)
+                released = self._complete_ready_barriers()
+        # depth cap: block on the oldest barrier once too many overlap
+        # (bounds stash/journal growth to pipeline_depth + 1 windows)
+        while len(self._barriers) > self._pipeline_depth:
+            self._await_barrier(self._barriers[0])
+            if self._complete_ready_barriers():
+                released = True
+        return released
 
     def _finish(self) -> None:
+        """End-of-pump hook: flush and record the window's barrier, but
+        — unlike the pre-pipelining plane — only *complete* barriers
+        whose acks have already drained.  :meth:`drain` is the hard
+        variant that runs the pipeline dry."""
         if not self._started:
             return
         while True:
             self._flush_all()
-            self._await_all_acks()
-            self._window_boundary()
-            if self._release_emissions():
+            if self._barrier_pending:
+                self._barrier_pending = False
+                self._barriers.append(self._batch_seq)
+            self._pump_links()
+            self._poll_results(timeout=0.0)
+            released = self._complete_ready_barriers()
+            while len(self._barriers) > self._pipeline_depth:
+                self._await_barrier(self._barriers[0])
+                if self._complete_ready_barriers():
+                    released = True
+            if released:
                 self._drain()
                 continue
             if not self._queue and not any(h.buffer for h in self._workers):
                 break
 
-    def _window_boundary(self) -> None:
-        """All batches acked at a barrier: the journals have served their
-        purpose (worker state tumbles with the window), restart budgets
-        reset, and sticky entries recorded so far become history that a
-        future replacement must replay before its window journal."""
+    def drain(self) -> None:
+        """Run the pipeline dry: complete every outstanding barrier and
+        release every stashed emission.  Called at the end of
+        :meth:`run` and by session owners before reading final results;
+        a no-op when nothing is outstanding."""
+        if not self._started:
+            return
+        while True:
+            self._flush_all()
+            self._pump_links()
+            self._await_all_acks()
+            self._barrier_pending = False
+            self._barriers.clear()
+            self._window_boundary_upto(self._batch_seq)
+            if self._release_emissions_upto(self._batch_seq):
+                self._drain()
+                continue
+            if not self._queue and not any(h.buffer for h in self._workers):
+                break
+
+    def _barrier_ready(self, max_seq: int) -> bool:
+        return not any(
+            seq <= max_seq for h in self._workers for seq in h.pending
+        )
+
+    def _complete_ready_barriers(self) -> bool:
+        """Phase 2 for every barrier whose acks have fully drained."""
+        released = False
+        while self._barriers and self._barrier_ready(self._barriers[0]):
+            max_seq = self._barriers.popleft()
+            self._window_boundary_upto(max_seq)
+            if self._release_emissions_upto(max_seq):
+                released = True
+        return released
+
+    def _await_barrier(self, max_seq: int) -> None:
+        deadline = monotonic() + self._barrier_timeout_s
+        while not self._barrier_ready(max_seq):
+            self._poll_results(timeout=0.05)
+            self._check_workers(deadline)
+
+    def _window_boundary_upto(self, max_seq: int) -> None:
+        """A barrier completed: batches at or below ``max_seq`` are acked,
+        so their journal entries have served their purpose (worker state
+        tumbles with the window), restart budgets reset, and sticky
+        entries they carried become history that a future replacement
+        must replay before its window journal."""
         for handle in self._workers:
-            handle.journal.clear()
-            handle.sticky_mark = len(handle.sticky)
+            for seq in [s for s in handle.journal if s <= max_seq]:
+                del handle.journal[seq]
+            mark = handle.sticky_mark
+            sticky = handle.sticky
+            while mark < len(sticky) and sticky[mark][0] <= max_seq:
+                mark += 1
+            handle.sticky_mark = mark
             handle.restarts_in_window = 0
 
     # ------------------------------------------------------------------
@@ -521,8 +654,36 @@ class ParallelCluster(ClusterBase):
             self._poll_results(timeout=0.05)
             self._check_workers(deadline)
 
+    def _pump_links(self) -> None:
+        """Finish buffered non-blocking sends on every live link.
+
+        Guarded against reentry: ``_on_worker_failure`` polls results,
+        which pumps, which may detect another failure."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            for handle in self._workers:
+                link = handle.link
+                if link is None or handle.degraded:
+                    continue
+                try:
+                    link.pump()
+                except LinkDown:
+                    self._on_worker_failure(handle)
+        finally:
+            self._pumping = False
+
     def _poll_results(self, timeout: float) -> int:
-        """Handle every currently available worker message."""
+        """Handle every currently available worker message.
+
+        Blocking polls (timeout > 0) are the waits — barrier drains,
+        backpressure, snapshots — so they also pump the links; the
+        zero-timeout credit drains inside the routing hot path leave
+        staged bytes corked until their barrier.
+        """
+        if timeout > 0:
+            self._pump_links()
         handled = 0
         while True:
             message = self._transport.recv(
@@ -712,7 +873,7 @@ class ParallelCluster(ClusterBase):
         lines up; seqs that were already acknowledged are marked for
         suppression — their re-acks rebuild nothing parent-side.
         """
-        sticky = handle.sticky[: handle.sticky_mark]
+        sticky = [entry for _seq, entry in handle.sticky[: handle.sticky_mark]]
         sticky_seq = None
         if sticky:
             self._batch_seq += 1
@@ -765,7 +926,7 @@ class ParallelCluster(ClusterBase):
             plan.runtime(handle.index, handle.incarnation) if plan is not None else None
         )
         for entry_index, (component, task_index, tup) in enumerate(
-            handle.sticky[: handle.sticky_mark]
+            entry for _seq, entry in handle.sticky[: handle.sticky_mark]
         ):
             self._replay_inline(
                 handle, component, task_index, tup,
@@ -847,13 +1008,19 @@ class ParallelCluster(ClusterBase):
             if self._obs:
                 self._proc_counters[component].inc()
 
-    def _release_emissions(self) -> bool:
-        """Re-inject stashed remote emissions, in global batch order."""
+    def _release_emissions_upto(self, max_seq: int) -> bool:
+        """Re-inject stashed remote emissions of batches at or below
+        ``max_seq``, in global batch order.  Later batches belong to a
+        window whose barrier has not completed; they stay stashed so the
+        release order is seq-deterministic regardless of pipeline depth.
+        """
         if not self._stash:
             return False
         released = False
         for seq in sorted(self._stash):
-            for component, task_index, stream, direct, values in self._stash[seq]:
+            if seq > max_seq:
+                continue
+            for component, task_index, stream, direct, values in self._stash.pop(seq):
                 tup = StreamTuple(
                     stream=stream,
                     values=self._codec.decode(stream, values),
@@ -863,7 +1030,6 @@ class ParallelCluster(ClusterBase):
                 )
                 self._route(tup)
                 released = True
-        self._stash.clear()
         return released
 
     # ------------------------------------------------------------------
@@ -908,6 +1074,24 @@ class ParallelCluster(ClusterBase):
         deadline = monotonic() + self._barrier_timeout_s
         while any(h.awaiting_snapshot for h in alive):
             self._poll_results(timeout=0.05)
+            for handle in alive:
+                # with pipelined barriers a snapshot request can queue
+                # behind in-flight batches — a worker dying on one of
+                # them would never reply, so supervision must run here
+                # too, and the replacement (or nobody, if degraded) gets
+                # a fresh request
+                if not handle.awaiting_snapshot or handle.degraded:
+                    continue
+                if handle.link is not None and handle.link.alive():
+                    continue
+                self._on_worker_failure(handle)
+                if handle.degraded or handle.link is None:
+                    handle.awaiting_snapshot = False
+                    continue
+                try:
+                    handle.link.send(("snapshot",))
+                except LinkDown:
+                    handle.awaiting_snapshot = False
             if monotonic() > deadline:
                 raise TopologyError("timed out collecting worker snapshots")
         worker_snaps = []
@@ -949,3 +1133,4 @@ class ParallelCluster(ClusterBase):
             self.close()
         except Exception:
             pass
+

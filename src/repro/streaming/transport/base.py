@@ -94,7 +94,36 @@ class WorkerLink(ABC):
 
     @abstractmethod
     def send(self, message: tuple) -> None:
-        """Ship one message, FIFO per link; :class:`LinkDown` if gone."""
+        """Ship one message, FIFO per link; :class:`LinkDown` if gone.
+
+        ``send`` may buffer: a transport with a non-blocking write path
+        queues whatever the kernel would not accept and returns, so the
+        parent keeps routing while a busy worker drains its end.  The
+        cluster calls :meth:`pump` opportunistically to finish such
+        writes; FIFO order still holds because every send enters the
+        same buffer.
+        """
+
+    def stage(self, message: tuple) -> None:
+        """Queue a message for shipping without touching the wire.
+
+        The cluster stages a window's batches while it routes and
+        releases the bytes at the window barrier (:meth:`pump`), so
+        workers receive a window's work in one burst and spend their
+        CPU while the parent is busy elsewhere — on a loaded host this
+        keeps worker wakeups out of the parent's routing path.  Order
+        is shared with :meth:`send`: staged and sent messages drain
+        through one FIFO.  Default: ship eagerly via ``send``.
+        """
+        self.send(message)
+
+    def pump(self) -> None:
+        """Make progress on buffered outbound bytes (non-blocking).
+
+        Default is a no-op for transports whose ``send`` completes
+        eagerly.  Implementations raise :class:`LinkDown` when the
+        worker is gone, exactly as ``send`` does.
+        """
 
     @abstractmethod
     def alive(self) -> bool:

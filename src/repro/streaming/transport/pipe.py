@@ -7,11 +7,24 @@ serialization: the child inherits the :class:`WorkerInit` object graph
 (prepared tasks, registry, link codec) by memory copy, which is exactly
 the state the parent-side encoder assumes.
 
-Buffer frames (the columnar wire path) bypass the pipe's pickler: the
-parent writes the frame's payload into a ``multiprocessing``
-shared-memory segment and sends only ``("shmframe", name, nbytes)``
-down the pipe; the worker maps the segment and decodes the columns
-zero-copy in place.  Segment lifecycle: the worker unlinks right after
+Parent→worker writes are non-blocking: every message is framed the way
+``Connection.recv`` expects and written to the ``O_NONBLOCK`` pipe fd
+directly, with kernel-rejected bytes parked in a parent-side queue that
+:meth:`PipeWorkerLink.pump` drains opportunistically.  A worker that is
+busy computing therefore never stalls the parent mid-window — the wait
+surfaces in the ack drain, where it overlaps with routing the next
+window.
+
+Buffer frames (the columnar wire path) bypass the pipe's pickler.
+Small frames — the overwhelming majority under the default batch size —
+ship *inline* as ``("iframe", payload_bytes)``: one contiguous copy of
+the frame payload through the pipe, no kernel object per frame.  Frames
+above :data:`INLINE_FRAME_LIMIT` go through a ``multiprocessing``
+shared-memory segment instead, the parent sending only ``("shmframe",
+name, nbytes)`` down the pipe; the worker maps the segment and decodes
+the columns zero-copy in place.  (A fresh segment costs ~20µs of
+syscalls to create, so per-frame shm only wins once the payload dwarfs
+the pipe's copy cost.)  Segment lifecycle: the worker unlinks right after
 attaching (a mapped POSIX segment survives its unlink), so a processed
 frame cleans itself up; the parent keeps the names and sweep-unlinks at
 reap to cover workers that died before attaching.  Tracker accounting:
@@ -28,8 +41,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import select
+import struct
+from collections import deque
 from multiprocessing import resource_tracker, shared_memory
 from queue import Empty
+from time import monotonic
 from typing import Optional, Sequence
 
 from repro.exceptions import TopologyError
@@ -42,6 +60,11 @@ from repro.streaming.transport.base import (
 )
 from repro.streaming.transport.framing import BufferFrame, decode_buffer_payload
 from repro.streaming.transport.session import WorkerKilled, WorkerSession
+
+#: payload size above which a frame ships via shared memory instead of
+#: inline through the pipe; below it the segment-creation syscalls cost
+#: more than just copying the bytes
+INLINE_FRAME_LIMIT = 256 * 1024
 
 
 def _untrack(shm) -> None:
@@ -84,8 +107,12 @@ def _pipe_worker_main(init: WorkerInit, conn, results) -> None:
             except (EOFError, OSError):
                 break
             shm = None
-            if type(message) is tuple and message and message[0] == "shmframe":
-                message, shm = _attach_frame(message[1], message[2])
+            if type(message) is tuple and message:
+                kind = message[0]
+                if kind == "iframe":
+                    message = decode_buffer_payload(message[1])
+                elif kind == "shmframe":
+                    message, shm = _attach_frame(message[1], message[2])
             try:
                 for reply in session.handle(message):
                     results.put(reply)
@@ -104,30 +131,90 @@ def _pipe_worker_main(init: WorkerInit, conn, results) -> None:
 
 
 class PipeWorkerLink(WorkerLink):
-    """One forked worker process plus its parent end of the pipe."""
+    """One forked worker process plus its parent end of the pipe.
 
-    __slots__ = ("index", "_process", "_conn", "_shm_names")
+    Sends are non-blocking: messages are serialized into the same
+    length-prefixed framing ``Connection.recv`` expects (``!i`` header +
+    pickle payload), written straight to the pipe fd with ``O_NONBLOCK``
+    set, and whatever the kernel rejects is queued parent-side.  The
+    cluster's poll loop calls :meth:`pump` to finish queued writes, so a
+    full pipe (worker busy, buffer at capacity) never stalls the parent
+    mid-push — the wait moves into the ack drain where it overlaps with
+    routing the next window.
+    """
+
+    __slots__ = ("index", "_process", "_conn", "_fd", "_pending", "_shm_names")
 
     def __init__(self, index: int, process, conn) -> None:
         self.index = index
         self._process = process
         self._conn = conn
+        self._fd = conn.fileno()
+        os.set_blocking(self._fd, False)
+        #: outbound bytes the kernel has not yet accepted (FIFO chunks)
+        self._pending: deque = deque()
         #: segments shipped over this link, swept at reap — normally all
         #: already unlinked by the worker, the sweep covers the rest
         self._shm_names: list[str] = []
 
     def send(self, message) -> None:
-        try:
-            if isinstance(message, BufferFrame):
-                self._send_frame(message)
+        self.stage(message)
+        self.pump()
+
+    def stage(self, message) -> None:
+        """Serialize and queue without writing (see base class)."""
+        if isinstance(message, BufferFrame):
+            self._send_frame(message)
+        else:
+            self._enqueue(pickle.dumps(message))
+
+    def _enqueue(self, payload: bytes) -> None:
+        """Frame a pickled payload exactly as ``Connection.send`` would
+        (4-byte big-endian length, header+payload joined when small)."""
+        header = struct.pack("!i", len(payload))
+        if len(payload) <= 16384:
+            self._pending.append(header + payload)
+        else:
+            self._pending.append(header)
+            self._pending.append(payload)
+
+    def pump(self) -> None:
+        pending = self._pending
+        while pending:
+            chunk = pending[0]
+            try:
+                written = os.write(self._fd, chunk)
+            except BlockingIOError:
+                return
+            except OSError as exc:
+                raise LinkDown(str(exc)) from exc
+            if written == len(chunk):
+                pending.popleft()
             else:
-                self._conn.send(message)
-        except (BrokenPipeError, EOFError, OSError) as exc:
-            raise LinkDown(str(exc)) from exc
+                pending[0] = memoryview(chunk)[written:]
+                return
+
+    def _flush_pending(self, timeout: float) -> None:
+        """Best-effort blocking drain, for shutdown paths (reap)."""
+        deadline = monotonic() + timeout
+        while self._pending and self._process.is_alive():
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                return
+            try:
+                select.select([], [self._fd], [], min(remaining, 0.05))
+                self.pump()
+            except (LinkDown, OSError, ValueError):
+                return
 
     def _send_frame(self, frame: BufferFrame) -> None:
-        """Ship a buffer frame through shared memory, not the pickler."""
+        """Ship a buffer frame inline, or via shared memory when large."""
         nbytes = frame.payload_nbytes
+        if nbytes <= INLINE_FRAME_LIMIT:
+            self._enqueue(
+                pickle.dumps(("iframe", b"".join(frame.payload_parts())))
+            )
+            return
         shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         _untrack(shm)
         self._shm_names.append(shm.name)
@@ -138,7 +225,7 @@ class PipeWorkerLink(WorkerLink):
                 end = offset + len(part)
                 buf[offset:end] = part
                 offset = end
-            self._conn.send(("shmframe", shm.name, nbytes))
+            self._enqueue(pickle.dumps(("shmframe", shm.name, nbytes)))
         finally:
             shm.close()
 
@@ -150,6 +237,8 @@ class PipeWorkerLink(WorkerLink):
         return self._process.exitcode
 
     def reap(self, timeout: float = 1.0) -> None:
+        # a queued ("stop",) must reach the worker or join() times out
+        self._flush_pending(timeout=timeout)
         self._process.join(timeout=timeout)
         if self._process.is_alive():  # pragma: no cover - stuck worker
             self._process.terminate()

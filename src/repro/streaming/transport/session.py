@@ -85,6 +85,13 @@ class WorkerCollector:
             )
         )
 
+    def emit_fanout(self, stream, values, targets) -> None:
+        encoded = self._codec.encode(stream, values)
+        self.buffer.extend(
+            (self._component, self._task_index, stream, target, encoded)
+            for target in targets
+        )
+
 
 class WorkerSession:
     """Serves one link: feed parent messages in, get reply messages out.

@@ -63,40 +63,24 @@ SEND_TIMEOUT_S = 120.0
 _SRC_ROOT = str(Path(__file__).resolve().parents[3])
 
 
-def _sendall_parts(sock, parts) -> None:
-    """``sendall`` for a scatter list, via ``sendmsg`` where available.
-
-    ``sendmsg`` may write only a prefix of the total; the loop advances
-    through the part list until everything is on the wire, slicing at
-    most the one partially-sent buffer per round.
-    """
-    views = [
-        part if isinstance(part, memoryview) else memoryview(part)
-        for part in parts
-        if len(part)
-    ]
-    sendmsg = getattr(sock, "sendmsg", None)
-    if sendmsg is None:  # pragma: no cover - platform without sendmsg
-        sock.sendall(b"".join(bytes(view) for view in views))
-        return
-    while views:
-        sent = sendmsg(views)
-        while sent:
-            head = len(views[0])
-            if sent >= head:
-                sent -= head
-                views.pop(0)
-            else:
-                views[0] = views[0][sent:]
-                sent = 0
-        while views and not len(views[0]):
-            views.pop(0)
-
-
 class SocketWorkerLink(WorkerLink):
-    """One TCP connection, plus the subprocess when we spawned it."""
+    """One TCP connection, plus the subprocess when we spawned it.
 
-    __slots__ = ("index", "decoder", "_sock", "_transport", "_process", "_eof")
+    Writes are staged and non-blocking, mirroring the pipe link: the
+    socket is switched to non-blocking after the init handshake,
+    outbound frames queue as memoryview chunks, and :meth:`pump`
+    pushes whatever the kernel will take.
+    """
+
+    __slots__ = (
+        "index",
+        "decoder",
+        "_sock",
+        "_transport",
+        "_process",
+        "_eof",
+        "_pending",
+    )
 
     def __init__(self, index: int, sock, transport, process=None) -> None:
         self.index = index
@@ -105,19 +89,61 @@ class SocketWorkerLink(WorkerLink):
         self._transport = transport
         self._process = process
         self._eof = False
+        #: outbound bytes the kernel has not yet accepted (FIFO chunks)
+        self._pending: deque = deque()
+        sock.setblocking(False)
 
     def send(self, message) -> None:
+        self.stage(message)
+        self.pump()
+
+    def stage(self, message) -> None:
+        """Queue a message's bytes without writing (see base class)."""
         if self._sock is None:
             raise LinkDown("link already reaped")
-        try:
-            if isinstance(message, BufferFrame):
-                # scatter-write the frame's parts (header, envelope, raw
-                # column buffers) without concatenating them
-                _sendall_parts(self._sock, message.parts())
+        if isinstance(message, BufferFrame):
+            # scatter list: header, envelope, raw column buffers — no
+            # concatenation; the views keep their owners alive and the
+            # journaled frame outlives the write
+            self._pending.extend(
+                part if isinstance(part, memoryview) else memoryview(part)
+                for part in message.parts()
+                if len(part)
+            )
+        else:
+            self._pending.append(memoryview(encode_frame(message)))
+
+    def pump(self) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        pending = self._pending
+        while pending:
+            chunk = pending[0]
+            try:
+                sent = sock.send(chunk)
+            except BlockingIOError:
+                return
+            except OSError as exc:
+                raise LinkDown(str(exc)) from exc
+            if sent == len(chunk):
+                pending.popleft()
             else:
-                self._sock.sendall(encode_frame(message))
-        except OSError as exc:
-            raise LinkDown(str(exc)) from exc
+                pending[0] = chunk[sent:]
+                return
+
+    def _flush_pending(self, timeout: float) -> None:
+        """Best-effort blocking drain, for shutdown paths (reap)."""
+        deadline = monotonic() + timeout
+        while self._pending and self._sock is not None:
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                return
+            try:
+                select.select([], [self._sock], [], min(remaining, 0.05))
+                self.pump()
+            except (LinkDown, OSError, ValueError):
+                return
 
     def alive(self) -> bool:
         if self._process is not None:
@@ -133,6 +159,8 @@ class SocketWorkerLink(WorkerLink):
         self._eof = True
 
     def reap(self, timeout: float = 1.0) -> None:
+        # a queued ("stop",) must reach the worker or wait() times out
+        self._flush_pending(timeout=timeout)
         sock, self._sock = self._sock, None
         if sock is not None:
             self._transport._forget(sock)

@@ -118,11 +118,10 @@ class AssignerBolt(Bolt):
                 self._broadcast_counter.inc()
             for target in targets:
                 self._machine_counters[target].inc()
+        machine_counts = self._machine_counts
         for target in targets:
-            self._machine_counts[target] += 1
-            collector.emit(
-                msg.ASSIGNED, (document, window_id, side), direct_task=target
-            )
+            machine_counts[target] += 1
+        collector.emit_fanout(msg.ASSIGNED, (document, window_id, side), targets)
 
     def _count_unseen(self, unseen, document, collector: Collector) -> None:
         for pair in unseen:

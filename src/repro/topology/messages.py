@@ -345,31 +345,57 @@ class ColumnarWireCodec(WireCodec):
         self.register(JOIN_STATS, _encode_join_stats, _decode_join_stats)
 
     def encode_batch(self, seq: int, entries: list) -> "BufferFrame":
-        """One batch of ``(component, task_index, StreamTuple)`` → frame."""
+        """One batch of ``(component, task_index, StreamTuple)`` → frame.
+
+        ``assigned`` entries ship **deduplicated**: the Assigner emits
+        the same document object once per target task, so the frame
+        encodes each distinct document a single time and represents the
+        fan-out as four flat ``array('q')`` entry columns — document
+        row, context id, target task and direct task per entry — plus a
+        tiny table of the distinct ``(component, source, source_task,
+        window_id, side)`` contexts.  Under replication ``r`` to one
+        worker this divides the encoded document payload by ``r``.
+        """
+        from array import array
+
         from repro.core.columnar import ColumnarBatch
         from repro.streaming.transport.framing import BufferFrame
 
         slots: list = []
         documents: list = []
-        meta: list = []
+        doc_rows: dict[int, int] = {}
+        ctx_table: list = []
+        ctx_ids: dict[tuple, int] = {}
+        entry_doc = array("q")
+        entry_ctx = array("q")
+        entry_task = array("q")
+        entry_direct = array("q")
+        n_assigned = 0
+        mixed = False
         for component, task_index, tup in entries:
             values = tup.values
             if tup.stream == ASSIGNED and _columnar_assignable(values):
                 document, window_id, side = values
-                slots.append(len(documents))
-                meta.append(
-                    (
-                        component,
-                        task_index,
-                        tup.source,
-                        tup.source_task,
-                        tup.direct_task,
-                        window_id,
-                        side,
-                    )
-                )
-                documents.append(document)
+                row = doc_rows.get(id(document))
+                if row is None:
+                    row = len(documents)
+                    doc_rows[id(document)] = row
+                    documents.append(document)
+                context = (component, tup.source, tup.source_task, window_id, side)
+                ctx = ctx_ids.get(context)
+                if ctx is None:
+                    ctx = len(ctx_table)
+                    ctx_ids[context] = ctx
+                    ctx_table.append(context)
+                slots.append(n_assigned)
+                entry_doc.append(row)
+                entry_ctx.append(ctx)
+                entry_task.append(task_index)
+                direct = tup.direct_task
+                entry_direct.append(-1 if direct is None else direct)
+                n_assigned += 1
             else:
+                mixed = True
                 slots.append(
                     (
                         component,
@@ -382,8 +408,16 @@ class ColumnarWireCodec(WireCodec):
                     )
                 )
         batch = ColumnarBatch.encode(documents)
-        envelope = ("cbatch", seq, tuple(slots), tuple(meta), batch.pair_table)
-        return BufferFrame(envelope, batch.buffers())
+        # all-assigned batches (the common case) collapse the slot list
+        # to its length; mixed batches keep the explicit interleaving
+        wire_slots = tuple(slots) if mixed else n_assigned
+        envelope = ("cbatch2", seq, wire_slots, tuple(ctx_table), batch.pair_table)
+        buffers = batch.buffers()
+        buffers.extend(
+            memoryview(column).cast("B")
+            for column in (entry_doc, entry_ctx, entry_task, entry_direct)
+        )
+        return BufferFrame(envelope, buffers)
 
     def decode_batch(self, frame) -> tuple:
         """A received frame → ``(seq, entries)`` with **decoded** values.
@@ -391,35 +425,43 @@ class ColumnarWireCodec(WireCodec):
         Entries come back in batch order as the same 7-tuple shape the
         legacy per-entry path uses, but their values need no further
         per-entry ``decode`` — the session feeds them straight to tasks.
+        Deduplicated documents are materialized once; entries of the
+        same document and context share one values tuple.
         """
         from repro.core.columnar import ColumnarBatch
 
-        _kind, seq, slots, meta, pair_table = frame.envelope
-        batch = ColumnarBatch.from_buffers(pair_table, frame.buffers)
+        _kind, seq, slots, ctx_table, pair_table = frame.envelope
+        batch = ColumnarBatch.from_buffers(pair_table, frame.buffers[:3])
         documents = batch.to_documents()
-        batch.release()
+        entry_doc = memoryview(frame.buffers[3]).cast("q")
+        entry_ctx = memoryview(frame.buffers[4]).cast("q")
+        entry_task = memoryview(frame.buffers[5]).cast("q")
+        entry_direct = memoryview(frame.buffers[6]).cast("q")
         entries = []
         append = entries.append
+        #: (doc row, ctx id) -> shared values tuple for the task fan-out
+        values_cache: dict[tuple[int, int], tuple] = {}
+        if type(slots) is int:
+            slots = range(slots)
         for slot in slots:
             if type(slot) is int:
-                (
-                    component,
-                    task_index,
-                    source,
-                    source_task,
-                    direct,
-                    window_id,
-                    side,
-                ) = meta[slot]
+                row = entry_doc[slot]
+                ctx = entry_ctx[slot]
+                component, source, source_task, window_id, side = ctx_table[ctx]
+                values = values_cache.get((row, ctx))
+                if values is None:
+                    values = (documents[row], window_id, side)
+                    values_cache[(row, ctx)] = values
+                direct = entry_direct[slot]
                 append(
                     (
                         component,
-                        task_index,
+                        entry_task[slot],
                         ASSIGNED,
                         source,
                         source_task,
-                        direct,
-                        (documents[slot], window_id, side),
+                        None if direct == -1 else direct,
+                        values,
                     )
                 )
             else:
@@ -435,6 +477,11 @@ class ColumnarWireCodec(WireCodec):
                         self.decode(stream, values),
                     )
                 )
+        batch.release()
+        entry_doc.release()
+        entry_ctx.release()
+        entry_task.release()
+        entry_direct.release()
         return seq, entries
 
 

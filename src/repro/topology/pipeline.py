@@ -108,6 +108,15 @@ class StreamJoinConfig:
     #: deprecated spelling of ``workers`` as a count; accepted for one
     #: release and mapped onto ``workers`` with a DeprecationWarning
     parallel_workers: Optional[int] = None
+    #: tuples per shipped worker batch on the parallel backend (None ->
+    #: the cluster default); larger batches amortize per-frame framing
+    #: and ack costs at the price of coarser backpressure
+    batch_size: Optional[int] = None
+    #: window barriers that may overlap on the parallel backend before
+    #: the parent blocks on the oldest (None -> the cluster default;
+    #: 0 -> fully synchronous barriers).  Results are byte-identical at
+    #: every depth — emission release order is seq-deterministic.
+    pipeline_depth: Optional[int] = None
     #: redeliveries of a failing tuple before it is considered poisoned
     max_retries: int = 0
     #: True -> quarantine poisoned tuples on a
@@ -341,10 +350,16 @@ def make_cluster(
         else None
     )
     if config.backend == "parallel":
+        tuning: dict = {}
+        if config.batch_size is not None:
+            tuning["batch_size"] = config.batch_size
+        if config.pipeline_depth is not None:
+            tuning["pipeline_depth"] = config.pipeline_depth
         return ParallelCluster(
             topology,
             max_retries=config.max_retries,
             registry=registry,
+            **tuning,
             remote_components=(msg.JOINER,),
             barrier_streams=(msg.WINDOW_DONE,),
             # partition broadcasts carry cross-window control state (the

@@ -84,11 +84,19 @@ class StreamJoinSession:
         assert isinstance(sink, MetricsSinkBolt)
         return sink
 
-    def push_window(self, documents: Sequence[Document]) -> WindowMetrics:
-        """Feed one tumbling window and process it to completion.
+    def push_window(self, documents: Sequence[Document]) -> Optional[WindowMetrics]:
+        """Feed one tumbling window and process it.
 
-        Returns the window's metrics; the repartitioned flag is stamped
-        from the merger events that fired during processing.
+        On the local backend (and with ``pipeline_depth=0``) the window
+        completes synchronously and its metrics are returned.  On a
+        pipelined parallel backend the window may still be in flight
+        when this returns — worker acks drain while the next window is
+        routed — so the return value is the metrics of the *newest
+        window finalized so far*, or None when nothing new finalized
+        during this push.  :meth:`result` runs the pipeline dry, so
+        every pushed window's metrics appear in the final result either
+        way.  The repartitioned flag is stamped from the merger events
+        that fired during processing.
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -99,10 +107,12 @@ class StreamJoinSession:
         self._spout.feed_window(documents, window_id)
         self._cluster.pump()
         sink = self._sink
-        metrics = next(w for w in sink.windows if w.window == window_id)
-        if window_id in sink.repartition_events and not sink.repartition_events[
-            window_id
-        ]:
+        metrics = next(
+            (w for w in reversed(sink.windows) if w.window <= window_id), None
+        )
+        if metrics is not None and not sink.repartition_events.get(
+            metrics.window, True
+        ):
             metrics.repartitioned = True
         return metrics
 
@@ -151,8 +161,14 @@ class StreamJoinSession:
         }
 
     def result(self) -> StreamJoinResult:
-        """Close the session and return the accumulated results."""
+        """Close the session and return the accumulated results.
+
+        Runs a pipelined parallel backend dry first, so windows still in
+        flight are finalized before the sink is read."""
         self._closed = True
+        drain = getattr(self._cluster, "drain", None)
+        if drain is not None:
+            drain()
         sink = self._sink
         recomputed = {
             w for w, initial in sink.repartition_events.items() if not initial

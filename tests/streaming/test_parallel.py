@@ -145,6 +145,25 @@ class TestParallelBackend:
             cluster.run()
         assert sorted(sink.values) == [i**2 for i in range(10)]
 
+    def test_pipeline_depths_agree(self):
+        """``pipeline_depth=0`` (the synchronous pre-pipelining plane)
+        and overlapped depths must produce identical results — the
+        barrier release order is seq-deterministic either way."""
+        results = {}
+        for depth in (0, 1, 2):
+            sink = CollectBolt()
+            with ParallelCluster(
+                _square_topology(40, sink),
+                remote_components=("square",),
+                barrier_streams=("numbers",),
+                n_workers=2,
+                batch_size=4,
+                pipeline_depth=depth,
+            ) as cluster:
+                cluster.run()
+            results[depth] = list(sink.values)
+        assert results[0] == results[1] == results[2]
+
     def test_worker_snapshots_merge_into_parent(self):
         registry = MetricsRegistry()
         with ParallelCluster(

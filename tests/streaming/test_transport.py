@@ -401,6 +401,43 @@ class TransportConformance:
                 assert not handle.buffer
         assert len(collector.values) == 50
 
+    def test_mid_pipeline_kill_is_byte_identical(self):
+        """Kill a worker while one window's acks are still draining and
+        the next window's frames are already staged on the corked link:
+        the journal replay must cover both windows — the acked-but-
+        unreleased one and the staged one — and results stay identical
+        to the local reference."""
+        clean = _clean_reference(n=80)
+        collector = CollectBolt()
+        cluster = self._cluster(
+            collector,
+            n=80,
+            restart_policy=FAST_RESTART,
+            # dies on receipt of batch 6 — inside the second window's
+            # batch range, while the first window's barrier can still
+            # be outstanding under the default pipeline depth
+            fault_plan=FaultPlan().kill_worker(1, after_batches=5),
+        )
+        with cluster:
+            cluster.run()
+            stats = cluster.stats()
+        assert sorted(collector.values) == clean
+        assert stats["worker_restarts"] == 1
+        assert stats["reconnects"] == 1
+
+    def test_corked_links_drain_by_end_of_run(self):
+        """Staged (corked) writes must all reach the kernel by the time
+        the run's final drain returns — nothing parked parent-side."""
+        collector = CollectBolt()
+        with self._cluster(collector) as cluster:
+            cluster.run()
+            for handle in cluster._workers:
+                link = handle.link
+                if link is None:
+                    continue
+                assert not getattr(link, "_pending", ())
+        assert len(collector.values) == 50
+
     def test_reconnect_reencodes_journal(self):
         """A replacement worker's journal replay must be re-encoded with
         the fresh link codec — stale dictionary state would KeyError."""
@@ -438,7 +475,7 @@ class TransportConformance:
             def __init__(self, link):
                 self._link = link
 
-            def send(self, message):
+            def _record(self, message):
                 if isinstance(message, BufferFrame):
                     seq = message.envelope[1]
                     wire = message.to_bytes()
@@ -446,7 +483,14 @@ class TransportConformance:
                         replayed.append((seq, wire))
                     else:
                         first_send[seq] = wire
+
+            def send(self, message):
+                self._record(message)
                 self._link.send(message)
+
+            def stage(self, message):
+                self._record(message)
+                self._link.stage(message)
 
             def __getattr__(self, name):
                 return getattr(self._link, name)

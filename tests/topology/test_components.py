@@ -25,6 +25,10 @@ class FakeCollector:
     def emit(self, stream, values, direct_task=None):
         self.emitted.append((stream, values, direct_task))
 
+    def emit_fanout(self, stream, values, targets):
+        for target in targets:
+            self.emit(stream, values, direct_task=target)
+
     def on_stream(self, stream):
         return [e for e in self.emitted if e[0] == stream]
 
