@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-distributed verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check bench-throughput bench-throughput-smoke bench-check-throughput soak-smoke profile-parent figures report examples clean
+.PHONY: install test test-parallel test-chaos test-distributed test-elastic verify bench bench-smoke bench-scaling bench-hotpath bench-hotpath-smoke bench-check bench-throughput bench-throughput-smoke bench-check-throughput soak-smoke profile-parent figures report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,10 +28,15 @@ test-chaos:
 test-distributed:
 	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m distributed
 
+# elastic worker-pool chaos suite (forced scale/migrate schedules,
+# destination kills mid-migration, load shedding) on pipe and socket
+test-elastic:
+	PYTHONPATH=src timeout 600 $(PYTHON) -m pytest -m elastic
+
 # the full pre-merge gate: tier-1, the forked backend suite, chaos,
-# the socket-transport suite, the benchmark smokes, and a capped soak
-# on every backend
-verify: test test-parallel test-chaos test-distributed bench-hotpath-smoke bench-throughput-smoke soak-smoke
+# the socket-transport suite, the elastic suite, the benchmark smokes,
+# and a capped soak on every backend
+verify: test test-parallel test-chaos test-distributed test-elastic bench-hotpath-smoke bench-throughput-smoke soak-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -79,7 +84,7 @@ soak-smoke:
 	PYTHONPATH=src timeout 60 $(PYTHON) -m repro soak --workload zipf \
 		--max-seconds 6 --epoch-windows 2 --assert-memory
 	PYTHONPATH=src timeout 90 $(PYTHON) -m repro soak --workload drift \
-		--backend parallel --transport pipe --workers 2 \
+		--backend parallel --transport pipe --workers 2 --elastic 2:4 \
 		--max-seconds 8 --epoch-windows 2 --assert-memory
 	PYTHONPATH=src timeout 120 $(PYTHON) -m repro soak --workload burst \
 		--backend parallel --transport socket --workers 2 \

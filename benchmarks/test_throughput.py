@@ -12,6 +12,11 @@ each epoch until the topology stops keeping up, and the cell reports
 * ``{backend}.{workload}.local_speedup`` — the parallel backend's
   sustained throughput over the local inline backend's, same pass
   (**higher is better**; ``>= 1`` means scaling out pays on this host),
+* ``{backend}.zipf_viral.docs_per_sec`` / ``hold_ratio`` — the skew-hold
+  cell: a fixed offered rate through the zipf viral ramp, reporting the
+  viral-phase achieved rate over the pre-viral one (**higher is
+  better**; parallel cells run with an elastic 2:4 worker pool, see
+  ``docs/elasticity.md``),
 
 for the ``local`` inline backend and the parallel backend over the
 ``pipe`` and ``socket`` transports, across the adversarial workload zoo
@@ -39,8 +44,9 @@ import json
 import sys
 from pathlib import Path
 
-from repro.data.zoo import ZOO_WORKLOADS
+from repro.data.zoo import ZOO_WORKLOADS, ZipfSkewGenerator
 from repro.soak import SoakConfig, SoakReport, run_soak
+from repro.streaming.elastic import ElasticPolicy
 
 SEED = 7
 M = 8
@@ -87,6 +93,85 @@ def cell_config(
         max_seconds=MAX_SECONDS[label] if max_seconds is None else max_seconds,
         max_window_size=10_000,
     )
+
+
+#: window index at which the viral-hold cell's hot pair starts ramping;
+#: with ``warmup_windows=1`` and ``epoch_windows=2`` the warmup window
+#: plus epoch 0 (windows 1-2) are fully pre-viral, epochs 1+ are viral
+VIRAL_START_WINDOW = 3
+#: measured epochs of the viral-hold cell: one pre-viral, three viral
+VIRAL_EPOCHS = 4
+#: fixed offered docs/sec of the viral-hold cell — deliberately above
+#: this host's capacity so achieved == capacity in both phases and the
+#: hold ratio measures skew degradation, not an arbitrary rate choice
+VIRAL_OFFERED_RATE = 4000.0
+#: per-cell wall-clock cap (seconds) of the viral-hold cell
+VIRAL_MAX_SECONDS = {"local": 12.0, "pipe": 18.0, "socket": 24.0}
+
+
+def viral_cell_config(label: str, max_seconds: float | None = None) -> SoakConfig:
+    """The ``zipf_viral`` skew-hold cell: fixed offered rate, one
+    pre-viral epoch, then the viral ramp — parallel backends run with an
+    elastic worker pool so live migration can spread the hot partition."""
+    backend, transport = BACKENDS[label]
+    return SoakConfig(
+        workload="zipf",
+        seed=SEED,
+        m=M,
+        backend=backend,
+        transport=transport,
+        workers=2 if backend == "parallel" else None,
+        elastic=(
+            ElasticPolicy(min_workers=2, max_workers=4)
+            if backend == "parallel"
+            else None
+        ),
+        # the offered rate is pinned: the ramp would double it, but the
+        # ceiling equals the initial rate, so every epoch offers the same
+        # load and the hold ratio compares like against like
+        initial_rate=VIRAL_OFFERED_RATE,
+        max_rate=VIRAL_OFFERED_RATE,
+        stop_at_saturation=False,
+        window_seconds=0.25,
+        epoch_windows=2,
+        max_epochs=VIRAL_EPOCHS,
+        max_seconds=(
+            VIRAL_MAX_SECONDS[label] if max_seconds is None else max_seconds
+        ),
+        max_window_size=10_000,
+    )
+
+
+def viral_hold_metrics(label: str, report: SoakReport) -> dict[str, float]:
+    """``{label}.zipf_viral`` rows: viral-phase throughput and hold ratio.
+
+    ``hold_ratio`` is the mean achieved docs/sec of the viral epochs
+    over the pre-viral epoch's — 1.0 means the topology fully held its
+    pre-viral rate through the skew ramp (**higher is better**).  Both
+    phases run in the same pass at the same offered rate, so host
+    contention cancels out of the ratio.
+    """
+    prefix = f"{label}.zipf_viral"
+    metrics = {
+        prefix + ".docs_per_sec": round(report.sustained_docs_per_sec, 1)
+    }
+    achieved = [rate for _offered, rate in report.ramp]
+    if len(achieved) >= 2 and achieved[0] > 0:
+        viral = achieved[1:]
+        metrics[prefix + ".hold_ratio"] = round(
+            (sum(viral) / len(viral)) / achieved[0], 3
+        )
+    return metrics
+
+
+def run_viral_cell(
+    label: str, max_seconds: float | None = None
+) -> tuple[dict[str, float], SoakReport]:
+    generator = ZipfSkewGenerator(
+        seed=SEED, viral_start_window=VIRAL_START_WINDOW
+    )
+    report = run_soak(viral_cell_config(label, max_seconds), generator)
+    return viral_hold_metrics(label, report), report
 
 
 def cell_metrics(label: str, workload: str, report: SoakReport) -> dict[str, float]:
@@ -143,6 +228,18 @@ def collect_metrics(
                     f"obs_monotonic={report.obs_monotonic}",
                     file=sys.stderr,
                 )
+        # the skew-hold cell rides the zipf workload selection
+        if "zipf" in workloads:
+            cell, report = run_viral_cell(label, max_seconds)
+            metrics.update(cell)
+            health[f"{label}.zipf_viral"] = report.healthy
+            if not report.healthy:
+                print(
+                    f"UNHEALTHY soak {label}.zipf_viral: "
+                    f"memory_ok={report.memory_ok} "
+                    f"obs_monotonic={report.obs_monotonic}",
+                    file=sys.stderr,
+                )
     return add_speedups(metrics), health
 
 
@@ -153,7 +250,11 @@ def merge_best(*runs: dict[str, float]) -> dict[str, float]:
         for key, value in run.items():
             if key not in merged:
                 merged[key] = value
-            elif key.endswith("_per_sec") or key.endswith("_speedup"):
+            elif (
+                key.endswith("_per_sec")
+                or key.endswith("_speedup")
+                or key.endswith("_ratio")
+            ):
                 merged[key] = max(merged[key], value)
             else:
                 merged[key] = min(merged[key], value)
@@ -180,7 +281,10 @@ def write_report(
                 "is better); p50_ms/p99_ms: end-to-end latency quantiles, "
                 "min over runs (lower is better); local_speedup: parallel "
                 "docs_per_sec / local docs_per_sec, same pass, max over "
-                "runs (higher is better)"
+                "runs (higher is better); zipf_viral.hold_ratio: viral-"
+                "phase achieved rate / pre-viral achieved rate at a fixed "
+                "offered rate, max over runs (higher is better; parallel "
+                "cells run with an elastic 2:4 worker pool)"
             ),
         },
         "healthy": health,
@@ -225,15 +329,45 @@ def test_local_cells_produce_sane_metrics():
             >= metrics[f"local.{workload}.p50_ms"]
         )
         assert health[f"local.{workload}"]
+    # the zipf selection brings the skew-hold cell along
+    assert metrics["local.zipf_viral.docs_per_sec"] > 0
+    assert health["local.zipf_viral"]
 
 
 def test_merge_best_is_direction_aware():
-    a = {"x.docs_per_sec": 100.0, "x.p99_ms": 50.0, "x.local_speedup": 0.8}
-    b = {"x.docs_per_sec": 120.0, "x.p99_ms": 80.0, "x.local_speedup": 0.9}
+    a = {
+        "x.docs_per_sec": 100.0,
+        "x.p99_ms": 50.0,
+        "x.local_speedup": 0.8,
+        "x.hold_ratio": 0.7,
+    }
+    b = {
+        "x.docs_per_sec": 120.0,
+        "x.p99_ms": 80.0,
+        "x.local_speedup": 0.9,
+        "x.hold_ratio": 0.95,
+    }
     merged = merge_best(a, b)
     assert merged["x.docs_per_sec"] == 120.0
     assert merged["x.p99_ms"] == 50.0
     assert merged["x.local_speedup"] == 0.9
+    assert merged["x.hold_ratio"] == 0.95
+
+
+def test_viral_hold_metrics_derive_the_ratio():
+    report = SoakReport(config=viral_cell_config("local", max_seconds=1.0))
+    report.sustained_docs_per_sec = 900.0
+    report.ramp = [(1000.0, 900.0), (1000.0, 810.0), (1000.0, 720.0)]
+    metrics = viral_hold_metrics("local", report)
+    assert metrics["local.zipf_viral.docs_per_sec"] == 900.0
+    assert metrics["local.zipf_viral.hold_ratio"] == 0.85
+
+    # a run too short for a viral phase reports no ratio at all rather
+    # than a fabricated one
+    report.ramp = [(1000.0, 900.0)]
+    assert "local.zipf_viral.hold_ratio" not in viral_hold_metrics(
+        "local", report
+    )
 
 
 def test_add_speedups_derives_parallel_over_local_ratios():

@@ -54,9 +54,13 @@ def load_metrics(path: Path) -> dict[str, float]:
 
 
 def higher_is_better(key: str) -> bool:
-    """Metric direction by naming convention: rates and parallel-over-
-    local speedup ratios up, latencies down."""
-    return key.endswith("_per_sec") or key.endswith("_speedup")
+    """Metric direction by naming convention: rates, parallel-over-local
+    speedups and viral-hold ratios up, latencies down."""
+    return (
+        key.endswith("_per_sec")
+        or key.endswith("_speedup")
+        or key.endswith("_ratio")
+    )
 
 
 def compare(

@@ -58,6 +58,23 @@ def _workers_argument(value: str):
         ) from None
 
 
+def _elastic_argument(value: str):
+    """``--elastic`` value: ``min:max`` pool bounds -> an ElasticPolicy."""
+    from repro.exceptions import TopologyError
+    from repro.streaming.elastic import ElasticPolicy
+
+    low, separator, high = value.strip().partition(":")
+    try:
+        if not separator:
+            raise ValueError(value)
+        return ElasticPolicy(min_workers=int(low), max_workers=int(high))
+    except (ValueError, TopologyError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"--elastic takes MIN:MAX worker-pool bounds "
+            f"(e.g. 2:8), got {value!r}: {exc}"
+        ) from None
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser, help_suffix: str) -> None:
     parser.add_argument(
         "--backend", choices=("local", "parallel"), default="local",
@@ -73,6 +90,14 @@ def _add_backend_arguments(parser: argparse.ArgumentParser, help_suffix: str) ->
         help="worker count for --backend parallel (default: one per core), "
              "or a comma-separated host:port list with --transport socket "
              "(tcp://host:port attaches to a pre-started worker)",
+    )
+    parser.add_argument(
+        "--elastic", type=_elastic_argument, nargs="?", const="1:8",
+        default=None, metavar="MIN:MAX",
+        help="elastic worker pool for --backend parallel: scale up/down "
+             "and live-migrate hot partitions at window barriers, bounded "
+             "by MIN:MAX workers (bare --elastic means 1:8; see "
+             "docs/elasticity.md)",
     )
 
 
@@ -280,6 +305,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         backend=args.backend,
         transport=args.transport,
         workers=args.workers,
+        elastic=args.elastic,
         max_retries=args.max_retries,
         dead_letters=args.dead_letters,
     )
@@ -407,6 +433,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             m=args.machines, algorithm=args.algorithm,
             compute_joins=args.joins, backend=args.backend,
             transport=args.transport, workers=args.workers,
+            elastic=args.elastic,
             max_retries=args.max_retries, dead_letters=args.dead_letters,
         )
     )
@@ -459,6 +486,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         backend=args.backend,
         transport=args.transport,
         workers=args.workers,
+        elastic=args.elastic,
     )
     snapshot = result.observability
     assert snapshot is not None
@@ -515,6 +543,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         backend=args.backend,
         transport=args.transport,
         workers=args.workers,
+        elastic=args.elastic,
         initial_rate=args.initial_rate,
         window_seconds=args.window_seconds,
         epoch_windows=args.epoch_windows,
@@ -555,6 +584,16 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 f"faults: dead_letters={report.dead_letters} "
                 f"worker_restarts={report.worker_restarts} "
                 f"degraded_workers={report.degraded_workers}"
+            )
+        if (
+            report.scale_ups or report.scale_downs
+            or report.migrations or report.shed_tuples
+        ):
+            lines.append(
+                f"elastic: scale_ups={report.scale_ups} "
+                f"scale_downs={report.scale_downs} "
+                f"migrations={report.migrations} "
+                f"shed_tuples={report.shed_tuples}"
             )
         text = "\n".join(lines)
     if args.out:

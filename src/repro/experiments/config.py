@@ -12,7 +12,6 @@ multiplier) for full-scale runs.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 
 from repro.data.base import DatasetGenerator
@@ -20,6 +19,7 @@ from repro.data.ideal import IdealStreamGenerator
 from repro.data.nobench import NoBenchGenerator
 from repro.data.serverlogs import ServerLogGenerator
 from repro.exceptions import PartitioningError
+from repro.streaming.elastic import ElasticPolicy
 
 DEFAULT_M = 8
 DEFAULT_W = 6
@@ -77,8 +77,10 @@ class ExperimentConfig:
     #: worker count, or (socket transport) a tuple of host:port
     #: addresses — threaded through to ``StreamJoinConfig.workers``
     workers: int | tuple[str, ...] | None = None
-    #: deprecated spelling of ``workers`` as a count
-    parallel_workers: int | None = None
+    #: elastic worker pool for the parallel backend (scale/migrate at
+    #: window barriers, ``docs/elasticity.md``); hashable, so configs
+    #: carrying it still key experiment caches
+    elastic: "ElasticPolicy | None" = None
     #: per-tuple redelivery budget before a tuple counts as poisoned
     max_retries: int = 0
     #: quarantine poisoned tuples instead of aborting the run
@@ -91,21 +93,6 @@ class ExperimentConfig:
             )
         if self.w <= 0 or self.n_windows <= 0 or self.docs_per_minute <= 0:
             raise PartitioningError("w, n_windows and docs_per_minute must be positive")
-        if self.parallel_workers is not None:
-            warnings.warn(
-                "ExperimentConfig.parallel_workers is deprecated; pass "
-                "workers=<count> (or host:port addresses with "
-                "transport='socket') instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            if self.workers is None:
-                object.__setattr__(self, "workers", self.parallel_workers)
-            elif self.workers != self.parallel_workers:
-                raise PartitioningError(
-                    "parallel_workers (deprecated) and workers disagree; "
-                    "set only workers"
-                )
         if isinstance(self.workers, list):
             # configs are frozen and used as cache keys — keep them hashable
             object.__setattr__(self, "workers", tuple(self.workers))

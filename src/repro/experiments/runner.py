@@ -62,6 +62,7 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         backend=config.backend,
         transport=config.transport,
         workers=config.workers,
+        elastic=config.elastic,
         max_retries=config.max_retries,
         dead_letters=config.dead_letters,
     )

@@ -29,6 +29,11 @@ Fault kinds
 :class:`DelayAcks`
     The targeted worker sleeps before sending every ``every``-th
     acknowledgement — the knob for exercising barrier timeouts.
+:class:`SlowBatch`
+    The targeted worker sleeps before executing every ``every``-th
+    batch — a deterministic hot worker.  Unlike :class:`DelayAcks` the
+    sleep lands *inside* the measured batch time, so the ``busy_s``
+    ack field and the elastic controller's ack-latency signal see it.
 
 Counting is per :class:`FaultRuntime`, i.e. per process incarnation: a
 replacement worker replays its window journal in the original delivery
@@ -80,6 +85,15 @@ class DelayAcks:
 
 
 @dataclass(frozen=True)
+class SlowBatch:
+    """Sleep ``seconds`` before every ``every``-th batch of ``worker``."""
+
+    worker: int
+    seconds: float
+    every: int = 1
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """An immutable, chainable collection of fault rules.
 
@@ -97,6 +111,7 @@ class FaultPlan:
     kills: tuple[KillWorker, ...] = ()
     raises: tuple[RaiseInBolt, ...] = ()
     delays: tuple[DelayAcks, ...] = ()
+    slows: tuple[SlowBatch, ...] = ()
 
     # -- builders ------------------------------------------------------
     def kill_worker(
@@ -160,10 +175,16 @@ class FaultPlan:
         rule = DelayAcks(worker, seconds, every)
         return replace(self, delays=self.delays + (rule,))
 
+    def slow_batch(
+        self, worker: int, seconds: float, every: int = 1
+    ) -> "FaultPlan":
+        rule = SlowBatch(worker, seconds, every)
+        return replace(self, slows=self.slows + (rule,))
+
     # -- execution -----------------------------------------------------
     @property
     def empty(self) -> bool:
-        return not (self.kills or self.raises or self.delays)
+        return not (self.kills or self.raises or self.delays or self.slows)
 
     def runtime(
         self, worker_index: Optional[int] = None, incarnation: int = 0
@@ -226,8 +247,14 @@ class FaultRuntime:
             self._delays = tuple(
                 d for d in plan.delays if d.worker == worker_index
             )
+            self._slows = tuple(
+                s for s in plan.slows if s.worker == worker_index
+            )
+        else:
+            self._slows = ()
         self._raises = [_RaiseState(rule) for rule in plan.raises]
         self._batches = 0
+        self._slowed_batches = 0
         self._acks = 0
 
     def kill_on_batch(self) -> Optional[int]:
@@ -243,6 +270,19 @@ class FaultRuntime:
         self._acks += 1
         return sum(
             d.seconds for d in self._delays if self._acks % max(1, d.every) == 0
+        )
+
+    def batch_delay(self) -> float:
+        """Seconds to sleep before executing the next batch (0 = none).
+
+        Counts independently of :meth:`kill_on_batch` so combining a
+        kill rule with a slow rule keeps both schedules deterministic.
+        """
+        self._slowed_batches += 1
+        return sum(
+            s.seconds
+            for s in self._slows
+            if self._slowed_batches % max(1, s.every) == 0
         )
 
     def check_raise(

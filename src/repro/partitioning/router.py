@@ -76,30 +76,56 @@ class DocumentRouter:
     ):
         if not partitions:
             raise ValueError("router needs at least one partition")
-        self.partitions = list(partitions)
-        self.expansion = expansion
         self.interner = interner if interner is not None else PairInterner()
-        self.m = len(partitions)
-        self._all = tuple(range(self.m))
+        self.swap(partitions, expansion)
+
+    def swap(
+        self,
+        partitions: Sequence[Partition],
+        expansion: Optional[ExpansionPlan] = None,
+    ) -> None:
+        """Atomically re-point this router at a new partitioning.
+
+        The owner maps are rebuilt into scratch locals first and only
+        then installed, so a concurrent reader (an elastic migration
+        draining mid-repartition, a metrics sampler) always observes
+        either the old routing tables or the new ones — never a
+        half-built map.  Identity and the shared interner are preserved,
+        which is what lets components hold a router reference across
+        repartitionings instead of re-resolving it per window.
+        """
+        if not partitions:
+            raise ValueError("router needs at least one partition")
+        m = len(partitions)
         #: pair id -> owning machine indices; sets are the mutable truth
         #: (``add_pair``), tuples the read-optimized routing view
-        self._owner_sets: dict[int, set[int]] = {}
+        owner_sets: dict[int, set[int]] = {}
         pair_id = self.interner.pair_id
         for partition in partitions:
             for pair in partition.pairs:
-                self._owner_sets.setdefault(pair_id(*pair), set()).add(
+                owner_sets.setdefault(pair_id(*pair), set()).add(
                     partition.index
                 )
-        self._owners: dict[int, tuple[int, ...]] = {
-            pid: tuple(owners) for pid, owners in self._owner_sets.items()
+        owners: dict[int, tuple[int, ...]] = {
+            pid: tuple(machines) for pid, machines in owner_sets.items()
         }
         #: the same ownership keyed by the raw pair, for the un-encoded
         #: per-document path (each document routes exactly once, so an
         #: encode per document is pure overhead)
         pair = self.interner.pair
-        self._owners_by_pair: dict[AVPair, tuple[int, ...]] = {
-            pair(pid): owners for pid, owners in self._owners.items()
+        owners_by_pair: dict[AVPair, tuple[int, ...]] = {
+            pair(pid): machines for pid, machines in owners.items()
         }
+        # installation point: every map is complete; plain attribute
+        # stores are atomic, and route()/route_batch() read each map
+        # through a single local binding
+        self.partitions = list(partitions)
+        self.expansion = expansion
+        self.m = m
+        self._all = tuple(range(m))
+        self._owner_sets = owner_sets
+        self._owners = owners
+        self._owners_by_pair = owners_by_pair
 
     def route(self, document: Document) -> RoutingDecision:
         """Decide the target machines for ``document``.

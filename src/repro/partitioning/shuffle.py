@@ -25,10 +25,14 @@ class ShuffleRouter:
     exact = False
 
     def __init__(self, m: int):
+        self._next = 0
+        self.swap(m)
+
+    def swap(self, m: int) -> None:
+        """Re-point at ``m`` machines; the round-robin cursor carries over."""
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
         self.m = m
-        self._next = 0
 
     def route(self, document: Document) -> RoutingDecision:
         target = self._next % self.m

@@ -32,7 +32,7 @@ run.  Results serialize via :meth:`SoakReport.as_dict` and feed both
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence, Union
 
 from repro.data.base import DatasetGenerator
@@ -45,6 +45,7 @@ from repro.obs.registry import (
 )
 from repro.soak.memory import MemoryCheck, MemoryMonitor
 from repro.soak.stream import RateController, endless_windows
+from repro.streaming.elastic import ElasticPolicy
 from repro.streaming.recovery import DEFAULT_DEAD_LETTER_LIMIT, RestartPolicy
 from repro.topology.pipeline import StreamJoinConfig
 from repro.topology.session import StreamJoinSession
@@ -84,6 +85,9 @@ class SoakConfig:
     backend: str = "local"
     transport: str = "pipe"
     workers: Optional[Union[int, tuple[str, ...], list[str]]] = None
+    #: elastic worker pool (parallel backend): scale/migrate at window
+    #: barriers, optional dead-letter shedding — ``docs/elasticity.md``
+    elastic: Optional[ElasticPolicy] = None
     # -- load ramp -----------------------------------------------------
     #: offered docs/sec of the first epoch
     initial_rate: float = 500.0
@@ -138,6 +142,7 @@ class SoakConfig:
                 if isinstance(self.workers, (tuple, list))
                 else self.workers
             ),
+            "elastic": asdict(self.elastic) if self.elastic else None,
             "initial_rate": self.initial_rate,
             "ramp_factor": self.ramp_factor,
             "saturation_threshold": self.saturation_threshold,
@@ -186,6 +191,14 @@ class SoakReport:
     dead_letters_retained: int = 0
     worker_restarts: int = 0
     degraded_workers: int = 0
+    # -- elasticity (zero without an ElasticPolicy) --------------------
+    scale_ups: int = 0
+    scale_downs: int = 0
+    migrations: int = 0
+    #: tuples dropped by elastic load shedding; shed documents are
+    #: *excluded* from the achieved rate fed back into the ramp, so a
+    #: shedding topology cannot report throughput it didn't deliver
+    shed_tuples: int = 0
     #: (offered, achieved) docs/sec per epoch
     ramp: list[tuple[float, float]] = field(default_factory=list)
     stop_reason: str = ""
@@ -220,6 +233,10 @@ class SoakReport:
             "dead_letters_retained": self.dead_letters_retained,
             "worker_restarts": self.worker_restarts,
             "degraded_workers": self.degraded_workers,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "migrations": self.migrations,
+            "shed_tuples": self.shed_tuples,
             "ramp": [
                 {"offered": offered, "achieved": achieved}
                 for offered, achieved in self.ramp
@@ -266,6 +283,17 @@ def check_monotonic(
     return violations
 
 
+def _shed_counter_total(snapshot: ObservabilitySnapshot) -> int:
+    """Sum of ``executor.shed_tuples`` across its per-component labels."""
+    return int(
+        sum(
+            value
+            for name, value in snapshot.counters.items()
+            if name.startswith("executor.shed_tuples")
+        )
+    )
+
+
 def _resolve_generator(config: SoakConfig) -> DatasetGenerator:
     if config.workload in ZOO_WORKLOADS:
         return make_zoo_generator(config.workload, seed=config.seed)
@@ -301,6 +329,7 @@ def run_soak(
         backend=config.backend,
         transport=config.transport,
         workers=config.workers,
+        elastic=config.elastic,
         max_retries=config.max_retries,
         dead_letters=config.dead_letters,
         dead_letter_limit=config.dead_letter_limit,
@@ -324,6 +353,7 @@ def run_soak(
     report = SoakReport(config=config)
     started = time.monotonic()
     previous_snapshot: Optional[ObservabilitySnapshot] = None
+    previous_shed = 0
     # unmeasured warmup: pay one-time costs (worker spawn, codec and
     # allocator warmup) outside the ramp so the first epoch's achieved
     # rate reflects steady-state throughput, not startup latency
@@ -375,12 +405,18 @@ def run_soak(
             reason = stop_reason()
             if reason:
                 break
-        achieved = epoch_docs / epoch_wall if epoch_wall > 0 else float(rate)
-        controller.record_epoch(achieved)
-        report.epochs += 1
         # epoch bookkeeping: memory, metric monotonicity, compaction
         monitor.sample()
         current = session.observability()
+        # honest achieved-vs-offered: documents the elastic relief valve
+        # shed never reached the join, so they don't count toward the
+        # rate the controller credits this epoch
+        shed_total = _shed_counter_total(current)
+        delivered = max(0, epoch_docs - (shed_total - previous_shed))
+        previous_shed = shed_total
+        achieved = delivered / epoch_wall if epoch_wall > 0 else float(rate)
+        controller.record_epoch(achieved)
+        report.epochs += 1
         violations = check_monotonic(previous_snapshot, current)
         if violations:
             report.obs_monotonic = False
@@ -414,6 +450,10 @@ def run_soak(
     report.dead_letters = int(stats.get("dead_letters", 0))
     report.dead_letters_retained = len(result.dead_letters)
     report.worker_restarts = int(stats.get("worker_restarts", 0))
+    report.scale_ups = int(stats.get("scale_ups", 0))
+    report.scale_downs = int(stats.get("scale_downs", 0))
+    report.migrations = int(stats.get("migrations", 0))
+    report.shed_tuples = int(stats.get("shed_tuples", 0))
     monitor.sample()
     report.memory = monitor.check()
     return report

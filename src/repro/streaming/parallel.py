@@ -69,6 +69,24 @@ snapshot and merges it with the parent's via
 :func:`repro.obs.registry.merge_snapshots` (a replacement worker's
 inherited baseline is subtracted first, see
 :func:`repro.obs.registry.subtract_snapshot`).
+
+Elasticity (``docs/elasticity.md``): with an
+:class:`~repro.streaming.elastic.ElasticPolicy`, the cluster consults a
+pure :class:`~repro.streaming.elastic.ElasticController` once per
+*completed* barrier.  A scale-up spawns a fresh worker and live-migrates
+the hot worker's hottest task to it; a scale-down migrates a cold
+worker's tasks into the least-loaded survivor and retires it.
+Migration reuses the replay machinery wholesale: the source drains, its
+journaled/sticky history for the moved tasks merges into the
+destination's books under the original batch seqs, the destination
+receives an ``("adopt", tasks)`` message followed by the re-encoded
+history as suppressed batches, and routing (``_placement``) swaps — so
+per-task delivery order and the seq-deterministic release are
+preserved and output stays byte-identical to the static pool.  With
+``policy.shed`` armed, sustained backpressure (consecutive
+backpressured windows) flips the end-to-end relief valve: routable
+tuples headed for a saturated worker quarantine on the dead-letter
+queue with ``reason="shed"`` instead of ballooning queues.
 """
 
 from __future__ import annotations
@@ -87,8 +105,20 @@ from repro.obs.registry import (
     merge_snapshots,
     subtract_snapshot,
 )
+from repro.streaming.elastic import (
+    BUSY_EWMA_ALPHA,
+    Decision,
+    ElasticController,
+    ElasticPolicy,
+    WorkerLoad,
+)
 from repro.streaming.executor import ClusterBase
-from repro.streaming.recovery import DeadLetter, DeadLetterQueue, RestartPolicy
+from repro.streaming.recovery import (
+    DeadLetter,
+    DeadLetterQueue,
+    RestartPolicy,
+    truncated_repr,
+)
 from repro.streaming.topology import Topology
 from repro.streaming.transport import (
     IDENTITY_CODEC,
@@ -148,7 +178,12 @@ class _WorkerHandle:
         "restarts_in_window",
         "incarnation",
         "degraded",
+        "retired",
         "fork_baseline",
+        "delivered_docs",
+        "journal_nbytes",
+        "inflight_high_water",
+        "busy_ewma",
     )
 
     def __init__(self, index: int, assigned: list[tuple[str, int]]):
@@ -178,7 +213,17 @@ class _WorkerHandle:
         self.restarts_in_window = 0
         self.incarnation = 0
         self.degraded = False
+        #: retired by a scale-down: tasks migrated away, worker stopped
+        self.retired = False
         self.fork_baseline: Optional[ObservabilitySnapshot] = None
+        #: per-task documents delivered since the last elastic evaluation
+        self.delivered_docs: dict[tuple[str, int], int] = {}
+        #: batch seq -> staged payload bytes, mirrors ``journal``
+        self.journal_nbytes: dict[int, int] = {}
+        #: peak simultaneous unacknowledged batches over the run
+        self.inflight_high_water = 0
+        #: EWMA of worker-reported per-batch busy seconds (ack field 8)
+        self.busy_ewma: Optional[float] = None
 
 
 class ParallelCluster(ClusterBase):
@@ -254,6 +299,14 @@ class ParallelCluster(ClusterBase):
         As on :class:`~repro.streaming.executor.ClusterBase`; both are
         honored inside worker processes (quarantined tuples travel back
         with the batch ack, fault rules run in the worker loop).
+    elastic:
+        An :class:`~repro.streaming.elastic.ElasticPolicy` arming the
+        elastic worker pool: scale-up/down and live partition migration
+        decided at completed window barriers, plus (``policy.shed``)
+        dead-letter load shedding under sustained backpressure.  The
+        initial pool keeps its configured size; the policy's
+        ``min_workers``/``max_workers`` bound how far the controller
+        may move it.  ``shed=True`` requires ``dead_letters``.
     """
 
     def __init__(
@@ -278,6 +331,7 @@ class ParallelCluster(ClusterBase):
         codec=None,
         dead_letters: Optional[DeadLetterQueue] = None,
         fault_plan: Optional[FaultPlan] = None,
+        elastic: Optional[ElasticPolicy] = None,
     ):
         super().__init__(
             topology,
@@ -330,6 +384,25 @@ class ParallelCluster(ClusterBase):
         self._pipeline_depth = pipeline_depth
         self._barrier_timeout_s = barrier_timeout_s
         self._codec = codec if codec is not None else IDENTITY_CODEC
+        if elastic is not None and elastic.shed and dead_letters is None:
+            raise TopologyError(
+                "ElasticPolicy.shed quarantines tuples on the dead-letter "
+                "queue; pass dead_letters=DeadLetterQueue() to enable it"
+            )
+        self._elastic = (
+            ElasticController(elastic) if elastic is not None else None
+        )
+        #: completed window barriers — the elastic controller's clock
+        self._windows_completed = 0
+        self._backpressured_this_window = False
+        self._in_elastic_step = False
+        #: elastic action counters, surfaced through stats()
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.migrations = 0
+        self.shed_tuples = 0
+        #: peak simultaneous unacknowledged batches across all workers
+        self.inflight_high_water = 0
         #: dead workers whose tasks now execute inline in the parent
         self.degraded_workers = 0
         remote_tasks: list[tuple[str, int]] = []
@@ -438,10 +511,27 @@ class ParallelCluster(ClusterBase):
     # Delivery / batching
     # ------------------------------------------------------------------
     def _deliver(self, component: str, task_index: int, tup: StreamTuple) -> None:
-        handle = self._placement.get((component, task_index))
+        key = (component, task_index)
+        handle = self._placement.get(key)
         if handle is None:
             super()._deliver(component, task_index, tup)
             return
+        if (
+            self._elastic is not None
+            and self._elastic.shed_active
+            # the blocking flush loop drains to max_inflight - 1, so
+            # "at the cap" at routing time means the next flush blocks
+            and len(handle.pending) >= self._max_inflight - 1
+            and tup.stream not in self._barrier_streams
+            and tup.stream not in self._sticky_streams
+        ):
+            # end-to-end relief valve: the worker is saturated and the
+            # overload has persisted — quarantine instead of queueing.
+            # Barrier and sticky tuples are never shed (they carry
+            # window/control semantics, not load).
+            self._shed(handle, component, task_index, tup)
+            return
+        handle.delivered_docs[key] = handle.delivered_docs.get(key, 0) + 1
         if not handle.buffer:
             handle.buffer_since = monotonic()
         # buffered raw: encoding happens at flush time, so a journal
@@ -451,6 +541,31 @@ class ParallelCluster(ClusterBase):
             self._barrier_pending = True
         if len(handle.buffer) >= self._batch_size:
             self._flush(handle)
+
+    def _shed(
+        self, handle: _WorkerHandle, component: str, task_index: int,
+        tup: StreamTuple,
+    ) -> None:
+        self.shed_tuples += 1
+        if self._obs:
+            self.registry.counter(
+                "executor.shed_tuples", component=component
+            ).inc()
+        self._record_dead_letter(
+            DeadLetter(
+                component=component,
+                task_index=task_index,
+                stream=tup.stream,
+                attempts=0,
+                cause=(
+                    f"shed: worker {handle.index} saturated for "
+                    f"{self._elastic.pressure_streak} consecutive windows"
+                ),
+                values_repr=truncated_repr(tup.values),
+                worker=handle.index,
+                reason="shed",
+            )
+        )
 
     def _encode_batch(self, handle: _WorkerHandle, raw: list) -> list:
         encode = self._link_codecs[handle.index].encode
@@ -495,11 +610,16 @@ class ParallelCluster(ClusterBase):
                 if entry[2].stream in self._sticky_streams
             )
         handle.pending.add(seq)
+        depth = len(handle.pending)
+        if depth > handle.inflight_high_water:
+            handle.inflight_high_water = depth
+            if depth > self.inflight_high_water:
+                self.inflight_high_water = depth
         try:
             # stage, don't write: the window's bytes hit the wire in one
             # burst at the barrier (see _pump_links), so worker wakeups
             # stay out of the parent's routing path
-            handle.link.stage(message)
+            handle.journal_nbytes[seq] = handle.link.stage(message) or 0
         except LinkDown:
             # the worker died while idle; recovery replays the journal
             # (which already holds this batch) or degrades it to inline
@@ -511,6 +631,7 @@ class ParallelCluster(ClusterBase):
         # blocking limit below is the exception, not the steady state
         self._poll_results(timeout=0.0)
         if len(handle.pending) >= self._max_inflight:
+            self._backpressured_this_window = True
             deadline = monotonic() + self._barrier_timeout_s
             while len(handle.pending) >= self._max_inflight:  # backpressure
                 self._poll_results(timeout=0.05)
@@ -618,6 +739,11 @@ class ParallelCluster(ClusterBase):
             self._window_boundary_upto(max_seq)
             if self._release_emissions_upto(max_seq):
                 released = True
+            self._windows_completed += 1
+            # the elastic hook runs at the quietest possible point: the
+            # window's acks are drained, its journal entries cleared,
+            # its emissions released — migration moves minimal state
+            self._elastic_step()
         return released
 
     def _await_barrier(self, max_seq: int) -> None:
@@ -635,12 +761,20 @@ class ParallelCluster(ClusterBase):
         for handle in self._workers:
             for seq in [s for s in handle.journal if s <= max_seq]:
                 del handle.journal[seq]
+                handle.journal_nbytes.pop(seq, None)
             mark = handle.sticky_mark
             sticky = handle.sticky
             while mark < len(sticky) and sticky[mark][0] <= max_seq:
                 mark += 1
             handle.sticky_mark = mark
             handle.restarts_in_window = 0
+        if self._obs:
+            self.registry.gauge("executor.inflight_high_water").set_max(
+                self.inflight_high_water
+            )
+            self.registry.gauge("executor.journal_bytes").set(
+                self._journal_bytes()
+            )
 
     # ------------------------------------------------------------------
     # Result collection
@@ -697,9 +831,16 @@ class ParallelCluster(ClusterBase):
     def _handle_message(self, message: tuple) -> None:
         kind = message[0]
         if kind == "ack":
-            _, seq, worker_index, counts, failures, emissions, dead = message
+            _, seq, worker_index, counts, failures, emissions, dead, busy_s = message
             handle = self._workers[worker_index]
             handle.pending.discard(seq)
+            # ack-latency load signal: smoothed worker-side busy seconds
+            handle.busy_ewma = (
+                busy_s
+                if handle.busy_ewma is None
+                else (1.0 - BUSY_EWMA_ALPHA) * handle.busy_ewma
+                + BUSY_EWMA_ALPHA * busy_s
+            )
             if seq in handle.suppress:
                 # a replayed batch that was already acknowledged by the
                 # dead incarnation: it rebuilt worker state, but its
@@ -740,6 +881,11 @@ class ParallelCluster(ClusterBase):
                 worker=worker_index,
                 batch_seq=seq,
             )
+        elif kind == "adopted":
+            # migration handshake: the destination confirmed it owns the
+            # moved tasks.  FIFO already ordered the adopt before the
+            # replayed batches, so nothing to do beyond acknowledging.
+            pass
         elif kind == "snapshot":
             _, worker_index, data = message
             handle = self._workers[worker_index]
@@ -948,6 +1094,7 @@ class ParallelCluster(ClusterBase):
                 self._stash[seq] = tuple(emissions or ())
                 handle.pending.discard(seq)
         handle.journal.clear()
+        handle.journal_nbytes.clear()
         handle.suppress.clear()
         # unsent buffered tuples simply fall through to the local FIFO
         raw, handle.buffer = handle.buffer, []
@@ -1008,6 +1155,301 @@ class ParallelCluster(ClusterBase):
             if self._obs:
                 self._proc_counters[component].inc()
 
+    # ------------------------------------------------------------------
+    # Elasticity: scale-up/down and live partition migration
+    # ------------------------------------------------------------------
+    def _journal_bytes(self) -> int:
+        """Bytes of journaled batches across all workers (load signal)."""
+        return sum(
+            sum(handle.journal_nbytes.values()) for handle in self._workers
+        )
+
+    def _worker_loads(self) -> list[WorkerLoad]:
+        """One load-signal record per live worker, for the controller."""
+        loads = []
+        for handle in self._workers:
+            if handle.retired or handle.degraded or handle.link is None:
+                continue
+            loads.append(
+                WorkerLoad(
+                    worker=handle.index,
+                    tasks=tuple(handle.assigned),
+                    task_docs=tuple(sorted(handle.delivered_docs.items())),
+                    docs=sum(handle.delivered_docs.values()),
+                    pending=len(handle.pending),
+                    inflight_high_water=handle.inflight_high_water,
+                    journal_bytes=sum(handle.journal_nbytes.values()),
+                    busy_s=handle.busy_ewma or 0.0,
+                )
+            )
+        return loads
+
+    def _elastic_step(self) -> None:
+        """Consult the controller at a completed barrier and act on it.
+
+        Runs at the quietest point of the pipeline: the completed
+        window's journal entries are cleared and its emissions released,
+        so a migration ships the minimum of state.  The controller's
+        window index is 0-based over completed barriers.
+        """
+        controller = self._elastic
+        if controller is None or self._in_elastic_step or self._closed:
+            return
+        self._in_elastic_step = True
+        try:
+            controller.observe_pressure(self._backpressured_this_window)
+            self._backpressured_this_window = False
+            decision = controller.decide(
+                self._windows_completed - 1, self._worker_loads()
+            )
+            if decision is not None:
+                self._apply_decision(decision)
+        finally:
+            # doc counters are a per-window signal; under pipelining a
+            # few next-window deliveries may already have counted — an
+            # accepted approximation, the skew signal dominates anyway
+            for handle in self._workers:
+                handle.delivered_docs.clear()
+            self._in_elastic_step = False
+
+    def _apply_decision(self, decision: Decision) -> None:
+        src = self._workers[decision.source]
+        if src.retired or src.degraded or src.link is None:
+            return
+        keys = tuple(key for key in decision.keys if key in src.assigned)
+        if not keys:
+            return
+        if decision.kind == "up":
+            if len(keys) >= len(src.assigned):
+                return  # never strand the source without tasks
+            dst = self._add_worker()
+            if self._migrate_tasks(src, dst, keys):
+                self.scale_ups += 1
+                if self._obs:
+                    self.registry.counter("executor.scale_ups").inc()
+            elif not dst.assigned:
+                self._retire(dst)  # migration aborted; drop the idle spawn
+        elif decision.kind == "down":
+            if decision.target is None:
+                return
+            dst = self._workers[decision.target]
+            if dst is src or dst.retired or dst.degraded or dst.link is None:
+                return
+            if self._migrate_tasks(src, dst, keys) and not src.assigned:
+                self._retire(src)
+                self.scale_downs += 1
+                if self._obs:
+                    self.registry.counter("executor.scale_downs").inc()
+
+    def _add_worker(self) -> _WorkerHandle:
+        """Grow the pool by one (initially taskless) worker slot.
+
+        Handles are positional (worker indices appear in acks), so the
+        new slot appends; it receives tasks through migration's
+        ``adopt`` path rather than through its ``WorkerInit``.
+        """
+        index = len(self._workers)
+        assigned: list[tuple[str, int]] = []
+        self._assignments.append(assigned)
+        handle = _WorkerHandle(index, assigned)
+        self._workers.append(handle)
+        link_factory = getattr(self._codec, "link_codec", None)
+        self._link_codecs.append(
+            link_factory() if link_factory is not None else self._codec
+        )
+        if self.registry.enabled:
+            # like a respawn: the new worker inherits the registry state
+            # shipped in its init — remember it for snapshot subtraction
+            handle.fork_baseline = self.registry.snapshot()
+        self._spawn(handle)
+        self.n_workers += 1
+        return handle
+
+    def _drain_worker(self, handle: _WorkerHandle) -> bool:
+        """Flush and await every outstanding ack of one worker.
+
+        Returns False when the worker degraded while draining (its
+        state moved inline; there is nothing left to migrate)."""
+        self._flush(handle)
+        if handle.degraded:
+            return False
+        self._pump_links()
+        deadline = monotonic() + self._barrier_timeout_s
+        while handle.pending:
+            self._poll_results(timeout=0.05)
+            self._check_workers(deadline)
+            if handle.degraded:
+                return False
+        return True
+
+    def _migrate_tasks(
+        self,
+        src: _WorkerHandle,
+        dst: _WorkerHandle,
+        keys: tuple[tuple[str, int], ...],
+    ) -> bool:
+        """Live-migrate ``keys`` (and their journaled state) src → dst.
+
+        The procedure (the ``docs/elasticity.md`` timeline):
+
+        1. **Drain** the source — flush its buffer, await its acks, so
+           the journal below is fully acknowledged history.
+        2. **Split the books** — journal entries, sticky history and
+           placement for the moved tasks transfer to the destination
+           under their *original* batch seqs (globally unique, so the
+           merge is collision-free and sorted-seq replay preserves
+           per-task delivery order).
+        3. **Ship** — the destination link receives, in one FIFO burst:
+           an ``("adopt", tasks)`` message carrying the parent's
+           pristine task instances, the moved marked-sticky history as
+           one fresh-seq suppressed pseudo-batch, then each moved
+           journal batch re-encoded under its original seq, all
+           suppressed (the source already acked them) — re-acks rebuild
+           worker state without re-applying effects, the same rule that
+           keeps crash recovery byte-identical.
+
+        If the destination dies mid-ship its books already hold the
+        merged history, so the ordinary failure path (respawn + full
+        replay, or degrade) finishes the job.
+        """
+        if src is dst or not keys:
+            return False
+        keyset = set(keys)
+        if not self._drain_worker(src):
+            return False
+        if dst.retired or dst.degraded or dst.link is None:
+            return False
+        # -- 2: split the books (before any wire I/O, so a destination
+        # death mid-ship leaves a consistent merged state behind)
+        moved_journal: dict[int, list] = {}
+        for seq in sorted(src.journal):
+            entries = self._journal_entries(src, src.journal[seq])
+            moved = [e for e in entries if (e[0], e[1]) in keyset]
+            if not moved:
+                continue
+            kept = [e for e in entries if (e[0], e[1]) not in keyset]
+            nbytes = src.journal_nbytes.pop(seq, 0)
+            moved_share = int(nbytes * len(moved) / len(entries))
+            if kept:
+                src.journal[seq] = kept
+                src.journal_nbytes[seq] = nbytes - moved_share
+            else:
+                del src.journal[seq]
+            if seq in dst.journal:  # an earlier migration shared this seq
+                dst.journal[seq] = (
+                    self._journal_entries(dst, dst.journal[seq]) + moved
+                )
+            else:
+                dst.journal[seq] = moved
+            dst.journal_nbytes[seq] = (
+                dst.journal_nbytes.get(seq, 0) + moved_share
+            )
+            moved_journal[seq] = moved
+        moved_sticky = [
+            (seq, entry)
+            for seq, entry in src.sticky
+            if (entry[0], entry[1]) in keyset
+        ]
+        moved_marked = 0
+        if moved_sticky:
+            moved_marked = sum(
+                1
+                for position, (_seq, entry) in enumerate(src.sticky)
+                if position < src.sticky_mark and (entry[0], entry[1]) in keyset
+            )
+            src.sticky = [
+                (seq, entry)
+                for seq, entry in src.sticky
+                if (entry[0], entry[1]) not in keyset
+            ]
+            src.sticky_mark -= moved_marked
+            # marked-ness is a pure seq threshold (every boundary advances
+            # all marks to the same max_seq), so a stable merge by seq
+            # keeps the marked prefix exactly the sum of both prefixes
+            dst.sticky = sorted(
+                dst.sticky + moved_sticky, key=lambda item: item[0]
+            )
+            dst.sticky_mark += moved_marked
+        for key in keys:
+            src.assigned.remove(key)
+            dst.assigned.append(key)
+            self._placement[key] = dst
+            if key in src.delivered_docs:
+                dst.delivered_docs[key] = dst.delivered_docs.get(
+                    key, 0
+                ) + src.delivered_docs.pop(key)
+        # -- 3: ship adopt + suppressed history over the destination FIFO
+        sticky_seq = None
+        try:
+            try:
+                dst.link.send(
+                    (
+                        "adopt",
+                        {key: self._tasks[key[0]][key[1]] for key in keys},
+                    )
+                )
+            except LinkDown:
+                raise _WorkerLost from None
+            sticky_raw = [entry for _seq, entry in moved_sticky[:moved_marked]]
+            if sticky_raw:
+                self._batch_seq += 1
+                sticky_seq = self._batch_seq
+                dst.pending.add(sticky_seq)
+                dst.suppress.add(sticky_seq)
+                self._replay_send(dst, sticky_seq, sticky_raw)
+            for seq in sorted(moved_journal):
+                dst.pending.add(seq)
+                dst.suppress.add(seq)
+                self._replay_send(dst, seq, moved_journal[seq])
+        except _WorkerLost:
+            if sticky_seq is not None:
+                # the dying link can never ack the pseudo-batch; keeping
+                # it in ``suppress`` drops any straggler ack
+                dst.pending.discard(sticky_seq)
+            self._on_worker_failure(dst)
+        self.migrations += 1
+        if self._obs:
+            self.registry.counter("executor.migrations").inc()
+        return True
+
+    def _retire(self, handle: _WorkerHandle) -> None:
+        """Stop a (task-less) worker and shrink the live pool.
+
+        The handle stays in ``self._workers`` — indices are positional —
+        with its final observability snapshot retained so the merged
+        :meth:`snapshot` stays monotonic after the worker is gone.
+        """
+        if self.registry.enabled and handle.link is not None and handle.link.alive():
+            handle.awaiting_snapshot = True
+            try:
+                handle.link.send(("snapshot",))
+            except LinkDown:
+                handle.awaiting_snapshot = False
+            deadline = monotonic() + self._barrier_timeout_s
+            while handle.awaiting_snapshot:
+                self._poll_results(timeout=0.05)
+                if handle.link is None or not handle.link.alive():
+                    handle.awaiting_snapshot = False
+                elif monotonic() > deadline:
+                    raise TopologyError(
+                        "timed out collecting a retiring worker's snapshot"
+                    )
+        if handle.link is not None:
+            try:
+                handle.link.send(("stop",))
+            except LinkDown:
+                pass
+        self._reap(handle)
+        handle.retired = True
+        handle.pending.clear()
+        handle.journal.clear()
+        handle.journal_nbytes.clear()
+        handle.sticky = []
+        handle.sticky_mark = 0
+        handle.suppress.clear()
+        handle.delivered_docs.clear()
+        self.n_workers -= 1
+
     def _release_emissions_upto(self, max_seq: int) -> bool:
         """Re-inject stashed remote emissions of batches at or below
         ``max_seq``, in global batch order.  Later batches belong to a
@@ -1046,6 +1488,12 @@ class ParallelCluster(ClusterBase):
     def stats(self) -> dict[str, object]:
         stats = super().stats()
         stats.update(self._transport.stats())
+        stats["inflight_high_water"] = self.inflight_high_water
+        stats["journal_bytes"] = self._journal_bytes()
+        stats["scale_ups"] = self.scale_ups
+        stats["scale_downs"] = self.scale_downs
+        stats["migrations"] = self.migrations
+        stats["shed_tuples"] = self.shed_tuples
         return stats
 
     def snapshot(self) -> ObservabilitySnapshot:

@@ -93,7 +93,7 @@ class WorkerLink(ABC):
     index: int
 
     @abstractmethod
-    def send(self, message: tuple) -> None:
+    def send(self, message: tuple) -> int:
         """Ship one message, FIFO per link; :class:`LinkDown` if gone.
 
         ``send`` may buffer: a transport with a non-blocking write path
@@ -102,9 +102,13 @@ class WorkerLink(ABC):
         cluster calls :meth:`pump` opportunistically to finish such
         writes; FIFO order still holds because every send enters the
         same buffer.
+
+        Returns the serialized payload size in bytes — the cluster
+        accounts journal bytes per batch with it, feeding the
+        ``journal_bytes`` load signal the elastic controller watches.
         """
 
-    def stage(self, message: tuple) -> None:
+    def stage(self, message: tuple) -> int:
         """Queue a message for shipping without touching the wire.
 
         The cluster stages a window's batches while it routes and
@@ -114,8 +118,9 @@ class WorkerLink(ABC):
         keeps worker wakeups out of the parent's routing path.  Order
         is shared with :meth:`send`: staged and sent messages drain
         through one FIFO.  Default: ship eagerly via ``send``.
+        Returns the staged payload size in bytes, like :meth:`send`.
         """
-        self.send(message)
+        return self.send(message)
 
     def pump(self) -> None:
         """Make progress on buffered outbound bytes (non-blocking).

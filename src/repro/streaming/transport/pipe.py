@@ -157,18 +157,18 @@ class PipeWorkerLink(WorkerLink):
         #: already unlinked by the worker, the sweep covers the rest
         self._shm_names: list[str] = []
 
-    def send(self, message) -> None:
-        self.stage(message)
+    def send(self, message) -> int:
+        nbytes = self.stage(message)
         self.pump()
+        return nbytes
 
-    def stage(self, message) -> None:
+    def stage(self, message) -> int:
         """Serialize and queue without writing (see base class)."""
         if isinstance(message, BufferFrame):
-            self._send_frame(message)
-        else:
-            self._enqueue(pickle.dumps(message))
+            return self._send_frame(message)
+        return self._enqueue(pickle.dumps(message))
 
-    def _enqueue(self, payload: bytes) -> None:
+    def _enqueue(self, payload: bytes) -> int:
         """Frame a pickled payload exactly as ``Connection.send`` would
         (4-byte big-endian length, header+payload joined when small)."""
         header = struct.pack("!i", len(payload))
@@ -177,6 +177,7 @@ class PipeWorkerLink(WorkerLink):
         else:
             self._pending.append(header)
             self._pending.append(payload)
+        return len(payload)
 
     def pump(self) -> None:
         pending = self._pending
@@ -207,14 +208,14 @@ class PipeWorkerLink(WorkerLink):
             except (LinkDown, OSError, ValueError):
                 return
 
-    def _send_frame(self, frame: BufferFrame) -> None:
+    def _send_frame(self, frame: BufferFrame) -> int:
         """Ship a buffer frame inline, or via shared memory when large."""
         nbytes = frame.payload_nbytes
         if nbytes <= INLINE_FRAME_LIMIT:
             self._enqueue(
                 pickle.dumps(("iframe", b"".join(frame.payload_parts())))
             )
-            return
+            return nbytes
         shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         _untrack(shm)
         self._shm_names.append(shm.name)
@@ -228,6 +229,7 @@ class PipeWorkerLink(WorkerLink):
             self._enqueue(pickle.dumps(("shmframe", shm.name, nbytes)))
         finally:
             shm.close()
+        return nbytes
 
     def alive(self) -> bool:
         return self._process.is_alive()

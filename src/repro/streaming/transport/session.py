@@ -14,14 +14,18 @@ entrypoint is a thin receive loop around one session:
 The message vocabulary (plain tuples, first element is the kind):
 
 parent → worker
-    ``("batch", seq, entries)``, ``("snapshot",)``, ``("stop",)``;
-    a batch may also arrive as a
+    ``("batch", seq, entries)``, ``("adopt", tasks)`` (live partition
+    migration hands a worker additional task instances mid-run),
+    ``("snapshot",)``, ``("stop",)``; a batch may also arrive as a
     :class:`~repro.streaming.transport.framing.BufferFrame` whose
     envelope and buffers the link codec's ``decode_batch`` turns back
     into ``(seq, entries)`` (the columnar wire path)
 worker → parent
-    ``("ack", seq, worker_index, counts, failures, emissions, dead)``,
+    ``("ack", seq, worker_index, counts, failures, emissions, dead,
+    busy_s)`` — ``busy_s`` is the worker-side wall time spent executing
+    the batch, the ack-latency load signal of the elastic controller —
     ``("error", worker_index, seq, component, task_index, retries, exc)``,
+    ``("adopted", worker_index, n_tasks)``,
     ``("snapshot", worker_index, dict)``, ``("bye", worker_index)``
 
 Every worker→parent message carries the worker index, which is what
@@ -117,6 +121,7 @@ class WorkerSession:
             if plan is not None
             else None
         )
+        self._emit_codec = init.emit_codec
         self._tasks = init.tasks
         self._collectors = {
             key: WorkerCollector(key[0], key[1], init.emit_codec)
@@ -137,6 +142,8 @@ class WorkerSession:
         kind = message[0]
         if kind == "batch":
             return [self._handle_batch(message[1], message[2])]
+        if kind == "adopt":
+            return [self._handle_adopt(message[1])]
         if kind == "snapshot":
             return [
                 ("snapshot", self.worker_index, self._registry.snapshot().as_dict())
@@ -146,13 +153,37 @@ class WorkerSession:
             return [("bye", self.worker_index)]
         raise ValueError(f"unknown worker message kind {kind!r}")
 
+    def _handle_adopt(self, tasks: dict) -> tuple:
+        """Take ownership of migrated tasks (live partition migration).
+
+        The parent ships pristine task instances; their journaled state
+        follows as replayed batches under their original seqs, so order
+        matters — ``adopt`` must precede the replay on the same FIFO
+        link, which the cluster guarantees by staging both in one burst.
+        """
+        for key, task in tasks.items():
+            self._tasks[key] = task
+            self._collectors[key] = WorkerCollector(
+                key[0], key[1], self._emit_codec
+            )
+            component = key[0]
+            if component not in self._hists:
+                self._hists[component] = self._registry.histogram(
+                    "executor.execute_seconds", component=component
+                )
+        return ("adopted", self.worker_index, len(tasks))
+
     def _handle_batch(self, seq: int, entries: list, decoded: bool = False) -> tuple:
         faults = self._faults
         if faults is not None:
             exit_code = faults.kill_on_batch()
             if exit_code is not None:
                 raise WorkerKilled(exit_code)
+            delay = faults.batch_delay()
+            if delay > 0:
+                sleep(delay)
         obs = self._obs
+        batch_start = perf_counter()
         emissions: list = []
         counts: dict[str, int] = {}
         failures = 0
@@ -241,4 +272,5 @@ class WorkerSession:
             failures,
             tuple(emissions),
             tuple(dead),
+            perf_counter() - batch_start,
         )

@@ -93,11 +93,12 @@ class SocketWorkerLink(WorkerLink):
         self._pending: deque = deque()
         sock.setblocking(False)
 
-    def send(self, message) -> None:
-        self.stage(message)
+    def send(self, message) -> int:
+        nbytes = self.stage(message)
         self.pump()
+        return nbytes
 
-    def stage(self, message) -> None:
+    def stage(self, message) -> int:
         """Queue a message's bytes without writing (see base class)."""
         if self._sock is None:
             raise LinkDown("link already reaped")
@@ -105,13 +106,16 @@ class SocketWorkerLink(WorkerLink):
             # scatter list: header, envelope, raw column buffers — no
             # concatenation; the views keep their owners alive and the
             # journaled frame outlives the write
-            self._pending.extend(
+            parts = [
                 part if isinstance(part, memoryview) else memoryview(part)
                 for part in message.parts()
                 if len(part)
-            )
-        else:
-            self._pending.append(memoryview(encode_frame(message)))
+            ]
+            self._pending.extend(parts)
+            return sum(len(part) for part in parts)
+        encoded = memoryview(encode_frame(message))
+        self._pending.append(encoded)
+        return len(encoded)
 
     def pump(self) -> None:
         sock = self._sock

@@ -192,11 +192,19 @@ class AssignerBolt(Bolt):
     def _on_partitions(self, tup: StreamTuple) -> None:
         (partition_set,) = tup.values
         self._current = partition_set
-        self._router = DocumentRouter(
-            partition_set.partitions,
-            expansion=partition_set.expansion,
-            interner=self._interner,
-        )
+        if self._router is not None:
+            # repartitioning: rebuild the owner maps in place so anything
+            # holding a router reference (and the cached encodings keyed
+            # by its interner) survives the swap
+            self._router.swap(
+                partition_set.partitions, partition_set.expansion
+            )
+        else:
+            self._router = DocumentRouter(
+                partition_set.partitions,
+                expansion=partition_set.expansion,
+                interner=self._interner,
+            )
         self._unseen_counts.clear()
         self._requested.clear()
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence, Union
 
@@ -22,6 +21,7 @@ from repro.partitioning.disjoint import DisjointSetPartitioner
 from repro.partitioning.graph import KernighanLinPartitioner
 from repro.partitioning.hashing import HashPartitioner
 from repro.partitioning.setcover import SetCoverPartitioner
+from repro.streaming.elastic import ElasticPolicy
 from repro.streaming.executor import ClusterBase, LocalCluster
 from repro.streaming.parallel import ParallelCluster
 from repro.streaming.recovery import (
@@ -105,9 +105,11 @@ class StreamJoinConfig:
     #: list of ``host:port`` worker addresses; ``tcp://host:port``
     #: entries attach to pre-started workers instead of spawning them
     workers: Optional[Union[int, tuple[str, ...], list[str]]] = None
-    #: deprecated spelling of ``workers`` as a count; accepted for one
-    #: release and mapped onto ``workers`` with a DeprecationWarning
-    parallel_workers: Optional[int] = None
+    #: elastic worker pool for the parallel backend: scale-up/down and
+    #: live partition migration at window barriers, plus optional
+    #: dead-letter load shedding (``docs/elasticity.md``).  Ignored on
+    #: the local backend (there is no pool to resize).
+    elastic: Optional[ElasticPolicy] = None
     #: tuples per shipped worker batch on the parallel backend (None ->
     #: the cluster default); larger batches amortize per-frame framing
     #: and ack costs at the price of coarser backpressure
@@ -154,21 +156,15 @@ class StreamJoinConfig:
             raise PartitioningError(
                 f"max_retries must be >= 0, got {self.max_retries}"
             )
-        if self.parallel_workers is not None:
-            warnings.warn(
-                "StreamJoinConfig.parallel_workers is deprecated; pass "
-                "workers=<count> (or a list of host:port addresses with "
-                "transport='socket') instead",
-                DeprecationWarning,
-                stacklevel=3,
+        if (
+            self.elastic is not None
+            and self.elastic.shed
+            and not self.dead_letters
+        ):
+            raise PartitioningError(
+                "elastic.shed quarantines tuples on the dead-letter queue; "
+                "set dead_letters=True to enable it"
             )
-            if self.workers is None:
-                object.__setattr__(self, "workers", self.parallel_workers)
-            elif self.workers != self.parallel_workers:
-                raise PartitioningError(
-                    "parallel_workers (deprecated) and workers disagree; "
-                    "set only workers"
-                )
         workers = self.workers
         if isinstance(workers, list):
             # normalize so frozen configs stay hashable (experiment caches
@@ -369,6 +365,7 @@ def make_cluster(
             restart_policy=config.restart_policy,
             transport=config.transport,
             workers=config.workers,
+            elastic=config.elastic,
             codec=wire_codec(),
             dead_letters=dlq,
             fault_plan=config.fault_plan,

@@ -67,6 +67,63 @@ class TestBasicRouting:
         assert router.owns(AVPair("new", 5))
 
 
+class TestAtomicSwap:
+    """Repartitioning rebuilds the owner maps in place (``swap``)."""
+
+    def test_swap_matches_fresh_router(self):
+        old = _partitions({AVPair("a", 1)}, {AVPair("b", 2)})
+        new = _partitions({AVPair("b", 2)}, {AVPair("c", 3)}, {AVPair("a", 1)})
+        router = DocumentRouter(old)
+        router.swap(new)
+        fresh = DocumentRouter(new, interner=router.interner)
+        for doc in (
+            Document({"a": 1}),
+            Document({"b": 2}),
+            Document({"c": 3}),
+            Document({"a": 1, "c": 3}),
+            Document({"mystery": 9}),
+        ):
+            assert router.route(doc) == fresh.route(doc)
+        assert router.m == 3
+
+    def test_swap_preserves_identity_and_interner(self):
+        router = DocumentRouter(_partitions({AVPair("a", 1)}))
+        interner = router.interner
+        before = router
+        router.swap(_partitions({AVPair("b", 2)}, {AVPair("a", 1)}))
+        assert router is before
+        assert router.interner is interner
+
+    def test_swap_keeps_cached_encodings_valid(self):
+        """Documents encoded against the router's interner must still
+        take the id-keyed fast path after a swap."""
+        router = DocumentRouter(_partitions({AVPair("a", 1)}, {AVPair("b", 2)}))
+        doc = Document({"a": 1})
+        router.interner.encode(doc)
+        assert router.route(doc).targets == (0,)
+        router.swap(_partitions({AVPair("b", 2)}, {AVPair("a", 1)}))
+        decision = router.route(doc)
+        assert decision.targets == (1,)
+        assert not decision.broadcast
+
+    def test_swap_rejects_empty_partition_list(self):
+        router = DocumentRouter(_partitions({AVPair("a", 1)}))
+        with pytest.raises(ValueError):
+            router.swap([])
+        # the failed swap must leave the old routing intact
+        assert router.route(Document({"a": 1})).targets == (0,)
+
+    def test_swap_installs_expansion_plan(self):
+        plan = ExpansionPlan(("flag", "dev"))
+        synthetic = plan.synthetic_attribute
+        doc = Document({"flag": True, "dev": "d1"})
+        transformed, _ = plan.transform(doc)
+        value = transformed[synthetic]
+        router = DocumentRouter(_partitions({AVPair("x", 1)}))
+        router.swap(_partitions({AVPair(synthetic, value)}, set()), expansion=plan)
+        assert router.route(doc).targets == (0,)
+
+
 class TestRoutingWithExpansion:
     def test_transformed_document_routes_on_synthetic_pair(self):
         plan = ExpansionPlan(("flag", "dev"))

@@ -39,6 +39,16 @@ class TestShuffleRouter:
     def test_marked_inexact(self):
         assert ShuffleRouter.exact is False
 
+    def test_swap_resizes_and_keeps_cursor(self):
+        router = ShuffleRouter(2)
+        assert router.route(Document({"k": 0})).targets == (0,)
+        router.swap(3)
+        assert router.m == 3
+        # the cursor carried over: next document continues round-robin
+        assert router.route(Document({"k": 1})).targets == (1,)
+        with pytest.raises(ValueError):
+            router.swap(0)
+
     def test_loses_join_results(self):
         """The Section II argument, executed: consecutive joinable
         documents land on different machines and their pair vanishes."""

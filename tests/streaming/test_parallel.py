@@ -117,6 +117,12 @@ class TestParallelSmoke:
             assert set(par_stats) == set(local_stats)
             assert par_stats.pop("transport") == "pipe"
             assert local_stats.pop("transport") is None
+            # load-signal gauges legitimately differ (the local backend
+            # never ships batches, so its peaks stay zero)
+            assert par_stats.pop("inflight_high_water") > 0
+            assert par_stats.pop("journal_bytes") == 0  # drained at close
+            local_stats.pop("inflight_high_water")
+            local_stats.pop("journal_bytes")
             assert par_stats == local_stats
             assert par_stats["reconnects"] == 0
 

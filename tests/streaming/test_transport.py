@@ -3,8 +3,8 @@
 Three layers of coverage:
 
 * tier-1 units for the wire framing helpers, the transport registry and
-  the redesigned ``workers``/``transport`` configuration surface
-  (including the ``parallel_workers`` deprecation shim);
+  the ``workers``/``transport`` configuration surface (the retired
+  ``parallel_workers`` spelling must stay gone);
 * a tier-1 socket smoke case (one TCP worker, tiny topology) so the
   default test run exercises a real ``python -m repro.worker``
   subprocess end to end;
@@ -185,17 +185,15 @@ class TestRegistry:
 # Redesigned configuration surface
 # ----------------------------------------------------------------------
 class TestConfigSurface:
-    def test_parallel_workers_is_deprecated_but_mapped(self):
-        with pytest.warns(DeprecationWarning, match="parallel_workers"):
-            config = StreamJoinConfig(m=4, backend="parallel", parallel_workers=2)
-        assert config.workers == 2
-
-    def test_parallel_workers_and_workers_must_agree(self):
-        with pytest.warns(DeprecationWarning):
-            StreamJoinConfig(m=4, parallel_workers=2, workers=2)  # agree: fine
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(PartitioningError, match="disagree"):
-                StreamJoinConfig(m=4, parallel_workers=2, workers=3)
+    def test_parallel_workers_spelling_is_gone(self):
+        # the PR 6 deprecation shim served its release; ``workers`` is
+        # the only spelling now
+        with pytest.raises(TypeError, match="parallel_workers"):
+            StreamJoinConfig(m=4, backend="parallel", parallel_workers=2)
+        with pytest.raises(TypeError, match="parallel_workers"):
+            ExperimentConfig(
+                dataset="rwData", backend="parallel", parallel_workers=2
+            )
 
     def test_workers_alone_does_not_warn(self):
         with warnings.catch_warnings():
@@ -225,13 +223,6 @@ class TestConfigSurface:
     def test_malformed_address_rejected(self):
         with pytest.raises(PartitioningError):
             StreamJoinConfig(m=4, transport="socket", workers=["nocolon"])
-
-    def test_experiment_config_mirrors_the_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="parallel_workers"):
-            config = ExperimentConfig(
-                dataset="rwData", backend="parallel", parallel_workers=2
-            )
-        assert config.workers == 2
 
     def test_cluster_rejects_workers_and_n_workers_together(self):
         builder = TopologyBuilder()

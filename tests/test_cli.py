@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import argparse
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _elastic_argument, main
+from repro.streaming.elastic import ElasticPolicy
 
 
 class TestQuickstart:
@@ -68,6 +71,28 @@ class TestArgumentErrors:
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestElasticArgument:
+    def test_min_max_bounds(self):
+        policy = _elastic_argument("2:4")
+        assert policy == ElasticPolicy(min_workers=2, max_workers=4)
+
+    def test_bare_flag_default_is_valid(self):
+        # `--elastic` without a value falls back to const="1:8", which
+        # goes through the same converter
+        assert _elastic_argument("1:8") == ElasticPolicy(
+            min_workers=1, max_workers=8
+        )
+
+    @pytest.mark.parametrize("value", ["", "3", "a:b", "4:2", "0:8", ":"])
+    def test_bad_bounds_rejected(self, value):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _elastic_argument(value)
+
+    def test_cli_rejects_bad_elastic_value(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "--backend", "parallel", "--elastic", "9:1"])
 
 
 class TestFigureCommand:

@@ -60,6 +60,10 @@ def _comparable_stats(result, expect_transport):
     stats = dict(result.tuple_stats)
     assert stats.pop("transport") == expect_transport
     assert stats.pop("reconnects") == 0  # clean runs never reconnect
+    # load-signal gauges legitimately differ between an inline run
+    # (always zero) and a worker-pool run
+    stats.pop("inflight_high_water")
+    assert stats.pop("journal_bytes") == 0  # all barriers drained
     return stats
 
 
